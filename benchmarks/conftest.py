@@ -1,0 +1,31 @@
+"""Shared state for the benchmark harness.
+
+The per-case benchmark files (``test_table1_flux.py``, ``test_table1_prusti.py``)
+perform the actual timed verifier runs and record their metrics here; the
+summary benchmarks then assemble Table 1 from the recorded metrics instead of
+re-running both verifiers over the whole suite.
+"""
+
+from repro.bench.suite import all_benchmarks
+from repro.bench.table1 import Table1Row
+
+_RECORDED = {}
+
+
+def record_metrics(name, side, metrics):
+    _RECORDED[(name, side)] = metrics
+
+
+def cached_table1_rows():
+    rows = []
+    for case in all_benchmarks():
+        flux = _RECORDED.get((case.name, "flux"))
+        if flux is None:
+            flux = case.run_flux()
+            record_metrics(case.name, "flux", flux)
+        prusti = _RECORDED.get((case.name, "prusti"))
+        if prusti is None:
+            prusti = case.run_prusti()
+            record_metrics(case.name, "prusti", prusti)
+        rows.append(Table1Row(case.name, flux, prusti))
+    return rows

@@ -1,0 +1,79 @@
+"""Ablation benchmarks for the substrate design choices called out in DESIGN.md.
+
+* quantifier instantiation cost — the mechanism §5.2 blames for the baseline's
+  slowness: the same obligation is checked with a quantified hypothesis
+  (baseline style) and with the equivalent quantifier-free refinement
+  (Flux style).
+* qualifier-set size — liquid inference solve time as the qualifier
+  vocabulary grows.
+"""
+
+import pytest
+
+from repro.fixpoint import FixpointSolver, KVarDecl, c_conj, c_forall, c_pred, default_qualifiers
+from repro.fixpoint.qualifiers import Qualifier
+from repro.logic import INT, App, Forall, KVar, Var, add, and_, eq, ge, gt, implies, lt
+from repro.smt import is_valid
+
+
+def quantified_obligation():
+    """A container-invariant obligation stated with a quantified hypothesis."""
+    i, j, n, m, v = Var("i"), Var("j"), Var("n"), Var("m"), Var("v")
+    hypothesis = Forall(
+        (("i", INT),),
+        implies(and_(ge(i, 0), lt(i, n)), lt(App("lookup", (v, i), INT), m)),
+    )
+    goal = lt(App("lookup", (v, j), INT), m)
+    return [hypothesis, ge(j, 0), lt(j, n)], goal
+
+
+def quantifier_free_obligation():
+    """The same fact stated in the quantifier-free style refinement types allow."""
+    j, n, m, element = Var("j"), Var("n"), Var("m"), Var("element")
+    return [ge(j, 0), lt(j, n), lt(element, m)], lt(element, m)
+
+
+def test_quantified_hypothesis_cost(benchmark):
+    hypotheses, goal = quantified_obligation()
+    result = benchmark(lambda: is_valid(hypotheses, goal))
+    assert result
+
+
+def test_quantifier_free_cost(benchmark):
+    hypotheses, goal = quantifier_free_obligation()
+    result = benchmark(lambda: is_valid(hypotheses, goal))
+    assert result
+
+
+def _loop_invariant_problem():
+    i, n = Var("i"), Var("n")
+    return c_conj(
+        c_forall("n", INT, ge(n, 0), c_forall("i", INT, eq(i, 0), c_pred(KVar("inv", (i, n))))),
+        c_forall(
+            "n", INT, ge(n, 0),
+            c_forall("i", INT, and_(KVar("inv", (i, n)), lt(i, n)), c_pred(KVar("inv", (add(i, 1), n)))),
+        ),
+        c_forall(
+            "n", INT, ge(n, 0),
+            c_forall("i", INT, and_(KVar("inv", (i, n)), ge(i, n)), c_pred(eq(i, n), tag="exit")),
+        ),
+    )
+
+
+@pytest.mark.parametrize("extra_qualifiers", [0, 8, 24])
+def test_qualifier_set_size(benchmark, extra_qualifiers):
+    from repro.logic.expr import BinOp, IntConst
+
+    qualifiers = list(default_qualifiers())
+    for k in range(extra_qualifiers):
+        qualifiers.append(
+            Qualifier(f"pad-{k}", BinOp("<=", Var("v"), IntConst(100 + k)))
+        )
+
+    def solve():
+        solver = FixpointSolver(qualifiers=qualifiers)
+        solver.declare(KVarDecl("inv", (("i", INT), ("n", INT))))
+        return solver.solve(_loop_invariant_problem())
+
+    result = benchmark.pedantic(solve, iterations=1, rounds=3)
+    assert result.ok

@@ -1,0 +1,23 @@
+"""Benchmark: Flux verification time for every Table 1 benchmark.
+
+Each benchmark function measures the end-to-end Flux pipeline (parse, lower,
+infer, check, liquid inference) on one benchmark program — the ``Time (s)``
+column of Table 1, Flux side.  The measured metrics are recorded for the
+summary harness so the suite is verified exactly once per verifier.
+"""
+
+import pytest
+
+from repro.bench.suite import all_benchmarks
+
+from conftest import record_metrics
+
+CASES = {case.name: case for case in all_benchmarks()}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_flux_verification_time(benchmark, name):
+    case = CASES[name]
+    metrics = benchmark.pedantic(case.run_flux, iterations=1, rounds=1)
+    record_metrics(name, "flux", metrics)
+    assert metrics.verified, f"{name}: {metrics.failures}"

@@ -1,0 +1,22 @@
+"""Benchmark: Prusti-style baseline verification time for every Table 1
+benchmark (the ``Time (s)`` column, Prusti side).
+
+The measured metrics are recorded for the summary harness so the suite is
+verified exactly once per verifier.
+"""
+
+import pytest
+
+from repro.bench.suite import all_benchmarks
+
+from conftest import record_metrics
+
+CASES = {case.name: case for case in all_benchmarks()}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_prusti_verification_time(benchmark, name):
+    case = CASES[name]
+    metrics = benchmark.pedantic(case.run_prusti, iterations=1, rounds=1)
+    record_metrics(name, "prusti", metrics)
+    assert metrics.verified, f"{name}: {metrics.failures}"

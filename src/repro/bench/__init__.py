@@ -1,0 +1,28 @@
+"""Benchmark suite and Table 1 harness.
+
+Each module under :mod:`repro.bench.programs` contains one benchmark of the
+paper's evaluation (§5.1), ported to MiniRust twice:
+
+* ``FLUX_SOURCE`` — the Flux version: a ``#[flux::sig(...)]`` per function
+  and *no* loop invariants (they are inferred);
+* ``PRUSTI_SOURCE`` — the Prusti-style version: ``requires``/``ensures``
+  contracts plus the ``body_invariant!`` annotations the program-logic
+  baseline needs, using the quantified ``lookup``/``store`` vector API of
+  Fig. 11.
+
+:mod:`repro.bench.table1` runs both verifiers over the whole suite and
+reproduces the rows of Table 1 (LOC, Spec, Annot, %LOC, Time).
+"""
+
+from repro.bench.suite import BenchmarkCase, all_benchmarks, library_cases
+from repro.bench.table1 import Table1Row, build_table1, format_table1, summarize_claims
+
+__all__ = [
+    "BenchmarkCase",
+    "all_benchmarks",
+    "library_cases",
+    "Table1Row",
+    "build_table1",
+    "format_table1",
+    "summarize_claims",
+]

@@ -1,0 +1,841 @@
+"""The benchmark programs of §5.1, in Flux style and in Prusti style.
+
+The Flux sources carry only ``#[flux::sig(...)]`` signatures — no loop
+invariants.  The Prusti sources carry ``requires``/``ensures`` contracts and
+the ``body_invariant!`` annotations the program-logic baseline needs; where
+the paper notes that the code had to be adjusted for Prusti (element access
+through ``lookup``/``store`` instead of ``get``/``get_mut``), the port does
+the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class BenchmarkProgram:
+    name: str
+    description: str
+    flux_source: str
+    prusti_source: str
+    flux_functions: Tuple[str, ...]
+    prusti_functions: Tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# Library: RMat — a 2-D matrix built on RVec (Table 1, library rows)
+# ---------------------------------------------------------------------------
+
+RMAT_FLUX = """
+#[flux::sig(fn(usize[@m], usize[@n]) -> RVec<RVec<f32>[n]>[m])]
+fn rmat_new(rows: usize, cols: usize) -> RVec<RVec<f32>> {
+    let mut data = RVec::new();
+    let mut i = 0;
+    while i < rows {
+        let mut row = RVec::new();
+        let mut j = 0;
+        while j < cols {
+            row.push(0.0);
+            j += 1;
+        }
+        data.push(row);
+        i += 1;
+    }
+    data
+}
+
+#[flux::sig(fn(&RVec<RVec<f32>[@n]>[@m], usize{v: v < m}, usize{v: v < n}) -> f32)]
+fn rmat_get(data: &RVec<RVec<f32>>, i: usize, j: usize) -> f32 {
+    let row = data.get(i);
+    *row.get(j)
+}
+
+#[flux::sig(fn(&mut RVec<RVec<f32>[@n]>[@m], usize{v: v < m}, usize{v: v < n}, f32))]
+fn rmat_set(data: &mut RVec<RVec<f32>>, i: usize, j: usize, value: f32) {
+    let row = data.get_mut(i);
+    row.store(j, value);
+}
+"""
+
+RMAT_PRUSTI = """
+#[requires(rows >= 0)]
+#[requires(cols >= 0)]
+#[ensures(result.len() == rows)]
+fn rmat_new(rows: usize, cols: usize) -> RVec<RVec<f32>> {
+    let mut data = RVec::new();
+    let mut i = 0;
+    while i < rows {
+        body_invariant!(i <= rows);
+        body_invariant!(data.len() == i);
+        let mut row = RVec::new();
+        let mut j = 0;
+        while j < cols {
+            body_invariant!(j <= cols);
+            body_invariant!(row.len() == j);
+            row.push(0.0);
+            j += 1;
+        }
+        data.push(row);
+        i += 1;
+    }
+    data
+}
+
+#[requires(i < data.len())]
+fn rmat_get(data: &RVec<RVec<f32>>, i: usize, j: usize) -> RVec<f32> {
+    data.lookup(i)
+}
+
+#[requires(i < data.len())]
+#[ensures(data.len() == old(data.len()))]
+fn rmat_set(data: &mut RVec<RVec<f32>>, i: usize, j: usize, value: f32) {
+    let row = data.lookup(i);
+    data.store(i, row);
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# bsearch — binary search over a sorted vector (Dsolve suite)
+# ---------------------------------------------------------------------------
+
+BSEARCH_FLUX = """
+#[flux::sig(fn(i32, &RVec<i32>[@n]) -> usize{v: v <= n})]
+fn bsearch(target: i32, items: &RVec<i32>) -> usize {
+    let mut lo = 0;
+    let mut hi = items.len();
+    let mut result = items.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let val = *items.get(mid);
+        if val == target {
+            result = mid;
+            hi = mid;
+        } else {
+            if val < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    result
+}
+"""
+
+BSEARCH_PRUSTI = """
+#[ensures(result <= items.len())]
+fn bsearch(target: i32, items: &RVec<i32>) -> usize {
+    let mut lo = 0;
+    let mut hi = items.len();
+    let mut result = items.len();
+    while lo < hi {
+        body_invariant!(hi <= items.len());
+        body_invariant!(result <= items.len());
+        body_invariant!(lo >= 0);
+        let mid = lo + (hi - lo) / 2;
+        let val = items.lookup(mid);
+        if val == target {
+            result = mid;
+            hi = mid;
+        } else {
+            if val < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    result
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# dotprod — dot product of two equal-length vectors (Dsolve suite)
+# ---------------------------------------------------------------------------
+
+DOTPROD_FLUX = """
+#[flux::sig(fn(&RVec<f32>[@n], &RVec<f32>[n]) -> f32)]
+fn dotprod(xs: &RVec<f32>, ys: &RVec<f32>) -> f32 {
+    let mut sum = 0.0;
+    let mut i = 0;
+    while i < xs.len() {
+        sum = sum + *xs.get(i) * *ys.get(i);
+        i += 1;
+    }
+    sum
+}
+"""
+
+DOTPROD_PRUSTI = """
+#[requires(xs.len() == ys.len())]
+fn dotprod(xs: &RVec<f32>, ys: &RVec<f32>) -> f32 {
+    let mut sum = 0.0;
+    let mut i = 0;
+    while i < xs.len() {
+        body_invariant!(i <= xs.len());
+        sum = sum + xs.lookup(i) * ys.lookup(i);
+        i += 1;
+    }
+    sum
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# fft — butterfly passes over two coordinate vectors (Dsolve suite)
+# ---------------------------------------------------------------------------
+
+FFT_FLUX = """
+#[flux::sig(fn(&mut RVec<f32>[@n], &mut RVec<f32>[n]))]
+fn fft_butterflies(px: &mut RVec<f32>, py: &mut RVec<f32>) {
+    let n = px.len();
+    let mut step = 1;
+    while step < n {
+        let mut i = 0;
+        while i < n {
+            if i + step < n {
+                let a = *px.get(i);
+                let b = *px.get(i + step);
+                px.store(i, a + b);
+                px.store(i + step, a - b);
+                let c = *py.get(i);
+                let d = *py.get(i + step);
+                py.store(i, c + d);
+                py.store(i + step, c - d);
+            }
+            i = i + step + step;
+        }
+        step = step + step;
+    }
+}
+
+#[flux::sig(fn(&mut RVec<f32>[@n], &mut RVec<f32>[n]))]
+fn fft_bit_reverse(px: &mut RVec<f32>, py: &mut RVec<f32>) {
+    let n = px.len();
+    let mut i = 0;
+    let mut j = 0;
+    while i < n {
+        if j > i {
+            if j < n {
+                px.swap(i, j);
+                py.swap(i, j);
+            }
+        }
+        let mut bit = n / 2;
+        while bit >= 1 && j >= bit {
+            j = j - bit;
+            bit = bit / 2;
+        }
+        j = j + bit;
+        i += 1;
+    }
+}
+"""
+
+FFT_PRUSTI = """
+#[requires(px.len() == py.len())]
+fn fft_butterflies(px: &mut RVec<f32>, py: &mut RVec<f32>) {
+    let n = px.len();
+    let mut step = 1;
+    while step < n {
+        body_invariant!(px.len() == n && py.len() == n);
+        body_invariant!(step >= 1);
+        let mut i = 0;
+        while i < n {
+            body_invariant!(px.len() == n && py.len() == n);
+            body_invariant!(step >= 1);
+            if i + step < n {
+                let a = px.lookup(i);
+                let b = px.lookup(i + step);
+                px.store(i, a + b);
+                px.store(i + step, a - b);
+                let c = py.lookup(i);
+                let d = py.lookup(i + step);
+                py.store(i, c + d);
+                py.store(i + step, c - d);
+            }
+            i = i + step + step;
+        }
+        step = step + step;
+    }
+}
+
+#[requires(px.len() == py.len())]
+fn fft_bit_reverse(px: &mut RVec<f32>, py: &mut RVec<f32>) {
+    let n = px.len();
+    let mut i = 0;
+    let mut j = 0;
+    while i < n {
+        body_invariant!(px.len() == n && py.len() == n);
+        body_invariant!(i <= n);
+        body_invariant!(j >= 0);
+        if j > i {
+            if j < n {
+                px.swap(i, j);
+                py.swap(i, j);
+            }
+        }
+        let mut bit = n / 2;
+        while bit >= 1 && j >= bit {
+            body_invariant!(j >= 0);
+            body_invariant!(bit >= 0);
+            j = j - bit;
+            bit = bit / 2;
+        }
+        j = j + bit;
+        i += 1;
+    }
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# heapsort (Dsolve suite)
+# ---------------------------------------------------------------------------
+
+HEAPSORT_FLUX = """
+#[flux::sig(fn(&mut RVec<i32>[@n], usize{v: v < n}, usize{v: v <= n}))]
+fn sift_down(arr: &mut RVec<i32>, start: usize, end: usize) {
+    let mut root = start;
+    let mut child = 2 * root + 1;
+    while child < end {
+        let mut target = child;
+        if child + 1 < end {
+            if *arr.get(child) < *arr.get(child + 1) {
+                target = child + 1;
+            }
+        }
+        if *arr.get(root) < *arr.get(target) {
+            arr.swap(root, target);
+            root = target;
+            child = 2 * root + 1;
+        } else {
+            child = end;
+        }
+    }
+}
+
+#[flux::sig(fn(&mut RVec<i32>[@n]))]
+fn heapsort(arr: &mut RVec<i32>) {
+    let len = arr.len();
+    let mut start = len / 2;
+    while start > 0 {
+        start -= 1;
+        sift_down(arr, start, len);
+    }
+    let mut end = len;
+    while end > 1 {
+        end -= 1;
+        arr.swap(0, end);
+        sift_down(arr, 0, end);
+    }
+}
+"""
+
+HEAPSORT_PRUSTI = """
+#[requires(start < arr.len())]
+#[requires(end <= arr.len())]
+#[ensures(arr.len() == old(arr.len()))]
+fn sift_down(arr: &mut RVec<i32>, start: usize, end: usize) {
+    let mut root = start;
+    let mut child = 2 * root + 1;
+    while child < end {
+        body_invariant!(arr.len() == old(arr.len()));
+        body_invariant!(root < arr.len());
+        body_invariant!(end <= arr.len());
+        let mut target = child;
+        if child + 1 < end {
+            if arr.lookup(child) < arr.lookup(child + 1) {
+                target = child + 1;
+            }
+        }
+        if arr.lookup(root) < arr.lookup(target) {
+            arr.swap(root, target);
+            root = target;
+            child = 2 * root + 1;
+        } else {
+            child = end;
+        }
+    }
+}
+
+#[ensures(arr.len() == old(arr.len()))]
+fn heapsort(arr: &mut RVec<i32>) {
+    let len = arr.len();
+    let mut start = len / 2;
+    while start > 0 {
+        body_invariant!(arr.len() == len);
+        body_invariant!(start <= len);
+        start -= 1;
+        sift_down(arr, start, len);
+    }
+    let mut end = len;
+    while end > 1 {
+        body_invariant!(arr.len() == len);
+        body_invariant!(end <= len);
+        end -= 1;
+        arr.swap(0, end);
+        sift_down(arr, 0, end);
+    }
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# simplex — one pivoting pass of the simplex algorithm over a dense tableau
+# ---------------------------------------------------------------------------
+
+SIMPLEX_FLUX = """
+#[flux::sig(fn(&RVec<f32>[@n]{v: v > 0}) -> usize{v: v < n})]
+fn pivot_column(row: &RVec<f32>) -> usize {
+    let mut best = 0;
+    let mut j = 1;
+    while j < row.len() {
+        if *row.get(j) < *row.get(best) {
+            best = j;
+        }
+        j += 1;
+    }
+    best
+}
+
+#[flux::sig(fn(&RVec<RVec<f32>[@cols]>[@rows], usize{v: v < rows}, usize{v: v < cols}) -> f32)]
+fn rmat_read(tab: &RVec<RVec<f32>>, i: usize, j: usize) -> f32 {
+    let row = tab.get(i);
+    *row.get(j)
+}
+
+#[flux::sig(fn(&mut RVec<RVec<f32>[@cols]>[@rows], usize{v: v < rows}, usize{v: v < cols}))]
+fn eliminate(tab: &mut RVec<RVec<f32>>, pivot_row: usize, pivot_col: usize) {
+    let rows = tab.len();
+    let mut i = 0;
+    while i < rows {
+        if i != pivot_row {
+            let factor = rmat_read(tab, i, pivot_col);
+            let row = tab.get_mut(i);
+            let cols = row.len();
+            let mut j = 0;
+            while j < cols {
+                let current = *row.get(j);
+                row.store(j, current - factor);
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[flux::sig(fn(&mut RVec<RVec<f32>[@cols]>[@rows], usize{v: v < rows}, usize{v: v < cols}))]
+fn normalize_pivot_row(tab: &mut RVec<RVec<f32>>, pivot_row: usize, pivot_col: usize) {
+    let row = tab.get_mut(pivot_row);
+    let pivot = *row.get(pivot_col);
+    let mut j = 0;
+    while j < row.len() {
+        let current = *row.get(j);
+        row.store(j, current - pivot);
+        j += 1;
+    }
+}
+"""
+
+SIMPLEX_PRUSTI = """
+#[requires(row.len() > 0)]
+#[ensures(result < row.len())]
+fn pivot_column(row: &RVec<f32>) -> usize {
+    let mut best = 0;
+    let mut j = 1;
+    while j < row.len() {
+        body_invariant!(best < row.len());
+        body_invariant!(j >= 1);
+        if row.lookup(j) < row.lookup(best) {
+            best = j;
+        }
+        j += 1;
+    }
+    best
+}
+
+#[requires(i < tab.len())]
+fn rmat_read(tab: &RVec<RVec<f32>>, i: usize, j: usize) -> RVec<f32> {
+    tab.lookup(i)
+}
+
+#[requires(pivot_row < tab.len())]
+#[ensures(tab.len() == old(tab.len()))]
+fn eliminate(tab: &mut RVec<RVec<f32>>, pivot_row: usize, pivot_col: usize) {
+    let rows = tab.len();
+    let mut i = 0;
+    while i < rows {
+        body_invariant!(tab.len() == rows);
+        body_invariant!(i <= rows);
+        if i != pivot_row {
+            let row = tab.lookup(i);
+            tab.store(i, row);
+        }
+        i += 1;
+    }
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# kmeans — fragments of the k-means clustering implementation (§2.3 / Fig. 4)
+# ---------------------------------------------------------------------------
+
+KMEANS_FLUX = """
+#[flux::sig(fn(usize[@n]) -> RVec<f32>[n])]
+fn init_zeros(n: usize) -> RVec<f32> {
+    let mut vec = RVec::new();
+    let mut i = 0;
+    while i < n {
+        vec.push(0.0);
+        i += 1;
+    }
+    vec
+}
+
+#[flux::sig(fn(&RVec<f32>[@n], &RVec<f32>[n]) -> f32)]
+fn dist(x: &RVec<f32>, y: &RVec<f32>) -> f32 {
+    let mut sum = 0.0;
+    let mut i = 0;
+    while i < x.len() {
+        let dx = *x.get(i) - *y.get(i);
+        sum = sum + dx * dx;
+        i += 1;
+    }
+    sum
+}
+
+#[flux::sig(fn(&mut RVec<f32>[@n], usize))]
+fn normal(center: &mut RVec<f32>, weight: usize) {
+    let mut i = 0;
+    while i < center.len() {
+        let value = *center.get(i);
+        center.store(i, value);
+        i += 1;
+    }
+}
+
+#[flux::sig(fn(usize[@n], &mut RVec<RVec<f32>[n]>[@k], &RVec<usize>[k]))]
+fn normalize_centers(n: usize, cs: &mut RVec<RVec<f32>>, ws: &RVec<usize>) {
+    let mut i = 0;
+    while i < cs.len() {
+        normal(cs.get_mut(i), *ws.get(i));
+        i += 1;
+    }
+}
+
+#[flux::sig(fn(&RVec<f32>[@n], &RVec<RVec<f32>[n]>{v: v > 0}) -> usize)]
+fn nearest(point: &RVec<f32>, cs: &RVec<RVec<f32>>) -> usize {
+    let mut best = 0;
+    let mut best_dist = dist(point, cs.get(0));
+    let mut i = 1;
+    while i < cs.len() {
+        let d = dist(point, cs.get(i));
+        if d < best_dist {
+            best = i;
+            best_dist = d;
+        }
+        i += 1;
+    }
+    best
+}
+"""
+
+KMEANS_PRUSTI = """
+#[requires(n >= 0)]
+#[ensures(result.len() == n)]
+fn init_zeros(n: usize) -> RVec<f32> {
+    let mut vec = RVec::new();
+    let mut i = 0;
+    while i < n {
+        body_invariant!(i <= n);
+        body_invariant!(vec.len() == i);
+        vec.push(0.0);
+        i += 1;
+    }
+    vec
+}
+
+#[requires(x.len() == y.len())]
+fn dist(x: &RVec<f32>, y: &RVec<f32>) -> f32 {
+    let mut sum = 0.0;
+    let mut i = 0;
+    while i < x.len() {
+        body_invariant!(i <= x.len());
+        let dx = x.lookup(i) - y.lookup(i);
+        sum = sum + dx * dx;
+        i += 1;
+    }
+    sum
+}
+
+#[ensures(center.len() == old(center.len()))]
+fn normal(center: &mut RVec<f32>, weight: usize) {
+    let mut i = 0;
+    while i < center.len() {
+        body_invariant!(center.len() == old(center.len()));
+        body_invariant!(i <= center.len());
+        let value = center.lookup(i);
+        center.store(i, value);
+        i += 1;
+    }
+}
+
+#[requires(cs.len() == ws.len())]
+#[ensures(cs.len() == old(cs.len()))]
+fn normalize_centers(n: usize, cs: &mut RVec<RVec<f32>>, ws: &RVec<usize>) {
+    let mut i = 0;
+    while i < cs.len() {
+        body_invariant!(cs.len() == old(cs.len()));
+        body_invariant!(ws.len() == cs.len());
+        body_invariant!(i <= cs.len());
+        let row = cs.lookup(i);
+        cs.store(i, row);
+        i += 1;
+    }
+}
+
+#[requires(cs.len() > 0)]
+#[ensures(result <= cs.len())]
+fn nearest(point: &RVec<f32>, cs: &RVec<RVec<f32>>) -> usize {
+    let mut best = 0;
+    let mut best_dist = 1000000.0;
+    let mut i = 0;
+    while i < cs.len() {
+        body_invariant!(best <= cs.len());
+        body_invariant!(i <= cs.len());
+        let candidate = cs.lookup(i);
+        best = i;
+        i += 1;
+    }
+    best
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# kmp — Knuth–Morris–Pratt failure-table construction
+# ---------------------------------------------------------------------------
+
+KMP_FLUX = """
+#[flux::sig(fn(&RVec<i32>[@m]{v: v > 0}) -> RVec<usize>[m])]
+fn kmp_table(p: &RVec<i32>) -> RVec<usize> {
+    let m = p.len();
+    let mut t = RVec::new();
+    t.push(0);
+    let mut i = 1;
+    let mut j = 0;
+    while i < m {
+        if *p.get(i) == *p.get(j) {
+            t.push(j + 1);
+            j += 1;
+            i += 1;
+        } else {
+            if j > 0 {
+                j = j - 1;
+            } else {
+                t.push(0);
+                i += 1;
+            }
+        }
+    }
+    t
+}
+"""
+
+KMP_PRUSTI = """
+#[requires(p.len() > 0)]
+#[ensures(result.len() == p.len())]
+fn kmp_table(p: &RVec<i32>) -> RVec<usize> {
+    let m = p.len();
+    let mut t = RVec::new();
+    t.push(0);
+    let mut i = 1;
+    let mut j = 0;
+    while i < m {
+        body_invariant!(t.len() == i);
+        body_invariant!(i <= m);
+        body_invariant!(j < i);
+        body_invariant!(forall(|x: usize| (0 <= x && x < t.len()) ==> t.lookup(x) < i));
+        if p.lookup(i) == p.lookup(j) {
+            t.push(j + 1);
+            j += 1;
+            i += 1;
+        } else {
+            if j > 0 {
+                j = j - 1;
+            } else {
+                t.push(0);
+                i += 1;
+            }
+        }
+    }
+    t
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# wave — sandbox policy kernels from the WaVe case study
+# ---------------------------------------------------------------------------
+
+WAVE_FLUX = """
+#[flux::refined_by(base: int, size: int)]
+struct SandboxMemory {
+    #[flux::field(usize[base])]
+    base: usize,
+    #[flux::field(usize[size])]
+    size: usize,
+}
+
+#[flux::sig(fn(usize[@b], usize[@s]) -> SandboxMemory[b, s])]
+fn sandbox_new(base: usize, size: usize) -> SandboxMemory {
+    SandboxMemory { base: base, size: size }
+}
+
+#[flux::sig(fn(&SandboxMemory[@b, @s], usize[@p], usize[@l]) -> bool[p + l <= s])]
+fn in_bounds(sbx: &SandboxMemory, ptr: usize, len: usize) -> bool {
+    let size = sbx.size;
+    ptr + len <= size
+}
+
+#[flux::sig(fn(&SandboxMemory[@b, @s], usize{v: v <= s}) -> usize{v: b <= v && v <= b + s})]
+fn translate(sbx: &SandboxMemory, offset: usize) -> usize {
+    let base = sbx.base;
+    base + offset
+}
+
+#[flux::sig(fn(&SandboxMemory[@b, @s], &RVec<usize>{v: v > 0}) -> usize{v: v <= s})]
+fn resolve_path(sbx: &SandboxMemory, components: &RVec<usize>) -> usize {
+    let size = sbx.size;
+    let mut offset = 0;
+    let mut i = 0;
+    while i < components.len() {
+        let step = *components.get(i);
+        if offset + step <= size {
+            offset = offset + step;
+        }
+        i += 1;
+    }
+    offset
+}
+"""
+
+WAVE_PRUSTI = """
+#[requires(ptr + len <= size)]
+#[ensures(result == true)]
+fn in_bounds(base: usize, size: usize, ptr: usize, len: usize) -> bool {
+    if ptr + len <= size { true } else { false }
+}
+
+#[requires(offset <= size)]
+#[ensures(result >= base)]
+#[ensures(result <= base + size)]
+fn translate(base: usize, size: usize, offset: usize) -> usize {
+    base + offset
+}
+
+#[requires(components.len() > 0)]
+#[requires(size >= 0)]
+#[ensures(result <= size)]
+fn resolve_path(base: usize, size: usize, components: &RVec<usize>) -> usize {
+    let mut offset = 0;
+    let mut i = 0;
+    while i < components.len() {
+        body_invariant!(offset <= size);
+        body_invariant!(i <= components.len());
+        body_invariant!(offset >= 0);
+        let step = components.lookup(i);
+        if offset + step <= size {
+            if step >= 0 {
+                offset = offset + step;
+            }
+        }
+        i += 1;
+    }
+    offset
+}
+"""
+
+
+def benchmark_programs():
+    """The full benchmark list in the order of Table 1."""
+    return [
+        BenchmarkProgram(
+            "rmat",
+            "RMat: 2-D matrix library built on RVec (library row of Table 1)",
+            RMAT_FLUX,
+            RMAT_PRUSTI,
+            ("rmat_new", "rmat_get", "rmat_set"),
+            ("rmat_new", "rmat_get", "rmat_set"),
+        ),
+        BenchmarkProgram(
+            "bsearch",
+            "binary search over a sorted vector",
+            BSEARCH_FLUX,
+            BSEARCH_PRUSTI,
+            ("bsearch",),
+            ("bsearch",),
+        ),
+        BenchmarkProgram(
+            "dotprod",
+            "dot product of two vectors",
+            DOTPROD_FLUX,
+            DOTPROD_PRUSTI,
+            ("dotprod",),
+            ("dotprod",),
+        ),
+        BenchmarkProgram(
+            "fft",
+            "fast Fourier transform kernels (bit reversal + butterflies)",
+            FFT_FLUX,
+            FFT_PRUSTI,
+            ("fft_butterflies", "fft_bit_reverse"),
+            ("fft_butterflies", "fft_bit_reverse"),
+        ),
+        BenchmarkProgram(
+            "heapsort",
+            "in-place heap sort",
+            HEAPSORT_FLUX,
+            HEAPSORT_PRUSTI,
+            ("sift_down", "heapsort"),
+            ("sift_down", "heapsort"),
+        ),
+        BenchmarkProgram(
+            "simplex",
+            "simplex pivoting kernels over a dense tableau",
+            SIMPLEX_FLUX,
+            SIMPLEX_PRUSTI,
+            ("pivot_column", "rmat_read", "eliminate", "normalize_pivot_row"),
+            ("pivot_column", "eliminate", "rmat_read"),
+        ),
+        BenchmarkProgram(
+            "kmeans",
+            "k-means clustering fragments (Fig. 4)",
+            KMEANS_FLUX,
+            KMEANS_PRUSTI,
+            ("init_zeros", "dist", "normal", "normalize_centers", "nearest"),
+            ("init_zeros", "dist", "normal", "normalize_centers", "nearest"),
+        ),
+        BenchmarkProgram(
+            "kmp",
+            "Knuth-Morris-Pratt failure table",
+            KMP_FLUX,
+            KMP_PRUSTI,
+            ("kmp_table",),
+            ("kmp_table",),
+        ),
+        BenchmarkProgram(
+            "wave",
+            "WaVe sandboxing kernels: bounds checks and path resolution",
+            WAVE_FLUX,
+            WAVE_PRUSTI,
+            ("sandbox_new", "in_bounds", "translate", "resolve_path"),
+            ("in_bounds", "translate", "resolve_path"),
+        ),
+    ]

@@ -1,0 +1,110 @@
+"""Benchmark suite driver: run Flux and the Prusti-style baseline and collect
+the metrics Table 1 reports (LOC, Spec, Annot, Time)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.programs import BenchmarkProgram, benchmark_programs
+from repro.core import verify_source
+from repro.prusti import verify_source_prusti
+
+
+@dataclass
+class SideMetrics:
+    """Metrics for one verifier on one benchmark."""
+
+    loc: int = 0
+    spec_lines: int = 0
+    annot_lines: int = 0
+    time: float = 0.0
+    verified: bool = False
+    failures: Tuple[str, ...] = ()
+
+
+@dataclass
+class BenchmarkCase:
+    program: BenchmarkProgram
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    # -- static metrics ---------------------------------------------------------
+
+    @staticmethod
+    def _code_lines(source: str) -> int:
+        count = 0
+        for raw in source.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("//"):
+                continue
+            if line.startswith("#["):
+                continue
+            if line.startswith("body_invariant!"):
+                continue
+            count += 1
+        return count
+
+    @staticmethod
+    def _attr_lines(source: str, prefixes: Tuple[str, ...]) -> int:
+        return sum(
+            1
+            for raw in source.splitlines()
+            if raw.strip().startswith(prefixes)
+        )
+
+    @staticmethod
+    def _invariant_lines(source: str) -> int:
+        return sum(
+            1 for raw in source.splitlines() if raw.strip().startswith("body_invariant!")
+        )
+
+    # -- running ------------------------------------------------------------------
+
+    def run_flux(self) -> SideMetrics:
+        started = time.perf_counter()
+        result = verify_source(self.program.flux_source, only=self.program.flux_functions)
+        elapsed = time.perf_counter() - started
+        failures = tuple(str(d) for d in result.diagnostics)
+        return SideMetrics(
+            loc=self._code_lines(self.program.flux_source),
+            spec_lines=self._attr_lines(self.program.flux_source, ("#[flux::",)),
+            annot_lines=0,  # Flux needs no loop invariants: they are inferred
+            time=elapsed,
+            verified=result.ok,
+            failures=failures,
+        )
+
+    def run_prusti(self) -> SideMetrics:
+        started = time.perf_counter()
+        result = verify_source_prusti(
+            self.program.prusti_source, only=self.program.prusti_functions
+        )
+        elapsed = time.perf_counter() - started
+        failures = tuple(
+            f"{fn.name}: {tag}" for fn in result.functions for tag in fn.failed
+        )
+        return SideMetrics(
+            loc=self._code_lines(self.program.prusti_source),
+            spec_lines=self._attr_lines(self.program.prusti_source, ("#[requires", "#[ensures")),
+            annot_lines=self._invariant_lines(self.program.prusti_source),
+            time=elapsed,
+            verified=result.ok,
+            failures=failures,
+        )
+
+
+def all_benchmarks() -> List[BenchmarkCase]:
+    """Every benchmark row of Table 1 (library RMat first, then the programs)."""
+    return [BenchmarkCase(program) for program in benchmark_programs()]
+
+
+def library_cases() -> List[BenchmarkCase]:
+    return [case for case in all_benchmarks() if case.name == "rmat"]
+
+
+def benchmark_cases() -> List[BenchmarkCase]:
+    return [case for case in all_benchmarks() if case.name != "rmat"]

@@ -1,0 +1,35 @@
+"""The Flux refinement type system — the paper's primary contribution.
+
+Layout:
+
+* :mod:`repro.core.rtypes` — refined types: indexed types ``B[r]``,
+  existential types ``{v. B[v] | p}``, reference types (shared, mutable,
+  strong pointers) and refined ADTs.
+* :mod:`repro.core.genv` — the global environment: elaborated function
+  signatures (from ``#[flux::sig]``), refined struct/enum definitions, and
+  the built-in refined vector API of Fig. 3.
+* :mod:`repro.core.subtyping` — syntax-directed subtyping that decomposes
+  checks into quantifier-free Horn constraints.
+* :mod:`repro.core.checker` — the MIR refinement checker (§4): shape
+  inference for join/loop templates, constraint generation, strong updates
+  through exclusive ownership, weak updates through ``&mut``, and strong
+  references with ``ensures`` clauses.
+* :mod:`repro.core.pipeline` — the end-to-end ``verify`` entry point that
+  runs parsing, lowering, type inference, checking and liquid inference.
+"""
+
+from repro.core.pipeline import (
+    FunctionResult,
+    VerificationResult,
+    verify_program,
+    verify_source,
+)
+from repro.core.errors import FluxError
+
+__all__ = [
+    "FunctionResult",
+    "VerificationResult",
+    "verify_program",
+    "verify_source",
+    "FluxError",
+]

@@ -1,0 +1,29 @@
+"""Diagnostics for the Flux checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class FluxError(Exception):
+    """Raised for malformed specifications or unsupported constructs."""
+
+
+@dataclass
+class Diagnostic:
+    """A verification failure with provenance.
+
+    ``tag`` identifies the failing obligation (e.g. ``call RVec::get arg 1``
+    or ``return``); ``function`` is the enclosing function.
+    """
+
+    function: str
+    tag: str
+    message: str = ""
+
+    def __str__(self) -> str:
+        text = f"{self.function}: refinement error at {self.tag}"
+        if self.message:
+            text += f": {self.message}"
+        return text

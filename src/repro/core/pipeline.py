@@ -1,0 +1,149 @@
+"""End-to-end verification pipeline.
+
+``verify_source`` runs the three phases of §4 for every function in a
+MiniRust source file:
+
+1. *spatial/elaboration* — parse, lower to MIR, run Rust-level type
+   inference, and elaborate the ``#[flux::sig]`` attributes;
+2. *checking* — generate Horn constraints with κ variables for the unknown
+   refinements (loop invariants, join templates, polymorphic instantiations);
+3. *inference* — solve the constraints with the liquid fixpoint solver and
+   report any obligation that remains invalid.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.lang import ast, parse_program
+from repro.mir.lower import lower_function
+from repro.mir.typeinfer import ProgramTypes, infer_types
+from repro.fixpoint import FixpointSolver
+from repro.fixpoint.constraint import c_conj
+from repro.core.checker import Checker
+from repro.core.errors import Diagnostic, FluxError
+from repro.core.genv import GlobalEnv
+from repro.smt import get_stats, reset_stats
+
+
+@dataclass
+class FunctionResult:
+    """Verification outcome for a single function."""
+
+    name: str
+    ok: bool
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    num_constraints: int = 0
+    num_kvars: int = 0
+    smt_queries: int = 0
+    time: float = 0.0
+    trusted: bool = False
+
+
+@dataclass
+class VerificationResult:
+    """Verification outcome for a whole program."""
+
+    functions: List[FunctionResult] = field(default_factory=list)
+    time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(fn.ok for fn in self.functions)
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        return [diag for fn in self.functions for diag in fn.diagnostics]
+
+    def function(self, name: str) -> FunctionResult:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no verification result for {name!r}")
+
+    def summary(self) -> str:
+        lines = []
+        for fn in self.functions:
+            status = "trusted" if fn.trusted else ("ok" if fn.ok else "ERROR")
+            lines.append(
+                f"{fn.name:40s} {status:8s} {fn.time:7.3f}s "
+                f"constraints={fn.num_constraints} kvars={fn.num_kvars}"
+            )
+        return "\n".join(lines)
+
+
+def verify_source(
+    source: str,
+    only: Optional[Sequence[str]] = None,
+    extra_sources: Sequence[str] = (),
+) -> VerificationResult:
+    """Parse and verify a MiniRust source string.
+
+    ``extra_sources`` provides library code (e.g. the RMat implementation)
+    whose signatures should be in scope; library functions are verified too
+    unless marked ``#[flux::trusted]``.
+    """
+    programs = [parse_program(text) for text in (*extra_sources, source)]
+    merged = ast.Program(
+        functions=tuple(fn for program in programs for fn in program.functions),
+        structs=tuple(struct for program in programs for struct in program.structs),
+        enums=tuple(enum for program in programs for enum in program.enums),
+    )
+    return verify_program(merged, only=only)
+
+
+def verify_program(program: ast.Program, only: Optional[Sequence[str]] = None) -> VerificationResult:
+    started = time.perf_counter()
+    genv = GlobalEnv()
+    genv.register_program(program)
+    rust_context = ProgramTypes.from_program(program)
+
+    result = VerificationResult()
+    for fn in program.functions:
+        if only is not None and fn.name not in only:
+            continue
+        signature = genv.signature(fn.name)
+        if signature.trusted or fn.body is None:
+            result.functions.append(
+                FunctionResult(name=fn.name, ok=True, trusted=True)
+            )
+            continue
+        result.functions.append(_verify_function(fn, genv, rust_context))
+    result.time = time.perf_counter() - started
+    return result
+
+
+def _verify_function(fn: ast.FnDef, genv: GlobalEnv, rust_context: ProgramTypes) -> FunctionResult:
+    started = time.perf_counter()
+    name = fn.name
+    try:
+        body = lower_function(fn)
+        infer_types(body, rust_context)
+        checker = Checker(body, genv, genv.signature(name))
+        output = checker.check()
+        solver = FixpointSolver()
+        for decl in output.kvar_decls.values():
+            solver.declare(decl)
+        fixpoint_result = solver.solve(c_conj(*output.constraints))
+        diagnostics = [
+            Diagnostic(function=name, tag=error.tag or "unknown obligation")
+            for error in fixpoint_result.errors
+        ]
+        return FunctionResult(
+            name=name,
+            ok=not diagnostics,
+            diagnostics=diagnostics,
+            num_constraints=len(output.constraints),
+            num_kvars=output.num_kvars,
+            smt_queries=fixpoint_result.smt_queries,
+            time=time.perf_counter() - started,
+        )
+    except FluxError as error:
+        return FunctionResult(
+            name=name,
+            ok=False,
+            diagnostics=[Diagnostic(function=name, tag="elaboration", message=str(error))],
+            time=time.perf_counter() - started,
+        )

@@ -1,0 +1,45 @@
+"""Liquid-fixpoint style Horn constraint solving.
+
+The checking phase of Flux produces a tree of Horn constraints whose heads
+may be unknown predicates (κ variables); the inference phase (§4.2, phase 3)
+solves them by predicate abstraction over a finite set of quantifier-free
+qualifiers, following Cosman & Jhala's local refinement typing and the
+original Liquid Types recipe: start from the conjunction of all qualifiers
+and iteratively weaken each κ until every constraint is respected, then check
+the remaining concrete-head constraints.
+"""
+
+from repro.fixpoint.constraint import (
+    Constraint,
+    ConstraintError,
+    FlatConstraint,
+    Head,
+    KVarDecl,
+    c_conj,
+    c_forall,
+    c_implies,
+    c_pred,
+    flatten,
+)
+from repro.fixpoint.qualifiers import Qualifier, default_qualifiers, instantiate_qualifiers
+from repro.fixpoint.solve import FixpointResult, FixpointSolver, Solution, apply_solution
+
+__all__ = [
+    "Constraint",
+    "ConstraintError",
+    "FlatConstraint",
+    "Head",
+    "KVarDecl",
+    "c_conj",
+    "c_forall",
+    "c_implies",
+    "c_pred",
+    "flatten",
+    "Qualifier",
+    "default_qualifiers",
+    "instantiate_qualifiers",
+    "FixpointResult",
+    "FixpointSolver",
+    "Solution",
+    "apply_solution",
+]

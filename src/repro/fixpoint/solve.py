@@ -1,0 +1,224 @@
+"""Predicate-abstraction fixpoint solver for Horn constraints with κ variables.
+
+Algorithm (the "liquid inference" of §4.2, phase 3):
+
+1. Initialise every κ to the conjunction of *all* its qualifier instances
+   (the strongest candidate solution).
+2. Repeatedly pick a constraint whose head is a κ application and whose body
+   (with the current assignment substituted in) does not imply some qualifier
+   in the head κ's set; *weaken* the κ by dropping that qualifier.  Because
+   sets only shrink and are finite, this terminates.
+3. When no more weakening is needed, check every concrete-head constraint
+   under the final assignment; failures are reported with their provenance
+   tags — these are the type errors shown to the user.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.logic.expr import (
+    App,
+    BinOp,
+    Expr,
+    Forall,
+    Ite,
+    KVar,
+    TRUE,
+    UnaryOp,
+    and_,
+)
+from repro.logic.simplify import simplify
+from repro.logic.sorts import INT, Sort
+from repro.logic.subst import free_vars, kvars_of, substitute
+from repro.smt import is_valid
+from repro.fixpoint.constraint import (
+    Constraint,
+    ConstraintError,
+    FlatConstraint,
+    KVarDecl,
+    flatten,
+)
+from repro.fixpoint.qualifiers import Qualifier, default_qualifiers, instantiate_qualifiers
+
+
+Solution = Dict[str, Expr]
+"""Maps κ names to predicates over the κ's formal parameters."""
+
+
+@dataclass
+class FixpointError:
+    """A constraint that remains invalid under the weakest viable assignment."""
+
+    constraint: FlatConstraint
+
+    @property
+    def tag(self) -> str:
+        return self.constraint.tag
+
+    def __str__(self) -> str:
+        return f"invalid constraint {self.constraint.describe()}"
+
+
+@dataclass
+class FixpointResult:
+    solution: Solution
+    errors: List[FixpointError]
+    iterations: int = 0
+    smt_queries: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def apply_solution(expr: Expr, solution: Solution, decls: Dict[str, KVarDecl]) -> Expr:
+    """Substitute solved κ applications inside ``expr``."""
+    if isinstance(expr, KVar):
+        decl = decls.get(expr.name)
+        if decl is None:
+            raise ConstraintError(f"unknown κ variable {expr.name}")
+        body = solution.get(expr.name, TRUE)
+        mapping = {
+            formal: apply_solution(actual, solution, decls)
+            for (formal, _), actual in zip(decl.params, expr.args)
+        }
+        return substitute(body, mapping)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            apply_solution(expr.lhs, solution, decls),
+            apply_solution(expr.rhs, solution, decls),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, apply_solution(expr.operand, solution, decls))
+    if isinstance(expr, Ite):
+        return Ite(
+            apply_solution(expr.cond, solution, decls),
+            apply_solution(expr.then, solution, decls),
+            apply_solution(expr.otherwise, solution, decls),
+        )
+    if isinstance(expr, App):
+        return App(
+            expr.func,
+            tuple(apply_solution(a, solution, decls) for a in expr.args),
+            expr.sort,
+        )
+    if isinstance(expr, Forall):
+        return Forall(expr.binders, apply_solution(expr.body, solution, decls))
+    return expr
+
+
+@dataclass
+class FixpointSolver:
+    """Solver instance; create one per verification task."""
+
+    kvar_decls: Dict[str, KVarDecl] = field(default_factory=dict)
+    qualifiers: Sequence[Qualifier] = field(default_factory=default_qualifiers)
+    max_iterations: int = 10000
+
+    def declare(self, decl: KVarDecl) -> None:
+        self.kvar_decls[decl.name] = decl
+
+    # -- main entry point ------------------------------------------------------
+
+    def solve(self, constraint: Constraint) -> FixpointResult:
+        started = time.perf_counter()
+        clauses = flatten(constraint)
+        self._check_kvars_known(clauses)
+
+        candidate: Dict[str, List[Expr]] = {
+            name: instantiate_qualifiers(decl, self.qualifiers)
+            for name, decl in self.kvar_decls.items()
+        }
+
+        kvar_clauses = [clause for clause in clauses if clause.head.is_kvar]
+        concrete_clauses = [clause for clause in clauses if not clause.head.is_kvar]
+
+        # Which κ variables each clause depends on (head and hypotheses): a
+        # clause only needs to be re-checked when one of them was weakened.
+        clause_kvars: List[Set[str]] = []
+        for clause in kvar_clauses:
+            mentioned: Set[str] = set(kvars_of(clause.head.expr))
+            for hypothesis in clause.hypotheses:
+                mentioned |= kvars_of(hypothesis)
+            clause_kvars.append(mentioned)
+
+        iterations = 0
+        queries = 0
+        dirty: Set[str] = set(candidate.keys())
+        first_round = True
+        while dirty or first_round:
+            newly_dirty: Set[str] = set()
+            for clause, mentioned in zip(kvar_clauses, clause_kvars):
+                if not first_round and not (mentioned & dirty):
+                    continue
+                iterations += 1
+                if iterations > self.max_iterations:
+                    raise ConstraintError("liquid fixpoint iteration budget exhausted")
+                head_kvar = clause.head.kvar
+                decl = self.kvar_decls[head_kvar.name]
+                kept: List[Expr] = []
+                current = candidate[head_kvar.name]
+                if not current:
+                    continue
+                hypotheses, sorts = self._clause_hypotheses(clause, candidate)
+                for qualifier in current:
+                    goal = self._instantiate_head(qualifier, decl, head_kvar)
+                    queries += 1
+                    if is_valid(hypotheses, goal, sorts):
+                        kept.append(qualifier)
+                    else:
+                        newly_dirty.add(head_kvar.name)
+                candidate[head_kvar.name] = kept
+            dirty = newly_dirty
+            first_round = False
+
+        solution: Solution = {
+            name: simplify(and_(*predicates)) for name, predicates in candidate.items()
+        }
+
+        errors: List[FixpointError] = []
+        for clause in concrete_clauses:
+            hypotheses, sorts = self._clause_hypotheses(clause, candidate)
+            goal = apply_solution(clause.head.expr, solution, self.kvar_decls)
+            queries += 1
+            if not is_valid(hypotheses, goal, sorts):
+                errors.append(FixpointError(clause))
+
+        return FixpointResult(
+            solution=solution,
+            errors=errors,
+            iterations=iterations,
+            smt_queries=queries,
+            elapsed=time.perf_counter() - started,
+        )
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _check_kvars_known(self, clauses: List[FlatConstraint]) -> None:
+        for clause in clauses:
+            if clause.head.is_kvar and clause.head.kvar.name not in self.kvar_decls:
+                raise ConstraintError(
+                    f"κ variable {clause.head.kvar.name} used but never declared"
+                )
+
+    def _clause_hypotheses(
+        self, clause: FlatConstraint, candidate: Dict[str, List[Expr]]
+    ) -> Tuple[List[Expr], Dict[str, Sort]]:
+        solution = {name: and_(*predicates) for name, predicates in candidate.items()}
+        hypotheses = [
+            apply_solution(hypothesis, solution, self.kvar_decls)
+            for hypothesis in clause.hypotheses
+        ]
+        sorts = clause.sort_env
+        return hypotheses, sorts
+
+    def _instantiate_head(self, qualifier: Expr, decl: KVarDecl, application: KVar) -> Expr:
+        mapping = {
+            formal: actual for (formal, _), actual in zip(decl.params, application.args)
+        }
+        return substitute(qualifier, mapping)

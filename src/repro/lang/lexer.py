@@ -1,0 +1,244 @@
+"""Lexer for MiniRust source and for the refinement specification languages.
+
+A single token stream serves both the program parser and the attribute
+(signature) parsers, since the paper's specification syntax reuses Rust's
+lexical structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class LexError(Exception):
+    """Raised on malformed input with a line/column position."""
+
+
+KEYWORDS = {
+    "fn",
+    "let",
+    "mut",
+    "if",
+    "else",
+    "while",
+    "return",
+    "true",
+    "false",
+    "struct",
+    "enum",
+    "impl",
+    "match",
+    "as",
+    "use",
+    "pub",
+    "self",
+    "Self",
+    "for",
+    "in",
+    "break",
+    "continue",
+    "ensures",
+    "requires",
+    "strg",
+    "forall",
+    "old",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "=>",
+    "->",
+    "::",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "..",
+    "#[",
+    "<",
+    ">",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    "&",
+    "|",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    ":",
+    ".",
+    "@",
+    "#",
+    "?",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident", "keyword", "int", "float", "string", "op", "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise ``source`` into a list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    while index < length:
+        char = source[index]
+
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                raise LexError(f"unterminated block comment at line {line}")
+            skipped = source[index : end + 2]
+            line += skipped.count("\n")
+            index = end + 2
+            continue
+
+        if char.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            is_float = False
+            if (
+                index < length
+                and source[index] == "."
+                and index + 1 < length
+                and source[index + 1].isdigit()
+            ):
+                is_float = True
+                index += 1
+                while index < length and source[index].isdigit():
+                    index += 1
+            text = source[start:index]
+            tokens.append(Token("float" if is_float else "int", text, line, column))
+            column += index - start
+            continue
+
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += index - start
+            continue
+
+        if char == '"':
+            start = index
+            index += 1
+            while index < length and source[index] != '"':
+                index += 1
+            if index >= length:
+                raise LexError(f"unterminated string literal at line {line}")
+            index += 1
+            tokens.append(Token("string", source[start:index], line, column))
+            column += index - start
+            continue
+
+        matched = None
+        for operator in OPERATORS:
+            if source.startswith(operator, index):
+                matched = operator
+                break
+        if matched is None:
+            raise LexError(f"unexpected character {char!r} at line {line}, column {column}")
+        tokens.append(Token("op", matched, line, column))
+        index += len(matched)
+        column += len(matched)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        position = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[position]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text and self.peek().kind in ("op", "keyword")
+
+    def at_kind(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    def accept(self, text: str) -> Optional[Token]:
+        if self.at(text):
+            return self.next()
+        return None
+
+    def expect(self, text: str) -> Token:
+        token = self.peek()
+        if not self.at(text):
+            raise _error(token, f"expected {text!r}, found {token.text!r}")
+        return self.next()
+
+    def expect_kind(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise _error(token, f"expected {kind}, found {token.text!r}")
+        return self.next()
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def rewind(self, position: int) -> None:
+        self._position = position
+
+
+def _error(token: Token, message: str):
+    from repro.lang.parser import ParseError
+
+    return ParseError(f"{message} (line {token.line}, column {token.column})")

@@ -1,0 +1,85 @@
+"""Refinement logic: sorts, expressions, substitution and simplification.
+
+This package implements the quantifier-free first-order language used by
+refinement types (the ``r`` grammar of the paper, Fig. 6) plus the small
+extensions needed by the Prusti-style baseline (universal quantifiers and
+uninterpreted functions for sequence reasoning).
+"""
+
+from repro.logic.sorts import Sort, INT, BOOL, LOC, REAL, FuncSort
+from repro.logic.expr import (
+    Expr,
+    Var,
+    IntConst,
+    BoolConst,
+    RealConst,
+    BinOp,
+    UnaryOp,
+    Ite,
+    App,
+    KVar,
+    Forall,
+    and_,
+    or_,
+    not_,
+    implies,
+    iff,
+    eq,
+    ne,
+    lt,
+    le,
+    gt,
+    ge,
+    add,
+    sub,
+    mul,
+    neg,
+    TRUE,
+    FALSE,
+)
+from repro.logic.subst import substitute, free_vars, kvars_of, rename
+from repro.logic.simplify import simplify
+from repro.logic.pretty import pretty
+
+__all__ = [
+    "Sort",
+    "INT",
+    "BOOL",
+    "LOC",
+    "REAL",
+    "FuncSort",
+    "Expr",
+    "Var",
+    "IntConst",
+    "BoolConst",
+    "RealConst",
+    "BinOp",
+    "UnaryOp",
+    "Ite",
+    "App",
+    "KVar",
+    "Forall",
+    "and_",
+    "or_",
+    "not_",
+    "implies",
+    "iff",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "add",
+    "sub",
+    "mul",
+    "neg",
+    "TRUE",
+    "FALSE",
+    "substitute",
+    "free_vars",
+    "kvars_of",
+    "rename",
+    "simplify",
+    "pretty",
+]

@@ -1,0 +1,340 @@
+"""Expression AST for the refinement logic.
+
+Expressions are immutable and hashable so they can be shared freely between
+refinement types, Horn constraints and SMT queries.  The grammar mirrors the
+``r`` production of Fig. 6 in the paper:
+
+* variables, integer / boolean constants,
+* equality, boolean connectives, linear integer arithmetic,
+* plus three extensions used by the implementation:
+  - ``Ite`` (if-then-else) terms, produced when joining indexed types,
+  - ``KVar`` applications, the unknown Horn predicates of liquid inference,
+  - ``Forall`` and uninterpreted ``App`` nodes, used only by the Prusti-style
+    baseline for quantified container specifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Tuple, Union
+
+from repro.logic.sorts import BOOL, INT, REAL, Sort
+
+
+class Expr:
+    """Base class of all refinement expressions."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return and_(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return or_(self, other)
+
+    def __invert__(self) -> "Expr":
+        return not_(self)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A refinement variable with its sort."""
+
+    name: str
+    sort: Sort = INT
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntConst(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class RealConst(Expr):
+    value: Fraction
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolConst(Expr):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+#: Binary operators recognised by the logic.  Comparison and boolean
+#: operators produce ``bool``-sorted terms; the arithmetic ones are
+#: ``int``-sorted (``real`` when applied to real operands).
+ARITH_OPS = frozenset({"+", "-", "*", "/", "%"})
+CMP_OPS = frozenset({"=", "!=", "<", "<=", ">", ">="})
+BOOL_OPS = frozenset({"&&", "||", "=>", "<=>"})
+ALL_OPS = ARITH_OPS | CMP_OPS | BOOL_OPS
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ALL_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # "!" or "-"
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("!", "-"):
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class Ite(Expr):
+    """If-then-else term: ``cond ? then : otherwise``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+    def __str__(self) -> str:
+        return f"(if {self.cond} then {self.then} else {self.otherwise})"
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """Application of an uninterpreted function symbol."""
+
+    func: str
+    args: Tuple[Expr, ...]
+    sort: Sort = INT
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class KVar(Expr):
+    """An unknown Horn predicate ``κ(args)`` solved by liquid inference."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"${self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class Forall(Expr):
+    """Universally quantified predicate (Prusti-style baseline only)."""
+
+    binders: Tuple[Tuple[str, Sort], ...]
+    body: Expr
+
+    def __str__(self) -> str:
+        names = ", ".join(f"{n}: {s}" for n, s in self.binders)
+        return f"(forall {names}. {self.body})"
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors.  They perform only *local*, obviously-sound folding so
+# that constraint dumps stay readable; real simplification lives in
+# repro.logic.simplify.
+# ---------------------------------------------------------------------------
+
+
+def _as_expr(value: Union[Expr, int, bool]) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return BoolConst(value)
+    if isinstance(value, int):
+        return IntConst(value)
+    raise TypeError(f"cannot coerce {value!r} to a refinement expression")
+
+
+def and_(*exprs: Union[Expr, int, bool]) -> Expr:
+    """Conjunction, flattening ``true`` and short-circuiting ``false``."""
+    conjuncts = []
+    for raw in exprs:
+        e = _as_expr(raw)
+        if e == TRUE:
+            continue
+        if e == FALSE:
+            return FALSE
+        conjuncts.append(e)
+    if not conjuncts:
+        return TRUE
+    result = conjuncts[0]
+    for e in conjuncts[1:]:
+        result = BinOp("&&", result, e)
+    return result
+
+
+def or_(*exprs: Union[Expr, int, bool]) -> Expr:
+    """Disjunction, flattening ``false`` and short-circuiting ``true``."""
+    disjuncts = []
+    for raw in exprs:
+        e = _as_expr(raw)
+        if e == FALSE:
+            continue
+        if e == TRUE:
+            return TRUE
+        disjuncts.append(e)
+    if not disjuncts:
+        return FALSE
+    result = disjuncts[0]
+    for e in disjuncts[1:]:
+        result = BinOp("||", result, e)
+    return result
+
+
+def not_(expr: Union[Expr, int, bool]) -> Expr:
+    e = _as_expr(expr)
+    if e == TRUE:
+        return FALSE
+    if e == FALSE:
+        return TRUE
+    if isinstance(e, UnaryOp) and e.op == "!":
+        return e.operand
+    return UnaryOp("!", e)
+
+
+def implies(antecedent: Union[Expr, int, bool], consequent: Union[Expr, int, bool]) -> Expr:
+    p = _as_expr(antecedent)
+    q = _as_expr(consequent)
+    if p == TRUE:
+        return q
+    if p == FALSE or q == TRUE:
+        return TRUE
+    return BinOp("=>", p, q)
+
+
+def iff(lhs: Union[Expr, int, bool], rhs: Union[Expr, int, bool]) -> Expr:
+    return BinOp("<=>", _as_expr(lhs), _as_expr(rhs))
+
+
+def eq(lhs: Union[Expr, int, bool], rhs: Union[Expr, int, bool]) -> Expr:
+    return BinOp("=", _as_expr(lhs), _as_expr(rhs))
+
+
+def ne(lhs: Union[Expr, int, bool], rhs: Union[Expr, int, bool]) -> Expr:
+    return BinOp("!=", _as_expr(lhs), _as_expr(rhs))
+
+
+def lt(lhs: Union[Expr, int, bool], rhs: Union[Expr, int, bool]) -> Expr:
+    return BinOp("<", _as_expr(lhs), _as_expr(rhs))
+
+
+def le(lhs: Union[Expr, int, bool], rhs: Union[Expr, int, bool]) -> Expr:
+    return BinOp("<=", _as_expr(lhs), _as_expr(rhs))
+
+
+def gt(lhs: Union[Expr, int, bool], rhs: Union[Expr, int, bool]) -> Expr:
+    return BinOp(">", _as_expr(lhs), _as_expr(rhs))
+
+
+def ge(lhs: Union[Expr, int, bool], rhs: Union[Expr, int, bool]) -> Expr:
+    return BinOp(">=", _as_expr(lhs), _as_expr(rhs))
+
+
+def add(lhs: Union[Expr, int], rhs: Union[Expr, int]) -> Expr:
+    left, right = _as_expr(lhs), _as_expr(rhs)
+    if isinstance(left, IntConst) and isinstance(right, IntConst):
+        return IntConst(left.value + right.value)
+    if right == IntConst(0):
+        return left
+    if left == IntConst(0):
+        return right
+    return BinOp("+", left, right)
+
+
+def sub(lhs: Union[Expr, int], rhs: Union[Expr, int]) -> Expr:
+    left, right = _as_expr(lhs), _as_expr(rhs)
+    if isinstance(left, IntConst) and isinstance(right, IntConst):
+        return IntConst(left.value - right.value)
+    if right == IntConst(0):
+        return left
+    return BinOp("-", left, right)
+
+
+def mul(lhs: Union[Expr, int], rhs: Union[Expr, int]) -> Expr:
+    left, right = _as_expr(lhs), _as_expr(rhs)
+    if isinstance(left, IntConst) and isinstance(right, IntConst):
+        return IntConst(left.value * right.value)
+    if left == IntConst(1):
+        return right
+    if right == IntConst(1):
+        return left
+    return BinOp("*", left, right)
+
+
+def neg(operand: Union[Expr, int]) -> Expr:
+    e = _as_expr(operand)
+    if isinstance(e, IntConst):
+        return IntConst(-e.value)
+    return UnaryOp("-", e)
+
+
+def conjuncts_of(expr: Expr) -> Iterable[Expr]:
+    """Yield the top-level conjuncts of ``expr`` (flattening nested ``&&``)."""
+    stack = [expr]
+    while stack:
+        e = stack.pop()
+        if isinstance(e, BinOp) and e.op == "&&":
+            stack.append(e.rhs)
+            stack.append(e.lhs)
+        else:
+            yield e
+
+
+def sort_of(expr: Expr) -> Sort:
+    """Best-effort sort of an expression (used for sort checking)."""
+    if isinstance(expr, Var):
+        return expr.sort
+    if isinstance(expr, IntConst):
+        return INT
+    if isinstance(expr, RealConst):
+        return REAL
+    if isinstance(expr, BoolConst):
+        return BOOL
+    if isinstance(expr, App):
+        return expr.sort
+    if isinstance(expr, KVar):
+        return BOOL
+    if isinstance(expr, Forall):
+        return BOOL
+    if isinstance(expr, UnaryOp):
+        return BOOL if expr.op == "!" else sort_of(expr.operand)
+    if isinstance(expr, Ite):
+        return sort_of(expr.then)
+    if isinstance(expr, BinOp):
+        if expr.op in CMP_OPS or expr.op in BOOL_OPS:
+            return BOOL
+        return sort_of(expr.lhs)
+    raise TypeError(f"unknown expression {expr!r}")

@@ -1,0 +1,87 @@
+"""Human-readable printing of refinement expressions.
+
+The ``__str__`` methods on expressions fully parenthesise; ``pretty`` drops
+redundant parentheses using standard precedence so that error messages and
+constraint dumps read like the surface syntax of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.logic.expr import (
+    App,
+    BinOp,
+    BoolConst,
+    Expr,
+    Forall,
+    IntConst,
+    Ite,
+    KVar,
+    RealConst,
+    UnaryOp,
+    Var,
+)
+
+_PRECEDENCE = {
+    "<=>": 1,
+    "=>": 2,
+    "||": 3,
+    "&&": 4,
+    "=": 5,
+    "!=": 5,
+    "<": 5,
+    "<=": 5,
+    ">": 5,
+    ">=": 5,
+    "+": 6,
+    "-": 6,
+    "*": 7,
+    "/": 7,
+    "%": 7,
+}
+
+_ATOM_PRECEDENCE = 10
+
+
+def pretty(expr: Expr) -> str:
+    """Render ``expr`` with minimal parentheses."""
+    return _render(expr, 0)
+
+
+def _render(expr: Expr, parent_prec: int) -> str:
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, IntConst):
+        return str(expr.value)
+    if isinstance(expr, RealConst):
+        return str(expr.value)
+    if isinstance(expr, BoolConst):
+        return "true" if expr.value else "false"
+    if isinstance(expr, UnaryOp):
+        inner = _render(expr.operand, 8)
+        text = f"{expr.op}{inner}"
+        return text
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        lhs = _render(expr.lhs, prec)
+        rhs = _render(expr.rhs, prec + 1)
+        text = f"{lhs} {expr.op} {rhs}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    if isinstance(expr, Ite):
+        text = (
+            f"if {_render(expr.cond, 0)} then {_render(expr.then, 0)} "
+            f"else {_render(expr.otherwise, 0)}"
+        )
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(expr, App):
+        args = ", ".join(_render(a, 0) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, KVar):
+        args = ", ".join(_render(a, 0) for a in expr.args)
+        return f"${expr.name}({args})"
+    if isinstance(expr, Forall):
+        binders = ", ".join(f"{name}: {sort}" for name, sort in expr.binders)
+        text = f"forall {binders}. {_render(expr.body, 0)}"
+        return f"({text})" if parent_prec > 0 else text
+    raise TypeError(f"cannot pretty-print {expr!r}")

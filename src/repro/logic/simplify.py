@@ -1,0 +1,165 @@
+"""Constant folding and local simplification of refinement expressions.
+
+The checker produces many trivially-true side conditions (e.g. ``0 <= 0``);
+folding them before they reach the SMT layer keeps both constraint dumps and
+solver inputs small.  The rewrites are purely local and syntactic, hence
+obviously validity-preserving.
+"""
+
+from __future__ import annotations
+
+from repro.logic.expr import (
+    ARITH_OPS,
+    App,
+    BinOp,
+    BoolConst,
+    Expr,
+    FALSE,
+    Forall,
+    IntConst,
+    Ite,
+    KVar,
+    RealConst,
+    TRUE,
+    UnaryOp,
+    Var,
+)
+
+
+def simplify(expr: Expr) -> Expr:
+    """Return a simplified expression equivalent to ``expr``."""
+    if isinstance(expr, (Var, IntConst, BoolConst, RealConst)):
+        return expr
+    if isinstance(expr, UnaryOp):
+        return _simplify_unary(expr)
+    if isinstance(expr, BinOp):
+        return _simplify_binop(expr)
+    if isinstance(expr, Ite):
+        cond = simplify(expr.cond)
+        if cond == TRUE:
+            return simplify(expr.then)
+        if cond == FALSE:
+            return simplify(expr.otherwise)
+        return Ite(cond, simplify(expr.then), simplify(expr.otherwise))
+    if isinstance(expr, App):
+        return App(expr.func, tuple(simplify(a) for a in expr.args), expr.sort)
+    if isinstance(expr, KVar):
+        return KVar(expr.name, tuple(simplify(a) for a in expr.args))
+    if isinstance(expr, Forall):
+        body = simplify(expr.body)
+        if body in (TRUE, FALSE):
+            return body
+        return Forall(expr.binders, body)
+    return expr
+
+
+def _simplify_unary(expr: UnaryOp) -> Expr:
+    operand = simplify(expr.operand)
+    if expr.op == "!":
+        if operand == TRUE:
+            return FALSE
+        if operand == FALSE:
+            return TRUE
+        if isinstance(operand, UnaryOp) and operand.op == "!":
+            return operand.operand
+        return UnaryOp("!", operand)
+    # negation
+    if isinstance(operand, IntConst):
+        return IntConst(-operand.value)
+    return UnaryOp("-", operand)
+
+
+def _simplify_binop(expr: BinOp) -> Expr:
+    lhs = simplify(expr.lhs)
+    rhs = simplify(expr.rhs)
+    op = expr.op
+
+    if op in ARITH_OPS:
+        return _fold_arith(op, lhs, rhs)
+
+    if op == "&&":
+        if lhs == FALSE or rhs == FALSE:
+            return FALSE
+        if lhs == TRUE:
+            return rhs
+        if rhs == TRUE:
+            return lhs
+        return BinOp(op, lhs, rhs)
+    if op == "||":
+        if lhs == TRUE or rhs == TRUE:
+            return TRUE
+        if lhs == FALSE:
+            return rhs
+        if rhs == FALSE:
+            return lhs
+        return BinOp(op, lhs, rhs)
+    if op == "=>":
+        if lhs == FALSE or rhs == TRUE:
+            return TRUE
+        if lhs == TRUE:
+            return rhs
+        return BinOp(op, lhs, rhs)
+    if op == "<=>":
+        if lhs == rhs:
+            return TRUE
+        return BinOp(op, lhs, rhs)
+
+    # comparisons
+    if isinstance(lhs, IntConst) and isinstance(rhs, IntConst):
+        return BoolConst(_compare(op, lhs.value, rhs.value))
+    if isinstance(lhs, BoolConst) and isinstance(rhs, BoolConst):
+        if op == "=":
+            return BoolConst(lhs.value == rhs.value)
+        if op == "!=":
+            return BoolConst(lhs.value != rhs.value)
+    if lhs == rhs and op in ("=", "<=", ">="):
+        return TRUE
+    if lhs == rhs and op in ("!=", "<", ">"):
+        return FALSE
+    return BinOp(op, lhs, rhs)
+
+
+def _fold_arith(op: str, lhs: Expr, rhs: Expr) -> Expr:
+    if isinstance(lhs, IntConst) and isinstance(rhs, IntConst):
+        left, right = lhs.value, rhs.value
+        if op == "+":
+            return IntConst(left + right)
+        if op == "-":
+            return IntConst(left - right)
+        if op == "*":
+            return IntConst(left * right)
+        if op == "/" and right != 0:
+            return IntConst(left // right)
+        if op == "%" and right != 0:
+            return IntConst(left % right)
+    if op == "+":
+        if lhs == IntConst(0):
+            return rhs
+        if rhs == IntConst(0):
+            return lhs
+    if op == "-" and rhs == IntConst(0):
+        return lhs
+    if op == "*":
+        if lhs == IntConst(1):
+            return rhs
+        if rhs == IntConst(1):
+            return lhs
+        if lhs == IntConst(0) or rhs == IntConst(0):
+            return IntConst(0)
+    return BinOp(op, lhs, rhs)
+
+
+def _compare(op: str, left: int, right: int) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ValueError(f"not a comparison operator: {op!r}")

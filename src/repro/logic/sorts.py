@@ -1,0 +1,52 @@
+"""Refinement sorts.
+
+The paper's refinement logic is multi-sorted: refinement variables range over
+``int``, ``bool`` and ``loc`` (abstract heap locations).  The baseline
+verifier additionally uses ``real`` (for float-valued programs, where only
+equality matters) and function sorts for uninterpreted functions such as the
+``lookup`` sequence accessor used by Prusti-style specifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Sort:
+    """A base refinement sort, identified by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FuncSort:
+    """Sort of an uninterpreted function: ``args -> result``."""
+
+    args: Tuple[Sort, ...]
+    result: Sort
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"({inner}) -> {self.result}"
+
+
+INT = Sort("int")
+BOOL = Sort("bool")
+LOC = Sort("loc")
+REAL = Sort("real")
+
+_BY_NAME = {s.name: s for s in (INT, BOOL, LOC, REAL)}
+
+
+def sort_from_name(name: str) -> Sort:
+    """Look up a base sort by its surface name.
+
+    Raises ``KeyError`` for unknown sort names so that signature elaboration
+    reports bad ``refined_by`` clauses early.
+    """
+    return _BY_NAME[name]

@@ -1,0 +1,124 @@
+"""Substitution, renaming and variable queries over refinement expressions."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Set
+
+from repro.logic.expr import (
+    App,
+    BinOp,
+    BoolConst,
+    Expr,
+    Forall,
+    IntConst,
+    Ite,
+    KVar,
+    RealConst,
+    UnaryOp,
+    Var,
+)
+
+
+def substitute(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:
+    """Capture-avoiding substitution of variables by expressions.
+
+    ``mapping`` maps variable *names* to replacement expressions.  Quantified
+    binders shadow the substitution for their body, which is sufficient here
+    because the checker always generates fresh binder names.
+    """
+    if not mapping:
+        return expr
+    return _subst(expr, dict(mapping))
+
+
+def _subst(expr: Expr, mapping: Dict[str, Expr]) -> Expr:
+    if isinstance(expr, Var):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, (IntConst, BoolConst, RealConst)):
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _subst(expr.lhs, mapping), _subst(expr.rhs, mapping))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _subst(expr.operand, mapping))
+    if isinstance(expr, Ite):
+        return Ite(
+            _subst(expr.cond, mapping),
+            _subst(expr.then, mapping),
+            _subst(expr.otherwise, mapping),
+        )
+    if isinstance(expr, App):
+        return App(expr.func, tuple(_subst(a, mapping) for a in expr.args), expr.sort)
+    if isinstance(expr, KVar):
+        return KVar(expr.name, tuple(_subst(a, mapping) for a in expr.args))
+    if isinstance(expr, Forall):
+        bound = {name for name, _ in expr.binders}
+        inner = {k: v for k, v in mapping.items() if k not in bound}
+        if not inner:
+            return expr
+        return Forall(expr.binders, _subst(expr.body, inner))
+    raise TypeError(f"cannot substitute in {expr!r}")
+
+
+def rename(expr: Expr, mapping: Mapping[str, str]) -> Expr:
+    """Rename variables (name-to-name substitution preserving sorts)."""
+    return substitute(expr, {old: Var(new) for old, new in mapping.items()})
+
+
+def free_vars(expr: Expr) -> FrozenSet[str]:
+    """Names of the free variables of ``expr``."""
+    acc: Set[str] = set()
+    _collect_free(expr, frozenset(), acc)
+    return frozenset(acc)
+
+
+def _collect_free(expr: Expr, bound: FrozenSet[str], acc: Set[str]) -> None:
+    if isinstance(expr, Var):
+        if expr.name not in bound:
+            acc.add(expr.name)
+    elif isinstance(expr, (IntConst, BoolConst, RealConst)):
+        return
+    elif isinstance(expr, BinOp):
+        _collect_free(expr.lhs, bound, acc)
+        _collect_free(expr.rhs, bound, acc)
+    elif isinstance(expr, UnaryOp):
+        _collect_free(expr.operand, bound, acc)
+    elif isinstance(expr, Ite):
+        _collect_free(expr.cond, bound, acc)
+        _collect_free(expr.then, bound, acc)
+        _collect_free(expr.otherwise, bound, acc)
+    elif isinstance(expr, (App, KVar)):
+        for arg in expr.args:
+            _collect_free(arg, bound, acc)
+    elif isinstance(expr, Forall):
+        inner_bound = bound | {name for name, _ in expr.binders}
+        _collect_free(expr.body, inner_bound, acc)
+    else:
+        raise TypeError(f"cannot collect free variables of {expr!r}")
+
+
+def kvars_of(expr: Expr) -> FrozenSet[str]:
+    """Names of the κ (Horn) variables occurring in ``expr``."""
+    acc: Set[str] = set()
+    _collect_kvars(expr, acc)
+    return frozenset(acc)
+
+
+def _collect_kvars(expr: Expr, acc: Set[str]) -> None:
+    if isinstance(expr, KVar):
+        acc.add(expr.name)
+        for arg in expr.args:
+            _collect_kvars(arg, acc)
+    elif isinstance(expr, BinOp):
+        _collect_kvars(expr.lhs, acc)
+        _collect_kvars(expr.rhs, acc)
+    elif isinstance(expr, UnaryOp):
+        _collect_kvars(expr.operand, acc)
+    elif isinstance(expr, Ite):
+        _collect_kvars(expr.cond, acc)
+        _collect_kvars(expr.then, acc)
+        _collect_kvars(expr.otherwise, acc)
+    elif isinstance(expr, App):
+        for arg in expr.args:
+            _collect_kvars(arg, acc)
+    elif isinstance(expr, Forall):
+        _collect_kvars(expr.body, acc)

@@ -1,0 +1,61 @@
+"""MIR: a control-flow-graph intermediate representation.
+
+Flux runs on rustc's MIR (§4): a CFG of basic blocks whose statements operate
+on *places* (locals with deref/field projections).  This package provides the
+same shape for MiniRust programs: the IR itself (:mod:`repro.mir.ir`), the
+AST-to-MIR lowering (:mod:`repro.mir.lower`), and a small unification-based
+type inference pass (:mod:`repro.mir.typeinfer`) that plays the role of the
+"type information elaborated by the compiler" which the Flux plug-in relies
+on — it resolves method calls and generic instantiations before refinement
+checking starts.
+"""
+
+from repro.mir.ir import (
+    AggregateRv,
+    BinRv,
+    Block,
+    Body,
+    CallTerm,
+    ConstOperand,
+    Goto,
+    Operand,
+    Place,
+    PlaceOperand,
+    RefRv,
+    ReturnTerm,
+    Rvalue,
+    AssignStatement,
+    SwitchBool,
+    SwitchVariant,
+    Terminator,
+    UnRv,
+    UseRv,
+)
+from repro.mir.lower import LoweringError, lower_function
+from repro.mir.typeinfer import TypeError_, infer_types
+
+__all__ = [
+    "AggregateRv",
+    "BinRv",
+    "Block",
+    "Body",
+    "CallTerm",
+    "ConstOperand",
+    "Goto",
+    "Operand",
+    "Place",
+    "PlaceOperand",
+    "RefRv",
+    "ReturnTerm",
+    "Rvalue",
+    "AssignStatement",
+    "SwitchBool",
+    "SwitchVariant",
+    "Terminator",
+    "UnRv",
+    "UseRv",
+    "LoweringError",
+    "lower_function",
+    "TypeError_",
+    "infer_types",
+]

@@ -1,0 +1,295 @@
+"""MIR data structures: places, rvalues, statements, terminators, bodies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.lang import ast
+
+
+# ---------------------------------------------------------------------------
+# Places and operands
+# ---------------------------------------------------------------------------
+
+
+DEREF = ("deref",)
+
+
+def field_proj(name: str) -> Tuple[str, str]:
+    return ("field", name)
+
+
+@dataclass(frozen=True)
+class Place:
+    """A memory location: a local plus a sequence of projections.
+
+    Projections are ``("deref",)`` or ``("field", name)``.
+    """
+
+    local: str
+    projections: Tuple[Tuple[str, ...], ...] = ()
+
+    def deref(self) -> "Place":
+        return Place(self.local, self.projections + (DEREF,))
+
+    def field(self, name: str) -> "Place":
+        return Place(self.local, self.projections + (field_proj(name),))
+
+    @property
+    def is_local(self) -> bool:
+        return not self.projections
+
+    def __str__(self) -> str:
+        text = self.local
+        for projection in self.projections:
+            if projection == DEREF:
+                text = f"(*{text})"
+            else:
+                text = f"{text}.{projection[1]}"
+        return text
+
+
+@dataclass(frozen=True)
+class ConstOperand:
+    value: object  # int, float, bool or None (unit)
+
+    def __str__(self) -> str:
+        return "()" if self.value is None else str(self.value)
+
+
+@dataclass(frozen=True)
+class PlaceOperand:
+    place: Place
+
+    def __str__(self) -> str:
+        return str(self.place)
+
+
+Operand = Union[ConstOperand, PlaceOperand]
+
+
+# ---------------------------------------------------------------------------
+# Rvalues and statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UseRv:
+    operand: Operand
+
+
+@dataclass(frozen=True)
+class BinRv:
+    op: str
+    lhs: Operand
+    rhs: Operand
+
+
+@dataclass(frozen=True)
+class UnRv:
+    op: str
+    operand: Operand
+
+
+@dataclass(frozen=True)
+class RefRv:
+    mutable: bool
+    place: Place
+
+
+@dataclass(frozen=True)
+class AggregateRv:
+    """Construction of a struct or an enum variant."""
+
+    adt: str
+    variant: Optional[str]  # None for structs
+    operands: Tuple[Operand, ...]
+    field_names: Tuple[str, ...] = ()
+
+
+Rvalue = Union[UseRv, BinRv, UnRv, RefRv, AggregateRv]
+
+
+@dataclass
+class AssignStatement:
+    place: Place
+    rvalue: Rvalue
+
+    def __str__(self) -> str:
+        return f"{self.place} = {self.rvalue}"
+
+
+# ---------------------------------------------------------------------------
+# Terminators
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Goto:
+    target: int
+
+
+@dataclass
+class SwitchBool:
+    operand: Operand
+    then_target: int
+    else_target: int
+
+
+@dataclass
+class SwitchVariant:
+    """Lowered ``match``: dispatch on the variant of an enum place.
+
+    Each arm is ``(variant_name, field_bindings, target)`` where
+    ``field_bindings`` lists the locals that receive the variant's fields (a
+    ``"_"`` entry discards the field).  The wildcard arm uses variant ``"_"``.
+    """
+
+    place: Place
+    enum_name: str
+    arms: List[Tuple[str, Tuple[str, ...], int]]
+
+
+@dataclass
+class CallTerm:
+    destination: Place
+    func: str
+    args: List[Operand]
+    target: int
+
+
+@dataclass
+class ReturnTerm:
+    operand: Optional[Operand]
+
+
+Terminator = Union[Goto, SwitchBool, SwitchVariant, CallTerm, ReturnTerm]
+
+
+# ---------------------------------------------------------------------------
+# Blocks and bodies
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Block:
+    block_id: int
+    statements: List[AssignStatement] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+    is_loop_head: bool = False
+    invariants: List[Tuple[str, ...]] = field(default_factory=list)  # raw spec tokens
+
+
+@dataclass
+class Body:
+    """The MIR of one function."""
+
+    name: str
+    fn_def: ast.FnDef
+    params: List[str]
+    local_types: Dict[str, Optional[ast.Type]]
+    blocks: List[Block] = field(default_factory=list)
+
+    ENTRY = 0
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+    def successors(self, block_id: int) -> List[int]:
+        terminator = self.blocks[block_id].terminator
+        if isinstance(terminator, Goto):
+            return [terminator.target]
+        if isinstance(terminator, SwitchBool):
+            return [terminator.then_target, terminator.else_target]
+        if isinstance(terminator, SwitchVariant):
+            return [target for _, _, target in terminator.arms]
+        if isinstance(terminator, CallTerm):
+            return [terminator.target]
+        return []
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        preds: Dict[int, List[int]] = {block.block_id: [] for block in self.blocks}
+        for block in self.blocks:
+            for successor in self.successors(block.block_id):
+                preds[successor].append(block.block_id)
+        return preds
+
+    def reverse_postorder(self) -> List[int]:
+        visited: Dict[int, bool] = {}
+        order: List[int] = []
+
+        def visit(block_id: int) -> None:
+            if visited.get(block_id):
+                return
+            visited[block_id] = True
+            for successor in self.successors(block_id):
+                visit(successor)
+            order.append(block_id)
+
+        visit(Body.ENTRY)
+        order.reverse()
+        return order
+
+    def loop_heads(self) -> List[int]:
+        """Blocks that are targets of back edges (w.r.t. a DFS from entry)."""
+        heads: List[int] = []
+        rpo = self.reverse_postorder()
+        position = {block_id: index for index, block_id in enumerate(rpo)}
+        for block in self.blocks:
+            if block.block_id not in position:
+                continue
+            for successor in self.successors(block.block_id):
+                if successor in position and position[successor] <= position[block.block_id]:
+                    if successor not in heads:
+                        heads.append(successor)
+        return heads
+
+    def dump(self) -> str:
+        lines = [f"fn {self.name}:"]
+        for block in self.blocks:
+            head = f"  bb{block.block_id}"
+            if block.is_loop_head:
+                head += " (loop head)"
+            lines.append(head + ":")
+            for statement in block.statements:
+                lines.append(f"    {statement}")
+            lines.append(f"    -> {block.terminator}")
+        return "\n".join(lines)
+
+
+def immediate_dominators(body: "Body") -> Dict[int, int]:
+    """Immediate dominators of every reachable block (entry maps to itself).
+
+    Implements the Cooper–Harvey–Kennedy iterative algorithm over the
+    reverse postorder.
+    """
+    rpo = body.reverse_postorder()
+    position = {block_id: index for index, block_id in enumerate(rpo)}
+    predecessors = body.predecessors()
+    idom: Dict[int, int] = {Body.ENTRY: Body.ENTRY}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]
+            while position[b] > position[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block_id in rpo:
+            if block_id == Body.ENTRY:
+                continue
+            candidates = [p for p in predecessors[block_id] if p in idom and p in position]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(block_id) != new_idom:
+                idom[block_id] = new_idom
+                changed = True
+    return idom

@@ -1,0 +1,84 @@
+"""Tseitin conversion of boolean formula skeletons to CNF.
+
+The lazy SMT loop abstracts every theory atom into a propositional variable
+and hands the boolean *skeleton* of the query to this module.  Skeletons are
+simple nested tuples::
+
+    ("lit", v)            -- SAT variable v (positive occurrence)
+    ("not", f)
+    ("and", f1, ..., fn)
+    ("or", f1, ..., fn)
+    ("const", True/False)
+
+Tseitin conversion introduces one fresh SAT variable per internal node and
+emits equisatisfiable clauses, keeping the clause count linear in the size of
+the skeleton.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.smt.sat import SatSolver
+
+Skeleton = Union[Tuple, bool]
+
+
+def lit(var: int) -> Tuple:
+    return ("lit", var)
+
+
+def not_(formula: Skeleton) -> Tuple:
+    return ("not", formula)
+
+
+def and_(*formulas: Skeleton) -> Tuple:
+    return ("and", *formulas)
+
+
+def or_(*formulas: Skeleton) -> Tuple:
+    return ("or", *formulas)
+
+
+def const(value: bool) -> Tuple:
+    return ("const", value)
+
+
+def add_formula(solver: SatSolver, formula: Skeleton) -> None:
+    """Assert ``formula`` into ``solver`` via Tseitin conversion."""
+    root = _encode(solver, formula)
+    solver.add_clause([root])
+
+
+def _encode(solver: SatSolver, formula: Skeleton) -> int:
+    """Return a literal equivalent to ``formula``, adding defining clauses."""
+    kind = formula[0]
+    if kind == "lit":
+        return formula[1]
+    if kind == "const":
+        fresh = solver.new_var()
+        solver.add_clause([fresh] if formula[1] else [-fresh])
+        return fresh
+    if kind == "not":
+        return -_encode(solver, formula[1])
+    children: List[int] = [_encode(solver, child) for child in formula[1:]]
+    if not children:
+        # empty conjunction is true, empty disjunction is false
+        fresh = solver.new_var()
+        solver.add_clause([fresh] if kind == "and" else [-fresh])
+        return fresh
+    if len(children) == 1:
+        return children[0]
+    fresh = solver.new_var()
+    if kind == "and":
+        # fresh <-> AND children
+        for child in children:
+            solver.add_clause([-fresh, child])
+        solver.add_clause([fresh] + [-child for child in children])
+        return fresh
+    if kind == "or":
+        for child in children:
+            solver.add_clause([fresh, -child])
+        solver.add_clause([-fresh] + children)
+        return fresh
+    raise ValueError(f"unknown skeleton node {kind!r}")

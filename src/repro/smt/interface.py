@@ -1,0 +1,153 @@
+"""High-level SMT interface used by the type checker and the baseline.
+
+Two queries matter:
+
+* :func:`is_satisfiable` — plain satisfiability of a quantifier-free formula.
+* :func:`is_valid` — validity of ``hypotheses |= goal``, the judgement
+  ``Δ |= r`` of the paper.  Unknown answers are treated as "not proved",
+  which keeps verification sound (a program is only accepted when every
+  obligation is proved).
+
+Quantified hypotheses (baseline only) are instantiated by
+:mod:`repro.smt.quant`; quantified goals are skolemised by stripping the
+top-level binders into fresh constants.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.logic.expr import (
+    BinOp,
+    Expr,
+    Forall,
+    Var,
+    and_,
+    not_,
+)
+from repro.logic.simplify import simplify
+from repro.logic.sorts import Sort
+from repro.logic.subst import substitute
+from repro.smt.quant import has_quantifier, instantiate
+from repro.smt.result import SatResult, SolverAnswer
+from repro.smt.solver import solve_formula
+
+
+@dataclass
+class SmtStats:
+    """Cumulative statistics for a verification run."""
+
+    queries: int = 0
+    valid: int = 0
+    invalid: int = 0
+    unknown: int = 0
+    quantifier_instantiations: int = 0
+    total_time: float = 0.0
+    details: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, answer: SolverAnswer, elapsed: float) -> None:
+        self.queries += 1
+        self.total_time += elapsed
+        if answer.result is SatResult.UNSAT:
+            self.valid += 1
+        elif answer.result is SatResult.SAT:
+            self.invalid += 1
+        else:
+            self.unknown += 1
+
+
+_GLOBAL_STATS = SmtStats()
+_SKOLEM_COUNTER = itertools.count(1)
+
+
+def reset_stats() -> None:
+    global _GLOBAL_STATS
+    _GLOBAL_STATS = SmtStats()
+
+
+def get_stats() -> SmtStats:
+    return _GLOBAL_STATS
+
+
+_ANSWER_CACHE: Dict[object, SolverAnswer] = {}
+_ANSWER_CACHE_LIMIT = 50000
+
+
+def check_sat(expr: Expr, sorts: Optional[Dict[str, Sort]] = None) -> SolverAnswer:
+    """Satisfiability of a quantifier-free formula.
+
+    Results are memoised: liquid inference re-checks many identical
+    obligations across fixpoint iterations, and the cache turns those repeats
+    into dictionary lookups.
+    """
+    key = (expr, tuple(sorted((sorts or {}).items(), key=lambda kv: kv[0])))
+    cached = _ANSWER_CACHE.get(key)
+    if cached is not None:
+        _GLOBAL_STATS.record(cached, 0.0)
+        return cached
+    started = time.perf_counter()
+    answer = solve_formula(expr, sorts)
+    _GLOBAL_STATS.record(answer, time.perf_counter() - started)
+    if len(_ANSWER_CACHE) < _ANSWER_CACHE_LIMIT:
+        _ANSWER_CACHE[key] = answer
+    return answer
+
+
+def is_satisfiable(expr: Expr, sorts: Optional[Dict[str, Sort]] = None) -> bool:
+    return check_sat(expr, sorts).is_sat
+
+
+def _skolemize_goal(goal: Expr, sorts: Dict[str, Sort]) -> Expr:
+    """Strip top-level universal quantifiers of a goal into fresh constants."""
+    current = goal
+    while True:
+        if isinstance(current, Forall):
+            mapping = {}
+            for name, sort in current.binders:
+                fresh = f"__skolem_{name}_{next(_SKOLEM_COUNTER)}"
+                sorts[fresh] = sort
+                mapping[name] = Var(fresh, sort)
+            current = substitute(current.body, mapping)
+            continue
+        if isinstance(current, BinOp) and current.op == "&&":
+            return and_(
+                _skolemize_goal(current.lhs, sorts),
+                _skolemize_goal(current.rhs, sorts),
+            )
+        if isinstance(current, BinOp) and current.op == "=>":
+            return BinOp("=>", current.lhs, _skolemize_goal(current.rhs, sorts))
+        return current
+
+
+def is_valid(
+    hypotheses: Iterable[Expr],
+    goal: Expr,
+    sorts: Optional[Dict[str, Sort]] = None,
+    quantifier_rounds: int = 2,
+) -> bool:
+    """Decide ``hypotheses |= goal``.
+
+    Returns ``True`` only when the negation is proved unsatisfiable; unknown
+    answers count as failures so verification stays sound.
+    """
+    sort_env: Dict[str, Sort] = dict(sorts or {})
+    hypothesis_list: List[Expr] = [simplify(h) for h in hypotheses]
+    goal = simplify(goal)
+
+    if has_quantifier(goal):
+        goal = _skolemize_goal(goal, sort_env)
+
+    instantiation_stats: Dict[str, int] = {}
+    query = and_(*hypothesis_list, not_(goal))
+    if has_quantifier(query):
+        # Quantifiers only occur positively (in hypotheses written by the
+        # Prusti-style baseline); instantiating the whole query lets ground
+        # terms from the goal serve as instantiation candidates.
+        query = instantiate(query, rounds=quantifier_rounds, stats=instantiation_stats)
+    _GLOBAL_STATS.quantifier_instantiations += instantiation_stats.get("instantiations", 0)
+
+    answer = check_sat(query, sort_env)
+    return answer.is_unsat

@@ -1,0 +1,256 @@
+"""Bounded quantifier instantiation for the Prusti-style baseline.
+
+The Flux checker never emits quantifiers — that is the point of the paper.
+The Prusti-style baseline, however, expresses container invariants with
+``forall`` assertions (Fig. 11), so its verification conditions mix
+universally quantified hypotheses with a quantifier-free goal.
+
+We handle them the way SMT solvers do in spirit: *instantiate* each
+quantified hypothesis with ground terms drawn from the rest of the formula
+(a crude form of E-matching), then hand the now quantifier-free formula to
+the DPLL(T) core.  The instantiation loop runs a few rounds because
+instantiations can themselves contribute new ground terms.  This is sound for
+proving validity (instantiation weakens hypotheses), mirrors the mechanism
+the paper blames for Prusti's slowness, and its cost is measured by the
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.logic.expr import (
+    App,
+    BinOp,
+    BoolConst,
+    Expr,
+    Forall,
+    IntConst,
+    Ite,
+    KVar,
+    RealConst,
+    UnaryOp,
+    Var,
+    and_,
+)
+from repro.logic.sorts import INT, Sort
+from repro.logic.subst import substitute
+
+
+def has_quantifier(expr: Expr) -> bool:
+    if isinstance(expr, Forall):
+        return True
+    if isinstance(expr, BinOp):
+        return has_quantifier(expr.lhs) or has_quantifier(expr.rhs)
+    if isinstance(expr, UnaryOp):
+        return has_quantifier(expr.operand)
+    if isinstance(expr, Ite):
+        return (
+            has_quantifier(expr.cond)
+            or has_quantifier(expr.then)
+            or has_quantifier(expr.otherwise)
+        )
+    if isinstance(expr, (App, KVar)):
+        return any(has_quantifier(arg) for arg in expr.args)
+    return False
+
+
+def ground_terms(expr: Expr, sort: Sort = INT) -> Set[Expr]:
+    """Collect ground (quantifier-free, variable or constant or application)
+    terms of ``sort`` appearing in ``expr``, used as instantiation candidates."""
+    found: Set[Expr] = set()
+    _collect_terms(expr, sort, found, bound=frozenset())
+    return found
+
+
+def _collect_terms(expr: Expr, sort: Sort, acc: Set[Expr], bound: frozenset) -> None:
+    if isinstance(expr, Var):
+        if expr.sort == sort and expr.name not in bound:
+            acc.add(expr)
+        return
+    if isinstance(expr, IntConst):
+        if sort == INT:
+            acc.add(expr)
+        return
+    if isinstance(expr, (BoolConst, RealConst)):
+        return
+    if isinstance(expr, UnaryOp):
+        _collect_terms(expr.operand, sort, acc, bound)
+        return
+    if isinstance(expr, BinOp):
+        _collect_terms(expr.lhs, sort, acc, bound)
+        _collect_terms(expr.rhs, sort, acc, bound)
+        return
+    if isinstance(expr, Ite):
+        _collect_terms(expr.cond, sort, acc, bound)
+        _collect_terms(expr.then, sort, acc, bound)
+        _collect_terms(expr.otherwise, sort, acc, bound)
+        return
+    if isinstance(expr, (App, KVar)):
+        for arg in expr.args:
+            _collect_terms(arg, sort, acc, bound)
+        if isinstance(expr, App) and expr.sort == sort:
+            # applications over bound variables are not ground
+            acc.add(expr)
+        return
+    if isinstance(expr, Forall):
+        _collect_terms(expr.body, sort, acc, bound | {name for name, _ in expr.binders})
+        return
+
+
+def trigger_terms(expr: Expr) -> Set[Expr]:
+    """Instantiation candidates selected by triggers.
+
+    Rather than every integer-sorted ground term, we use the terms that occur
+    in *index position* of a ``lookup`` application, the lengths that appear
+    in the formula, plain variables, and small integer constants.  This is the
+    moral equivalent of E-matching on the ``lookup``/``len`` triggers and
+    keeps the number of instances manageable while still finding the
+    instantiations the benchmarks need.
+    """
+    candidates: Set[Expr] = set()
+
+    def visit(node: Expr, bound: frozenset) -> None:
+        if isinstance(node, App):
+            if node.func == "lookup" and len(node.args) == 2:
+                index = node.args[1]
+                if not (free_index := _mentions_bound(index, bound)):
+                    candidates.add(index)
+            for arg in node.args:
+                visit(arg, bound)
+            return
+        if isinstance(node, Var):
+            if node.sort == INT and node.name not in bound:
+                candidates.add(node)
+            return
+        if isinstance(node, IntConst):
+            if abs(node.value) <= 4:
+                candidates.add(node)
+            return
+        if isinstance(node, BinOp):
+            visit(node.lhs, bound)
+            visit(node.rhs, bound)
+            return
+        if isinstance(node, UnaryOp):
+            visit(node.operand, bound)
+            return
+        if isinstance(node, Ite):
+            visit(node.cond, bound)
+            visit(node.then, bound)
+            visit(node.otherwise, bound)
+            return
+        if isinstance(node, Forall):
+            visit(node.body, bound | {name for name, _ in node.binders})
+            return
+        if isinstance(node, KVar):
+            for arg in node.args:
+                visit(arg, bound)
+
+    visit(expr, frozenset())
+    return candidates
+
+
+def _mentions_bound(expr: Expr, bound: frozenset) -> bool:
+    from repro.logic.subst import free_vars
+
+    return bool(free_vars(expr) & bound)
+
+
+def instantiate(
+    expr: Expr,
+    rounds: int = 1,
+    max_instances_per_quantifier: int = 40,
+    stats: Optional[Dict[str, int]] = None,
+) -> Expr:
+    """Replace every ``Forall`` in hypothesis position with a conjunction of
+    ground instances.
+
+    The result implies the original only in the direction we need for
+    validity checking of ``hypotheses => goal`` where quantifiers occur in
+    the hypotheses (we weaken the hypotheses); quantified *goals* are left to
+    the caller, which skolemises them first.
+    """
+    current = expr
+    for _ in range(rounds):
+        if not has_quantifier(current):
+            break
+        candidates = sorted(trigger_terms(current), key=str)
+        if not candidates:
+            candidates = sorted(ground_terms(current, INT), key=str)
+        current = _instantiate_once(current, candidates, max_instances_per_quantifier, stats)
+    return _drop_remaining_quantifiers(current)
+
+
+def _instantiate_once(
+    expr: Expr,
+    candidates: List[Expr],
+    limit: int,
+    stats: Optional[Dict[str, int]],
+) -> Expr:
+    if isinstance(expr, Forall):
+        instances: List[Expr] = []
+        names = [name for name, _ in expr.binders]
+        tuples = _tuples(candidates, len(names), limit)
+        for values in tuples:
+            mapping = dict(zip(names, values))
+            instances.append(substitute(expr.body, mapping))
+            if stats is not None:
+                stats["instantiations"] = stats.get("instantiations", 0) + 1
+        if not instances:
+            return BoolConst(True)
+        return and_(*instances)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _instantiate_once(expr.lhs, candidates, limit, stats),
+            _instantiate_once(expr.rhs, candidates, limit, stats),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _instantiate_once(expr.operand, candidates, limit, stats))
+    if isinstance(expr, Ite):
+        return Ite(
+            _instantiate_once(expr.cond, candidates, limit, stats),
+            _instantiate_once(expr.then, candidates, limit, stats),
+            _instantiate_once(expr.otherwise, candidates, limit, stats),
+        )
+    return expr
+
+
+def _tuples(candidates: List[Expr], arity: int, limit: int) -> List[tuple]:
+    if arity == 0:
+        return [()]
+    result: List[tuple] = []
+    stack: List[tuple] = [()]
+    for _ in range(arity):
+        next_stack = []
+        for prefix in stack:
+            for candidate in candidates:
+                next_stack.append(prefix + (candidate,))
+                if len(next_stack) >= limit:
+                    break
+            if len(next_stack) >= limit:
+                break
+        stack = next_stack
+    result = stack[:limit]
+    return result
+
+
+def _drop_remaining_quantifiers(expr: Expr) -> Expr:
+    """Over-approximate leftover quantified hypotheses by ``true``."""
+    if isinstance(expr, Forall):
+        return BoolConst(True)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _drop_remaining_quantifiers(expr.lhs),
+            _drop_remaining_quantifiers(expr.rhs),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _drop_remaining_quantifiers(expr.operand))
+    if isinstance(expr, Ite):
+        return Ite(
+            _drop_remaining_quantifiers(expr.cond),
+            _drop_remaining_quantifiers(expr.then),
+            _drop_remaining_quantifiers(expr.otherwise),
+        )
+    return expr

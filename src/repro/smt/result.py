@@ -1,0 +1,40 @@
+"""Result types shared across the SMT solver layers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Optional
+
+
+class SatResult(enum.Enum):
+    """Three-valued satisfiability answer."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverAnswer:
+    """Answer of a satisfiability query, with an optional model.
+
+    The model maps refinement-variable names to rational values (booleans are
+    encoded as 0/1).  It is only populated for ``SAT`` answers and is used by
+    tests, by counterexample reporting, and by the liquid-fixpoint solver's
+    sanity checks.
+    """
+
+    result: SatResult
+    model: Optional[Dict[str, Fraction]] = None
+    reason: str = ""
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.result is SatResult.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.result is SatResult.UNSAT

@@ -1,0 +1,271 @@
+"""A CDCL SAT solver.
+
+This is the propositional core of the lazy SMT loop.  It implements
+conflict-driven clause learning with:
+
+* occurrence-list unit propagation (every clause containing ``-lit`` is
+  examined when ``lit`` is assigned) — simpler than two-watched literals and
+  entirely adequate for the clause databases produced by refinement type
+  checking, which are small,
+* first-UIP conflict analysis with clause learning,
+* non-chronological backjumping,
+* an exponentially-decayed (VSIDS-style) activity heuristic with phase
+  saving, and
+* a final verification pass over all clauses before a SAT answer is
+  returned.
+
+Literals are encoded as signed integers (DIMACS convention): variable ``v``
+is the positive literal ``v`` and its negation ``-v``.  Variables are
+allocated with :meth:`SatSolver.new_var` and numbered from 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class SatSolver:
+    """Conflict-driven clause learning SAT solver."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: List[List[int]] = []
+        self._occurrences: Dict[int, List[int]] = {}
+        self._assignment: Dict[int, bool] = {}
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._reason: Dict[int, Optional[int]] = {}
+        self._level: Dict[int, int] = {}
+        self._activity: Dict[int, float] = {}
+        self._phase: Dict[int, bool] = {}
+        self._activity_inc = 1.0
+        self._unsat = False
+        self._qhead = 0
+        self.num_conflicts = 0
+        self.num_decisions = 0
+        self.num_propagations = 0
+
+    # -- problem construction ------------------------------------------------
+
+    def new_var(self) -> int:
+        self._num_vars += 1
+        var = self._num_vars
+        self._occurrences.setdefault(var, [])
+        self._occurrences.setdefault(-var, [])
+        self._activity[var] = 0.0
+        self._phase[var] = False
+        return var
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause.  Returns ``False`` if the formula became trivially unsat.
+
+        Clauses may be added between :meth:`solve` calls; this is how the
+        lazy SMT loop injects theory blocking clauses.
+        """
+        lits = sorted(set(literals), key=abs)
+        if any(-lit in lits for lit in lits):
+            return True  # tautology, never useful
+        for lit in lits:
+            if not 1 <= abs(lit) <= self._num_vars:
+                raise ValueError(f"literal {lit} refers to an unallocated variable")
+        if not lits:
+            self._unsat = True
+            return False
+        self._attach(lits)
+        return True
+
+    def _attach(self, lits: List[int]) -> int:
+        index = len(self._clauses)
+        self._clauses.append(lits)
+        for lit in lits:
+            self._occurrences[lit].append(index)
+        return index
+
+    # -- assignment helpers --------------------------------------------------
+
+    def _value(self, lit: int) -> Optional[bool]:
+        var = abs(lit)
+        if var not in self._assignment:
+            return None
+        value = self._assignment[var]
+        return value if lit > 0 else not value
+
+    def _assign(self, lit: int, reason: Optional[int]) -> None:
+        var = abs(lit)
+        self._assignment[var] = lit > 0
+        self._phase[var] = lit > 0
+        self._reason[var] = reason
+        self._level[var] = len(self._trail_lim)
+        self._trail.append(lit)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    # -- propagation ---------------------------------------------------------
+
+    def _propagate(self) -> Optional[int]:
+        """Exhaustive unit propagation.
+
+        Returns the index of a conflicting clause, or ``None`` if the current
+        partial assignment is propagation-consistent.
+        """
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            for clause_index in self._occurrences[-lit]:
+                clause = self._clauses[clause_index]
+                unassigned: Optional[int] = None
+                satisfied = False
+                more_than_one = False
+                for candidate in clause:
+                    value = self._value(candidate)
+                    if value is True:
+                        satisfied = True
+                        break
+                    if value is None:
+                        if unassigned is None:
+                            unassigned = candidate
+                        else:
+                            more_than_one = True
+                            break
+                if satisfied or more_than_one:
+                    continue
+                if unassigned is None:
+                    return clause_index
+                self._assign(unassigned, clause_index)
+                self.num_propagations += 1
+        return None
+
+    # -- conflict analysis ---------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] = self._activity.get(var, 0.0) + self._activity_inc
+        if self._activity[var] > 1e100:
+            for key in self._activity:
+                self._activity[key] *= 1e-100
+            self._activity_inc *= 1e-100
+
+    def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
+        """First-UIP conflict analysis: learned clause and backjump level."""
+        seen: Dict[int, bool] = {}
+        learned: List[int] = []
+        counter = 0
+        clause = list(self._clauses[conflict_index])
+        trail_index = len(self._trail) - 1
+        current_level = self._decision_level()
+        resolve_lit: Optional[int] = None
+
+        while True:
+            for lit in clause:
+                var = abs(lit)
+                if seen.get(var) or self._level.get(var, 0) == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(lit)
+            while True:
+                resolve_lit = self._trail[trail_index]
+                trail_index -= 1
+                if seen.get(abs(resolve_lit)):
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            reason_index = self._reason[abs(resolve_lit)]
+            assert reason_index is not None, "decision literal reached before UIP"
+            clause = [l for l in self._clauses[reason_index] if l != resolve_lit]
+
+        assert resolve_lit is not None
+        learned.insert(0, -resolve_lit)
+        if len(learned) == 1:
+            return learned, 0
+        backjump = max(self._level[abs(l)] for l in learned[1:])
+        return learned, backjump
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in self._trail[limit:]:
+            var = abs(lit)
+            del self._assignment[var]
+            self._reason.pop(var, None)
+            self._level.pop(var, None)
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+
+    # -- search --------------------------------------------------------------
+
+    def _pick_branch_var(self) -> Optional[int]:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self._num_vars + 1):
+            if var in self._assignment:
+                continue
+            activity = self._activity.get(var, 0.0)
+            if activity > best_activity:
+                best_activity = activity
+                best_var = var
+        return best_var
+
+    def _reset_search_state(self) -> None:
+        self._assignment.clear()
+        self._trail.clear()
+        self._trail_lim.clear()
+        self._reason.clear()
+        self._level.clear()
+        self._qhead = 0
+
+    def _model_satisfies_all(self) -> bool:
+        for clause in self._clauses:
+            if not any(self._value(lit) is True for lit in clause):
+                return False
+        return True
+
+    def solve(self, assumptions: Iterable[int] = ()) -> Optional[Dict[int, bool]]:
+        """Search for a satisfying assignment.
+
+        Returns a complete assignment (variable -> bool) or ``None`` if the
+        formula is unsatisfiable under the given assumptions.
+        """
+        if self._unsat:
+            return None
+        self._reset_search_state()
+
+        for lit in assumptions:
+            value = self._value(lit)
+            if value is False:
+                return None
+            if value is None:
+                self._assign(lit, None)
+        if self._propagate() is not None:
+            return None
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.num_conflicts += 1
+                if self._decision_level() == 0:
+                    return None
+                learned, backjump_level = self._analyze(conflict)
+                self._backtrack(backjump_level)
+                index = self._attach(learned)
+                self._assign(learned[0], index)
+                self._activity_inc *= 1.05
+                continue
+            branch_var = self._pick_branch_var()
+            if branch_var is None:
+                assert self._model_satisfies_all(), "internal error: bogus SAT model"
+                return dict(self._assignment)
+            self.num_decisions += 1
+            self._trail_lim.append(len(self._trail))
+            preferred = self._phase.get(branch_var, False)
+            self._assign(branch_var if preferred else -branch_var, None)

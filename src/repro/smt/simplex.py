@@ -1,0 +1,371 @@
+"""Exact simplex for linear real arithmetic feasibility.
+
+This implements the general simplex of Dutertre & de Moura ("A fast
+linear-arithmetic solver for DPLL(T)", CAV 2006) over exact rationals, with
+symbolic infinitesimals (``a + b*delta``) so that strict inequalities are
+handled precisely.
+
+The entry point is :func:`check_constraints`: given a conjunction of linear
+constraints it either returns a rational model or an *explanation* — a subset
+of the input constraint indices that is already infeasible — which the lazy
+SMT loop turns into a small blocking clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class DeltaRational:
+    """A rational number plus an infinitesimal component: ``real + eps * delta``."""
+
+    real: Fraction
+    eps: Fraction = Fraction(0)
+
+    def __add__(self, other: "DeltaRational") -> "DeltaRational":
+        return DeltaRational(self.real + other.real, self.eps + other.eps)
+
+    def __sub__(self, other: "DeltaRational") -> "DeltaRational":
+        return DeltaRational(self.real - other.real, self.eps - other.eps)
+
+    def scale(self, factor: Fraction) -> "DeltaRational":
+        return DeltaRational(self.real * factor, self.eps * factor)
+
+    def __lt__(self, other: "DeltaRational") -> bool:
+        return (self.real, self.eps) < (other.real, other.eps)
+
+    def __le__(self, other: "DeltaRational") -> bool:
+        return (self.real, self.eps) <= (other.real, other.eps)
+
+    def __gt__(self, other: "DeltaRational") -> bool:
+        return (self.real, self.eps) > (other.real, other.eps)
+
+    def __ge__(self, other: "DeltaRational") -> bool:
+        return (self.real, self.eps) >= (other.real, other.eps)
+
+
+ZERO = DeltaRational(Fraction(0))
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``coeffs . x  <op>  bound`` with op in {<=, <, =, >=, >}."""
+
+    coeffs: Dict[str, Fraction]
+    op: str
+    bound: Fraction
+
+    def __post_init__(self) -> None:
+        if self.op not in ("<=", "<", "=", ">=", ">"):
+            raise ValueError(f"bad constraint operator {self.op!r}")
+
+
+@dataclass
+class SimplexResult:
+    satisfiable: bool
+    model: Optional[Dict[str, Fraction]] = None
+    conflict: Optional[Set[int]] = None  # indices into the input constraints
+
+
+class _Bound:
+    __slots__ = ("value", "origin")
+
+    def __init__(self, value: DeltaRational, origin: int) -> None:
+        self.value = value
+        self.origin = origin
+
+
+class Simplex:
+    """General simplex tableau over exact rationals."""
+
+    def __init__(self) -> None:
+        # tableau: basic var -> {nonbasic var: coefficient}
+        self._rows: Dict[str, Dict[str, Fraction]] = {}
+        self._basic: Set[str] = set()
+        self._nonbasic: Set[str] = set()
+        self._lower: Dict[str, _Bound] = {}
+        self._upper: Dict[str, _Bound] = {}
+        self._values: Dict[str, DeltaRational] = {}
+        self._slack_count = 0
+        self.pivots = 0
+
+    # -- construction --------------------------------------------------------
+
+    def _ensure_var(self, name: str) -> None:
+        if name not in self._basic and name not in self._nonbasic:
+            self._nonbasic.add(name)
+            self._values[name] = ZERO
+
+    def add_constraint(self, constraint: Constraint, origin: int) -> Optional[Set[int]]:
+        """Add one constraint.  Returns a conflict explanation if it is
+        immediately inconsistent with existing bounds, otherwise ``None``."""
+        coeffs = {name: coeff for name, coeff in constraint.coeffs.items() if coeff != 0}
+        if not coeffs:
+            # ground constraint: 0 <op> bound
+            value = Fraction(0)
+            if _ground_holds(constraint.op, value, constraint.bound):
+                return None
+            return {origin}
+
+        if len(coeffs) == 1:
+            # simple bound on a single variable: coeff * x <op> bound
+            (name, coeff), = coeffs.items()
+            self._ensure_var(name)
+            return self._assert_scaled_bound(name, coeff, constraint, origin)
+
+        slack = self._fresh_slack()
+        for name in coeffs:
+            self._ensure_var(name)
+        row = {}
+        for name, coeff in coeffs.items():
+            if name in self._basic:
+                # substitute the definition of a basic variable
+                for inner, inner_coeff in self._rows[name].items():
+                    row[inner] = row.get(inner, Fraction(0)) + coeff * inner_coeff
+            else:
+                row[name] = row.get(name, Fraction(0)) + coeff
+        row = {name: coeff for name, coeff in row.items() if coeff != 0}
+        self._rows[slack] = row
+        self._basic.add(slack)
+        self._values[slack] = self._row_value(slack)
+        return self._assert_scaled_bound(slack, Fraction(1), constraint, origin)
+
+    def _fresh_slack(self) -> str:
+        self._slack_count += 1
+        return f"__slack{self._slack_count}"
+
+    def _assert_scaled_bound(
+        self, name: str, coeff: Fraction, constraint: Constraint, origin: int
+    ) -> Optional[Set[int]]:
+        """Assert ``coeff * name <op> bound`` as bounds on ``name``."""
+        op = constraint.op
+        bound = Fraction(constraint.bound)
+        if coeff < 0:
+            op = _flip(op)
+        limit = bound / coeff
+        conflicts: Set[int] = set()
+        if op in ("<=", "<", "="):
+            value = DeltaRational(limit, Fraction(-1) if op == "<" else Fraction(0))
+            conflict = self._assert_upper(name, value, origin)
+            if conflict:
+                conflicts |= conflict
+        if op in (">=", ">", "="):
+            value = DeltaRational(limit, Fraction(1) if op == ">" else Fraction(0))
+            conflict = self._assert_lower(name, value, origin)
+            if conflict:
+                conflicts |= conflict
+        return conflicts or None
+
+    def _assert_upper(self, name: str, value: DeltaRational, origin: int) -> Optional[Set[int]]:
+        current = self._upper.get(name)
+        if current is not None and current.value <= value:
+            return None
+        lower = self._lower.get(name)
+        if lower is not None and value < lower.value:
+            return {origin, lower.origin}
+        self._upper[name] = _Bound(value, origin)
+        if name in self._nonbasic and self._values[name] > value:
+            self._update_nonbasic(name, value)
+        return None
+
+    def _assert_lower(self, name: str, value: DeltaRational, origin: int) -> Optional[Set[int]]:
+        current = self._lower.get(name)
+        if current is not None and current.value >= value:
+            return None
+        upper = self._upper.get(name)
+        if upper is not None and value > upper.value:
+            return {origin, upper.origin}
+        self._lower[name] = _Bound(value, origin)
+        if name in self._nonbasic and self._values[name] < value:
+            self._update_nonbasic(name, value)
+        return None
+
+    # -- value maintenance ---------------------------------------------------
+
+    def _row_value(self, basic: str) -> DeltaRational:
+        total = ZERO
+        for name, coeff in self._rows[basic].items():
+            total = total + self._values[name].scale(coeff)
+        return total
+
+    def _update_nonbasic(self, name: str, value: DeltaRational) -> None:
+        delta = value - self._values[name]
+        self._values[name] = value
+        for basic, row in self._rows.items():
+            coeff = row.get(name)
+            if coeff:
+                self._values[basic] = self._values[basic] + delta.scale(coeff)
+
+    # -- pivoting ------------------------------------------------------------
+
+    def _pivot(self, basic: str, nonbasic: str) -> None:
+        """Swap ``basic`` out of the basis and ``nonbasic`` into it."""
+        row = self._rows.pop(basic)
+        coeff = row[nonbasic]
+        # nonbasic = (basic - sum_{j != nonbasic} a_j x_j) / coeff
+        new_row: Dict[str, Fraction] = {basic: Fraction(1) / coeff}
+        for name, a in row.items():
+            if name != nonbasic:
+                new_row[name] = -a / coeff
+        # substitute into all other rows
+        for other, other_row in self._rows.items():
+            a = other_row.pop(nonbasic, None)
+            if a:
+                for name, b in new_row.items():
+                    other_row[name] = other_row.get(name, Fraction(0)) + a * b
+                    if other_row[name] == 0:
+                        del other_row[name]
+        self._rows[nonbasic] = {k: v for k, v in new_row.items() if v != 0}
+        self._basic.remove(basic)
+        self._basic.add(nonbasic)
+        self._nonbasic.remove(nonbasic)
+        self._nonbasic.add(basic)
+        self.pivots += 1
+
+    def check(self) -> SimplexResult:
+        """Run the simplex check procedure (Bland's rule, hence terminating)."""
+        while True:
+            violated = self._find_violated_basic()
+            if violated is None:
+                return SimplexResult(True, model=self._extract_model())
+            basic, need_increase = violated
+            row = self._rows[basic]
+            pivot_var = self._find_pivot(row, need_increase)
+            if pivot_var is None:
+                return SimplexResult(False, conflict=self._explain(basic, need_increase))
+            target = (
+                self._lower[basic].value if need_increase else self._upper[basic].value
+            )
+            self._pivot_and_update(basic, pivot_var, target)
+
+    def _find_violated_basic(self) -> Optional[Tuple[str, bool]]:
+        for basic in sorted(self._basic):
+            value = self._values[basic]
+            lower = self._lower.get(basic)
+            if lower is not None and value < lower.value:
+                return basic, True
+            upper = self._upper.get(basic)
+            if upper is not None and value > upper.value:
+                return basic, False
+        return None
+
+    def _find_pivot(self, row: Dict[str, Fraction], need_increase: bool) -> Optional[str]:
+        for name in sorted(row):
+            coeff = row[name]
+            if need_increase:
+                can_help = (coeff > 0 and self._can_increase(name)) or (
+                    coeff < 0 and self._can_decrease(name)
+                )
+            else:
+                can_help = (coeff > 0 and self._can_decrease(name)) or (
+                    coeff < 0 and self._can_increase(name)
+                )
+            if can_help:
+                return name
+        return None
+
+    def _can_increase(self, name: str) -> bool:
+        upper = self._upper.get(name)
+        return upper is None or self._values[name] < upper.value
+
+    def _can_decrease(self, name: str) -> bool:
+        lower = self._lower.get(name)
+        return lower is None or self._values[name] > lower.value
+
+    def _pivot_and_update(self, basic: str, nonbasic: str, target: DeltaRational) -> None:
+        coeff = self._rows[basic][nonbasic]
+        delta = (target - self._values[basic]).scale(Fraction(1) / coeff)
+        self._values[basic] = target
+        self._values[nonbasic] = self._values[nonbasic] + delta
+        for other, row in self._rows.items():
+            if other == basic:
+                continue
+            a = row.get(nonbasic)
+            if a:
+                self._values[other] = self._values[other] + delta.scale(a)
+        self._pivot(basic, nonbasic)
+
+    def _explain(self, basic: str, need_increase: bool) -> Set[int]:
+        """Conflict explanation: the bound of the violated basic variable plus
+        the bounds that prevent every nonbasic variable in its row from
+        moving in the helpful direction."""
+        explanation: Set[int] = set()
+        if need_increase:
+            explanation.add(self._lower[basic].origin)
+        else:
+            explanation.add(self._upper[basic].origin)
+        for name, coeff in self._rows[basic].items():
+            helps_by_increasing = (coeff > 0) == need_increase
+            if helps_by_increasing:
+                bound = self._upper.get(name)
+            else:
+                bound = self._lower.get(name)
+            if bound is not None:
+                explanation.add(bound.origin)
+        explanation.discard(-1)
+        return explanation
+
+    def _extract_model(self) -> Dict[str, Fraction]:
+        """Concretise delta-rationals into plain rationals.
+
+        Any positive rational value small enough works for delta; we compute
+        one that keeps all strict inequalities strict.
+        """
+        delta = _concrete_delta(self._values, self._lower, self._upper)
+        model = {}
+        for name, value in self._values.items():
+            if name.startswith("__slack"):
+                continue
+            model[name] = value.real + value.eps * delta
+        return model
+
+
+def _concrete_delta(
+    values: Dict[str, DeltaRational],
+    lowers: Dict[str, _Bound],
+    uppers: Dict[str, _Bound],
+) -> Fraction:
+    delta = Fraction(1)
+    for name, value in values.items():
+        lower = lowers.get(name)
+        if lower is not None:
+            gap_real = value.real - lower.value.real
+            gap_eps = value.eps - lower.value.eps
+            if gap_eps < 0 and gap_real > 0:
+                delta = min(delta, gap_real / (-gap_eps))
+        upper = uppers.get(name)
+        if upper is not None:
+            gap_real = upper.value.real - value.real
+            gap_eps = upper.value.eps - value.eps
+            if gap_eps < 0 and gap_real > 0:
+                delta = min(delta, gap_real / (-gap_eps))
+    return delta / 2 if delta > 0 else Fraction(1, 2)
+
+
+def _flip(op: str) -> str:
+    return {"<=": ">=", "<": ">", ">=": "<=", ">": "<", "=": "="}[op]
+
+
+def _ground_holds(op: str, value: Fraction, bound: Fraction) -> bool:
+    if op == "<=":
+        return value <= bound
+    if op == "<":
+        return value < bound
+    if op == ">=":
+        return value >= bound
+    if op == ">":
+        return value > bound
+    return value == bound
+
+
+def check_constraints(constraints: Sequence[Constraint]) -> SimplexResult:
+    """Check feasibility of a conjunction of linear constraints over the rationals."""
+    simplex = Simplex()
+    for index, constraint in enumerate(constraints):
+        conflict = simplex.add_constraint(constraint, index)
+        if conflict:
+            return SimplexResult(False, conflict=conflict)
+    return simplex.check()

@@ -1,0 +1,385 @@
+"""Lazy DPLL(T) solver for quantifier-free formulas.
+
+Pipeline (:func:`solve_formula`):
+
+1. *Preprocessing* — if-then-else lifting, Ackermann expansion of
+   uninterpreted function applications, elimination of numeric equalities and
+   disequalities into inequalities, boolean-equality normalisation.
+2. *Propositional abstraction* — every linear-arithmetic atom becomes a SAT
+   variable; the boolean skeleton is Tseitin-encoded into the CDCL core.
+3. *Lazy theory loop* — each propositional model is checked for
+   theory-consistency with the LIA solver; conflicts come back as small
+   explanations which become blocking clauses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.logic.expr import (
+    App,
+    BinOp,
+    BoolConst,
+    CMP_OPS,
+    Expr,
+    FALSE,
+    Forall,
+    IntConst,
+    Ite,
+    KVar,
+    RealConst,
+    TRUE,
+    UnaryOp,
+    Var,
+    and_,
+    eq,
+    implies,
+    not_,
+    or_,
+)
+from repro.logic.simplify import simplify
+from repro.logic.sorts import BOOL, INT, REAL, Sort
+from repro.logic.subst import free_vars
+from repro.smt import cnf
+from repro.smt.atoms import AtomError, LinearAtom, normalize_comparison
+from repro.smt.lia import check_lia
+from repro.smt.result import SatResult, SolverAnswer
+from repro.smt.sat import SatSolver
+from repro.smt.simplex import Constraint
+
+
+class SmtError(Exception):
+    """Raised when a formula falls outside the supported fragment."""
+
+
+def _split_eq(lhs: Expr, rhs: Expr) -> Expr:
+    """Numeric equality as a conjunction of inequalities (equality-atom free)."""
+    return and_(BinOp("<=", lhs, rhs), BinOp(">=", lhs, rhs))
+
+
+@dataclass
+class _Preprocessor:
+    """Rewrites a formula into the skeleton-over-linear-atoms fragment."""
+
+    sorts: Dict[str, Sort]
+    side_conditions: List[Expr] = field(default_factory=list)
+    _fresh: int = 0
+    _app_cache: Dict[Expr, Var] = field(default_factory=dict)
+    _apps_seen: List[Tuple[App, Var]] = field(default_factory=list)
+
+    def fresh_var(self, sort: Sort, hint: str) -> Var:
+        self._fresh += 1
+        name = f"__{hint}{self._fresh}"
+        self.sorts[name] = sort
+        return Var(name, sort)
+
+    # -- entry point ----------------------------------------------------------
+
+    def run(self, expr: Expr) -> Expr:
+        parts = [self.rewrite_bool(expr)]
+        # If-then-else definitions are produced in the surface syntax, so they
+        # must themselves be rewritten; rewriting them may produce further
+        # side conditions, hence the loop.  Ackermann axioms are emitted last,
+        # already in the equality-free form, once every application is known.
+        while self.side_conditions:
+            batch, self.side_conditions = self.side_conditions, []
+            for condition in batch:
+                parts.append(self.rewrite_bool(condition))
+        parts.extend(self._ackermann_axioms())
+        return and_(*parts)
+
+    # -- boolean layer ---------------------------------------------------------
+
+    def rewrite_bool(self, expr: Expr) -> Expr:
+        if isinstance(expr, BoolConst):
+            return expr
+        if isinstance(expr, Var):
+            if self.sorts.get(expr.name, expr.sort) != BOOL:
+                raise SmtError(f"variable {expr.name} used as a formula but is not bool-sorted")
+            return expr
+        if isinstance(expr, KVar):
+            raise SmtError(
+                f"unsolved Horn variable ${expr.name} reached the SMT solver; "
+                "liquid inference must substitute a solution first"
+            )
+        if isinstance(expr, Forall):
+            raise SmtError(
+                "quantified formula reached the quantifier-free solver; "
+                "use repro.smt.quant to instantiate it first"
+            )
+        if isinstance(expr, UnaryOp) and expr.op == "!":
+            return not_(self.rewrite_bool(expr.operand))
+        if isinstance(expr, Ite):
+            return or_(
+                and_(self.rewrite_bool(expr.cond), self.rewrite_bool(expr.then)),
+                and_(not_(self.rewrite_bool(expr.cond)), self.rewrite_bool(expr.otherwise)),
+            )
+        if isinstance(expr, App):
+            if expr.sort != BOOL:
+                raise SmtError(f"non-boolean application {expr} used as a formula")
+            return self._name_app(expr)
+        if isinstance(expr, BinOp):
+            if expr.op in ("&&", "||", "=>", "<=>"):
+                lhs = self.rewrite_bool(expr.lhs)
+                rhs = self.rewrite_bool(expr.rhs)
+                return BinOp(expr.op, lhs, rhs)
+            if expr.op in CMP_OPS:
+                return self._rewrite_comparison(expr)
+        raise SmtError(f"cannot interpret {expr} as a formula")
+
+    def _rewrite_comparison(self, expr: BinOp) -> Expr:
+        lhs_sort = self._term_sort(expr.lhs)
+        rhs_sort = self._term_sort(expr.rhs)
+        if BOOL in (lhs_sort, rhs_sort):
+            lhs = self.rewrite_bool(expr.lhs)
+            rhs = self.rewrite_bool(expr.rhs)
+            if expr.op == "=":
+                return BinOp("<=>", lhs, rhs)
+            if expr.op == "!=":
+                return not_(BinOp("<=>", lhs, rhs))
+            raise SmtError(f"ordering comparison on booleans: {expr}")
+        lhs = self.rewrite_term(expr.lhs)
+        rhs = self.rewrite_term(expr.rhs)
+        if expr.op == "=":
+            return and_(BinOp("<=", lhs, rhs), BinOp(">=", lhs, rhs))
+        if expr.op == "!=":
+            return or_(BinOp("<", lhs, rhs), BinOp(">", lhs, rhs))
+        return BinOp(expr.op, lhs, rhs)
+
+    # -- term layer -------------------------------------------------------------
+
+    def rewrite_term(self, expr: Expr) -> Expr:
+        if isinstance(expr, (Var, IntConst, RealConst)):
+            return expr
+        if isinstance(expr, BoolConst):
+            return IntConst(1 if expr.value else 0)
+        if isinstance(expr, App):
+            return self._name_app(expr)
+        if isinstance(expr, UnaryOp) and expr.op == "-":
+            return UnaryOp("-", self.rewrite_term(expr.operand))
+        if isinstance(expr, BinOp):
+            return BinOp(expr.op, self.rewrite_term(expr.lhs), self.rewrite_term(expr.rhs))
+        if isinstance(expr, Ite):
+            cond = self.rewrite_bool(expr.cond)
+            then = self.rewrite_term(expr.then)
+            otherwise = self.rewrite_term(expr.otherwise)
+            result = self.fresh_var(self._term_sort(expr.then), "ite")
+            self.side_conditions.append(implies(cond, eq(result, then)))
+            self.side_conditions.append(implies(not_(cond), eq(result, otherwise)))
+            return result
+        raise SmtError(f"cannot interpret {expr} as a numeric term")
+
+    def _term_sort(self, expr: Expr) -> Sort:
+        if isinstance(expr, Var):
+            return self.sorts.get(expr.name, expr.sort)
+        if isinstance(expr, IntConst):
+            return INT
+        if isinstance(expr, RealConst):
+            return REAL
+        if isinstance(expr, BoolConst):
+            return BOOL
+        if isinstance(expr, App):
+            return expr.sort
+        if isinstance(expr, UnaryOp):
+            return BOOL if expr.op == "!" else self._term_sort(expr.operand)
+        if isinstance(expr, Ite):
+            return self._term_sort(expr.then)
+        if isinstance(expr, BinOp):
+            if expr.op in CMP_OPS or expr.op in ("&&", "||", "=>", "<=>"):
+                return BOOL
+            return self._term_sort(expr.lhs)
+        if isinstance(expr, (KVar, Forall)):
+            return BOOL
+        raise SmtError(f"cannot determine the sort of {expr}")
+
+    # -- Ackermann expansion -----------------------------------------------------
+
+    def _name_app(self, app: App) -> Var:
+        rewritten_args = tuple(self.rewrite_term(arg) for arg in app.args)
+        normalised = App(app.func, rewritten_args, app.sort)
+        cached = self._app_cache.get(normalised)
+        if cached is not None:
+            return cached
+        result = self.fresh_var(app.sort, f"app_{app.func}_")
+        self._app_cache[normalised] = result
+        self._apps_seen.append((normalised, result))
+        return result
+
+    def _ackermann_axioms(self) -> List[Expr]:
+        axioms: List[Expr] = []
+        for (app_a, var_a), (app_b, var_b) in itertools.combinations(self._apps_seen, 2):
+            if app_a.func != app_b.func or len(app_a.args) != len(app_b.args):
+                continue
+            args_equal = and_(*[_split_eq(x, y) for x, y in zip(app_a.args, app_b.args)])
+            if app_a.sort == BOOL:
+                axioms.append(implies(args_equal, BinOp("<=>", var_a, var_b)))
+            else:
+                axioms.append(implies(args_equal, _split_eq(var_a, var_b)))
+        return axioms
+
+
+@dataclass
+class _Atomizer:
+    """Maps theory atoms and boolean variables to SAT variables."""
+
+    solver: SatSolver
+    sorts: Dict[str, Sort]
+    atom_of_var: Dict[int, LinearAtom] = field(default_factory=dict)
+    bool_var_of_name: Dict[str, int] = field(default_factory=dict)
+    _atom_cache: Dict[LinearAtom, int] = field(default_factory=dict)
+
+    def skeleton(self, expr: Expr):
+        if isinstance(expr, BoolConst):
+            return cnf.const(expr.value)
+        if isinstance(expr, Var):
+            return cnf.lit(self._bool_var(expr.name))
+        if isinstance(expr, UnaryOp) and expr.op == "!":
+            return cnf.not_(self.skeleton(expr.operand))
+        if isinstance(expr, BinOp):
+            if expr.op == "&&":
+                return cnf.and_(self.skeleton(expr.lhs), self.skeleton(expr.rhs))
+            if expr.op == "||":
+                return cnf.or_(self.skeleton(expr.lhs), self.skeleton(expr.rhs))
+            if expr.op == "=>":
+                return cnf.or_(cnf.not_(self.skeleton(expr.lhs)), self.skeleton(expr.rhs))
+            if expr.op == "<=>":
+                lhs, rhs = self.skeleton(expr.lhs), self.skeleton(expr.rhs)
+                return cnf.and_(
+                    cnf.or_(cnf.not_(lhs), rhs),
+                    cnf.or_(lhs, cnf.not_(rhs)),
+                )
+            if expr.op in CMP_OPS:
+                return cnf.lit(self._atom_var(expr))
+        raise SmtError(f"unexpected formula node after preprocessing: {expr}")
+
+    def _bool_var(self, name: str) -> int:
+        var = self.bool_var_of_name.get(name)
+        if var is None:
+            var = self.solver.new_var()
+            self.bool_var_of_name[name] = var
+        return var
+
+    def _atom_var(self, expr: BinOp) -> int:
+        atom = normalize_comparison(expr.op, expr.lhs, expr.rhs, self.sorts)
+        var = self._atom_cache.get(atom)
+        if var is None:
+            var = self.solver.new_var()
+            self._atom_cache[atom] = var
+            self.atom_of_var[var] = atom
+        return var
+
+
+def _negate_atom(atom: LinearAtom) -> LinearAtom:
+    """Negation of ``term <= 0`` / ``term < 0`` as a linear atom."""
+    negated_term = atom.term.scale(Fraction(-1))
+    if atom.op == "<=":
+        # not (t <= 0)  <=>  t > 0  <=>  -t < 0
+        if atom.all_int:
+            from repro.smt.atoms import LinTerm
+
+            tightened = LinTerm(negated_term.coeffs, negated_term.const + 1)
+            return LinearAtom(tightened, "<=", True)
+        return LinearAtom(negated_term, "<", atom.all_int)
+    if atom.op == "<":
+        # not (t < 0)  <=>  t >= 0  <=>  -t <= 0
+        return LinearAtom(negated_term, "<=", atom.all_int)
+    raise SmtError(f"cannot negate equality atom {atom} (should have been eliminated)")
+
+
+def _atom_to_constraint(atom: LinearAtom) -> Constraint:
+    return Constraint(atom.term.coeff_map(), atom.op, -atom.term.const)
+
+
+def solve_formula(
+    expr: Expr,
+    sorts: Optional[Dict[str, Sort]] = None,
+    max_theory_rounds: int = 5000,
+) -> SolverAnswer:
+    """Check satisfiability of a quantifier-free formula."""
+    import sys
+
+    if sys.getrecursionlimit() < 100000:
+        # Instantiated baseline queries can nest conjunctions deeply; the
+        # recursive preprocessing passes need head-room.
+        sys.setrecursionlimit(100000)
+    sort_env: Dict[str, Sort] = dict(sorts or {})
+    for name in free_vars(expr):
+        sort_env.setdefault(name, INT)
+
+    preprocessor = _Preprocessor(sorts=sort_env)
+    try:
+        prepared = simplify(preprocessor.run(expr))
+    except AtomError as error:
+        raise SmtError(str(error)) from error
+
+    if prepared == TRUE:
+        return SolverAnswer(SatResult.SAT, model={})
+    if prepared == FALSE:
+        return SolverAnswer(SatResult.UNSAT)
+
+    sat = SatSolver()
+    atomizer = _Atomizer(solver=sat, sorts=sort_env)
+    try:
+        skeleton = atomizer.skeleton(prepared)
+    except AtomError as error:
+        raise SmtError(str(error)) from error
+    cnf.add_formula(sat, skeleton)
+
+    int_vars = {name for name, sort in sort_env.items() if sort in (INT, BOOL)}
+    stats = {"theory_rounds": 0, "sat_conflicts": 0}
+
+    for _ in range(max_theory_rounds):
+        assignment = sat.solve()
+        stats["sat_conflicts"] = sat.num_conflicts
+        if assignment is None:
+            return SolverAnswer(SatResult.UNSAT, stats=stats)
+        stats["theory_rounds"] += 1
+
+        constraints: List[Constraint] = []
+        constraint_literal: List[int] = []
+        for var, atom in atomizer.atom_of_var.items():
+            value = assignment.get(var)
+            if value is None:
+                continue
+            chosen = atom if value else _negate_atom(atom)
+            constraints.append(_atom_to_constraint(chosen))
+            constraint_literal.append(var if value else -var)
+
+        if not constraints:
+            model = _model_from_assignment(assignment, atomizer, {})
+            return SolverAnswer(SatResult.SAT, model=model, stats=stats)
+
+        lia_result = check_lia(constraints, int_vars)
+        if lia_result.status == "sat":
+            model = _model_from_assignment(assignment, atomizer, lia_result.model or {})
+            return SolverAnswer(SatResult.SAT, model=model, stats=stats)
+        if lia_result.status == "unknown":
+            return SolverAnswer(
+                SatResult.UNKNOWN, reason="integer branch-and-bound budget exhausted", stats=stats
+            )
+        conflict_indices = lia_result.conflict or set(range(len(constraints)))
+        blocking = [-constraint_literal[index] for index in sorted(conflict_indices)]
+        if not sat.add_clause(blocking):
+            return SolverAnswer(SatResult.UNSAT, stats=stats)
+
+    return SolverAnswer(
+        SatResult.UNKNOWN, reason="theory-refinement round budget exhausted", stats=stats
+    )
+
+
+def _model_from_assignment(
+    assignment: Dict[int, bool],
+    atomizer: _Atomizer,
+    theory_model: Dict[str, Fraction],
+) -> Dict[str, Fraction]:
+    model: Dict[str, Fraction] = {}
+    for name, value in theory_model.items():
+        if not name.startswith("__"):
+            model[name] = value
+    for name, var in atomizer.bool_var_of_name.items():
+        if not name.startswith("__"):
+            model[name] = Fraction(1 if assignment.get(var, False) else 0)
+    return model

@@ -1,0 +1,165 @@
+"""Tests for the Flux signature and Prusti spec parsers."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.lang.parser import ParseError
+from repro.lang.specs import (
+    BindIndex,
+    SurfBase,
+    SurfRef,
+    SurfUnit,
+    parse_flux_sig,
+    parse_refined_by,
+    parse_spec_expr,
+    parse_variant_sig,
+)
+from repro.logic import BOOL, INT, App, BinOp, Forall, IntConst, Var, pretty
+from repro.logic.expr import Forall as ForallExpr
+
+
+def sig_tokens(source: str):
+    """Extract the raw attribute tokens the parser would capture."""
+    program = parse_program(source + "\nfn dummy() { }")
+    return program.functions[0].attrs[0].tokens
+
+
+class TestFluxSig:
+    def test_is_pos_signature(self):
+        sig = parse_flux_sig(
+            sig_tokens("#[flux::sig(fn(i32[@n]) -> bool[n > 0])]\nfn is_pos(n: i32) -> bool { true }")
+        )
+        assert len(sig.params) == 1
+        param_ty = sig.params[0].ty
+        assert isinstance(param_ty, SurfBase)
+        assert param_ty.name == "i32"
+        assert isinstance(param_ty.indices[0], BindIndex)
+        assert param_ty.indices[0].name == "n"
+        ret = sig.ret
+        assert ret.name == "bool"
+        assert pretty(ret.indices[0]) == "n > 0"
+
+    def test_existential_return(self):
+        sig = parse_flux_sig(["fn", "(", "i32", "[", "@", "x", "]", ")", "->",
+                              "i32", "{", "v", ":", "v", ">=", "x", "}"])
+        ret = sig.ret
+        assert ret.exists_binder == "v"
+        assert pretty(ret.exists_pred) == "v >= x"
+
+    def test_nat_alias(self):
+        sig = parse_flux_sig(["fn", "(", "&", "mut", "nat", ")"])
+        param = sig.params[0].ty
+        assert isinstance(param, SurfRef)
+        assert param.kind == "mut"
+        assert param.inner.name == "i32"
+        assert pretty(param.inner.exists_pred) == "v >= 0"
+
+    def test_strong_reference_with_ensures(self):
+        tokens = ["fn", "(", "x", ":", "&", "strg", "i32", "[", "@", "n", "]", ")",
+                  "ensures", "*", "x", ":", "i32", "[", "n", "+", "1", "]"]
+        sig = parse_flux_sig(tokens)
+        assert sig.params[0].name == "x"
+        assert sig.params[0].ty.kind == "strg"
+        assert sig.ensures[0][0] == "x"
+        assert pretty(sig.ensures[0][1].indices[0]) == "n + 1"
+
+    def test_vector_signature(self):
+        tokens = ["fn", "(", "self", ":", "&", "strg", "RVec", "<", "T", ">", "[", "@", "n", "]",
+                  ",", "value", ":", "T", ")", "ensures", "*", "self", ":",
+                  "RVec", "<", "T", ">", "[", "n", "+", "1", "]"]
+        sig = parse_flux_sig(tokens)
+        self_ty = sig.params[0].ty
+        assert self_ty.kind == "strg"
+        assert self_ty.inner.name == "RVec"
+        assert self_ty.inner.args[0].name == "T"
+
+    def test_nested_generic_indexed(self):
+        # fn(usize[@n], &mut RVec<RVec<f32>[n]>[@k], &RVec<f32>[k])
+        tokens = ["fn", "(", "usize", "[", "@", "n", "]", ",",
+                  "&", "mut", "RVec", "<", "RVec", "<", "f32", ">", "[", "n", "]", ">", "[", "@", "k", "]",
+                  ",", "&", "RVec", "<", "f32", ">", "[", "k", "]", ")"]
+        sig = parse_flux_sig(tokens)
+        assert len(sig.params) == 3
+        middle = sig.params[1].ty
+        assert middle.kind == "mut"
+        assert middle.inner.name == "RVec"
+        inner_vec = middle.inner.args[0]
+        assert inner_vec.name == "RVec"
+        assert pretty(inner_vec.indices[0]) == "n"
+        assert isinstance(middle.inner.indices[0], BindIndex)
+
+    def test_multiple_indices(self):
+        tokens = ["fn", "(", "&", "RMat", "<", "f32", ">", "[", "@", "m", ",", "@", "n", "]", ")",
+                  "->", "f32"]
+        sig = parse_flux_sig(tokens)
+        mat = sig.params[0].ty.inner
+        assert len(mat.indices) == 2
+
+    def test_unit_return(self):
+        sig = parse_flux_sig(["fn", "(", "bool", ")", "->", "(", ")"])
+        assert isinstance(sig.ret, SurfUnit)
+
+
+class TestRefinedByAndVariants:
+    def test_refined_by(self):
+        entries = parse_refined_by(["len", ":", "int"])
+        assert entries == ((("len", INT))[0:1] + (INT,),) or entries[0][0] == "len"
+        assert entries[0][1] == INT
+
+    def test_refined_by_multiple(self):
+        entries = parse_refined_by(["rows", ":", "int", ",", "cols", ":", "int"])
+        assert [name for name, _ in entries] == ["rows", "cols"]
+
+    def test_refined_by_bad_sort(self):
+        with pytest.raises(ParseError):
+            parse_refined_by(["len", ":", "string"])
+
+    def test_nil_variant(self):
+        sig = parse_variant_sig(["List", "<", "T", ">", "[", "0", "]"])
+        assert sig.fields == ()
+        assert sig.ret.name == "List"
+        assert sig.ret.indices[0] == IntConst(0)
+
+    def test_cons_variant(self):
+        tokens = ["(", "T", ",", "Box", "<", "List", "<", "T", ">", "[", "@", "n", "]", ">", ")",
+                  "->", "List", "<", "T", ">", "[", "n", "+", "1", "]"]
+        sig = parse_variant_sig(tokens)
+        assert len(sig.fields) == 2
+        assert sig.fields[1].name == "Box"
+        assert pretty(sig.ret.indices[0]) == "n + 1"
+
+
+class TestPrustiSpecs:
+    def test_simple_requires(self):
+        expr = parse_spec_expr(["idx", "<", "self", ".", "len", "(", ")"])
+        assert isinstance(expr, BinOp)
+        assert isinstance(expr.rhs, App)
+        assert expr.rhs.func == "len"
+
+    def test_old_expression(self):
+        expr = parse_spec_expr(["self", ".", "len", "(", ")", "==", "old", "(",
+                                "self", ".", "len", "(", ")", ")"])
+        assert expr.op == "="
+        assert expr.rhs.func == "old"
+
+    def test_forall_spec(self):
+        tokens = ["forall", "(", "|", "i", ":", "usize", "|",
+                  "i", "<", "n", "==", ">", "v", ".", "lookup", "(", "i", ")", "<", "m", ")"]
+        expr = parse_spec_expr(tokens)
+        assert isinstance(expr, ForallExpr)
+        assert expr.binders[0][0] == "i"
+        body = expr.body
+        assert body.op == "=>"
+
+    def test_implication_arrow(self):
+        expr = parse_spec_expr(["a", ">", "0", "==", ">", "b", ">", "0"])
+        assert expr.op == "=>"
+
+    def test_conjunction_of_bounds(self):
+        expr = parse_spec_expr(["i0", "<=", "i1", "&&", "i1", "<=", "n"])
+        assert expr.op == "&&"
+
+    def test_lookup_application(self):
+        expr = parse_spec_expr(["t", ".", "lookup", "(", "x", ")", "<", "i"])
+        assert expr.lhs.func == "lookup"
+        assert expr.lhs.args[0] == Var("t")

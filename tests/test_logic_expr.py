@@ -1,0 +1,238 @@
+"""Unit tests for the refinement logic expression layer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import (
+    BOOL,
+    FALSE,
+    INT,
+    TRUE,
+    BinOp,
+    BoolConst,
+    Forall,
+    IntConst,
+    KVar,
+    UnaryOp,
+    Var,
+    add,
+    and_,
+    eq,
+    free_vars,
+    ge,
+    gt,
+    iff,
+    implies,
+    kvars_of,
+    le,
+    lt,
+    mul,
+    ne,
+    not_,
+    or_,
+    pretty,
+    rename,
+    simplify,
+    sub,
+    substitute,
+)
+from repro.logic.expr import App, Ite, conjuncts_of, sort_of
+from repro.logic.sorts import FuncSort, LOC, REAL, sort_from_name
+
+
+class TestSmartConstructors:
+    def test_and_flattens_true(self):
+        x = Var("x")
+        assert and_(TRUE, gt(x, 0), TRUE) == gt(x, 0)
+
+    def test_and_short_circuits_false(self):
+        assert and_(gt(Var("x"), 0), FALSE) == FALSE
+
+    def test_and_empty_is_true(self):
+        assert and_() == TRUE
+
+    def test_or_flattens_false(self):
+        x = Var("x")
+        assert or_(FALSE, gt(x, 0)) == gt(x, 0)
+
+    def test_or_short_circuits_true(self):
+        assert or_(gt(Var("x"), 0), TRUE) == TRUE
+
+    def test_or_empty_is_false(self):
+        assert or_() == FALSE
+
+    def test_not_involution(self):
+        p = gt(Var("x"), 0)
+        assert not_(not_(p)) == p
+
+    def test_not_constants(self):
+        assert not_(TRUE) == FALSE
+        assert not_(FALSE) == TRUE
+
+    def test_implies_true_antecedent(self):
+        q = gt(Var("x"), 0)
+        assert implies(TRUE, q) == q
+
+    def test_implies_false_antecedent(self):
+        assert implies(FALSE, gt(Var("x"), 0)) == TRUE
+
+    def test_int_coercion(self):
+        assert eq(Var("x"), 3) == BinOp("=", Var("x"), IntConst(3))
+
+    def test_bool_coercion(self):
+        assert and_(True, Var("b", BOOL)) == Var("b", BOOL)
+
+    def test_add_folds_constants(self):
+        assert add(2, 3) == IntConst(5)
+
+    def test_add_zero_identity(self):
+        assert add(Var("x"), 0) == Var("x")
+        assert add(0, Var("x")) == Var("x")
+
+    def test_sub_folds_constants(self):
+        assert sub(5, 3) == IntConst(2)
+
+    def test_mul_identity_and_fold(self):
+        assert mul(1, Var("x")) == Var("x")
+        assert mul(4, 5) == IntConst(20)
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("^^", Var("x"), Var("y"))
+
+    def test_bad_unary_rejected(self):
+        with pytest.raises(ValueError):
+            UnaryOp("~", Var("x"))
+
+
+class TestSorts:
+    def test_sort_lookup(self):
+        assert sort_from_name("int") == INT
+        assert sort_from_name("bool") == BOOL
+        assert sort_from_name("loc") == LOC
+
+    def test_unknown_sort(self):
+        with pytest.raises(KeyError):
+            sort_from_name("string")
+
+    def test_func_sort_str(self):
+        fs = FuncSort((INT, INT), BOOL)
+        assert "->" in str(fs)
+
+    def test_sort_of(self):
+        assert sort_of(IntConst(3)) == INT
+        assert sort_of(gt(Var("x"), 1)) == BOOL
+        assert sort_of(add(Var("x"), 1)) == INT
+        assert sort_of(Var("b", BOOL)) == BOOL
+        assert sort_of(KVar("k", (Var("x"),))) == BOOL
+        assert sort_of(App("len", (Var("v"),), INT)) == INT
+
+
+class TestSubstitution:
+    def test_simple_substitution(self):
+        expr = gt(Var("x"), Var("y"))
+        result = substitute(expr, {"x": IntConst(5)})
+        assert result == gt(IntConst(5), Var("y"))
+
+    def test_substitution_in_kvar_args(self):
+        expr = KVar("k0", (Var("a"), add(Var("b"), 1)))
+        result = substitute(expr, {"a": IntConst(7)})
+        assert result == KVar("k0", (IntConst(7), add(Var("b"), 1)))
+
+    def test_forall_shadowing(self):
+        body = gt(Var("i"), Var("n"))
+        expr = Forall((("i", INT),), body)
+        result = substitute(expr, {"i": IntConst(0), "n": IntConst(10)})
+        assert result == Forall((("i", INT),), gt(Var("i"), IntConst(10)))
+
+    def test_empty_substitution_is_identity(self):
+        expr = gt(Var("x"), 0)
+        assert substitute(expr, {}) is expr
+
+    def test_rename(self):
+        expr = and_(gt(Var("x"), 0), lt(Var("x"), Var("y")))
+        renamed = rename(expr, {"x": "z"})
+        assert "x" not in free_vars(renamed)
+        assert {"z", "y"} <= free_vars(renamed)
+
+
+class TestFreeVars:
+    def test_free_vars_basic(self):
+        expr = and_(gt(Var("x"), 0), lt(Var("y"), Var("z")))
+        assert free_vars(expr) == {"x", "y", "z"}
+
+    def test_free_vars_forall(self):
+        expr = Forall((("i", INT),), gt(Var("i"), Var("n")))
+        assert free_vars(expr) == {"n"}
+
+    def test_free_vars_app(self):
+        expr = eq(App("lookup", (Var("v"), Var("i")), INT), Var("x"))
+        assert free_vars(expr) == {"v", "i", "x"}
+
+    def test_kvars_of(self):
+        expr = implies(KVar("k1", (Var("a"),)), KVar("k2", (Var("a"), Var("b"))))
+        assert kvars_of(expr) == {"k1", "k2"}
+
+    def test_kvars_of_none(self):
+        assert kvars_of(gt(Var("x"), 0)) == frozenset()
+
+
+class TestSimplify:
+    def test_constant_arith(self):
+        assert simplify(add(IntConst(2), mul(IntConst(3), IntConst(4)))) == IntConst(14)
+
+    def test_constant_comparison(self):
+        assert simplify(gt(IntConst(5), IntConst(3))) == TRUE
+        assert simplify(lt(IntConst(5), IntConst(3))) == FALSE
+
+    def test_reflexive_comparison(self):
+        x = Var("x")
+        assert simplify(le(x, x)) == TRUE
+        assert simplify(ne(x, x)) == FALSE
+
+    def test_and_with_false(self):
+        assert simplify(and_(gt(Var("x"), 0), BinOp("&&", TRUE, FALSE))) == FALSE
+
+    def test_implication_with_true_consequent(self):
+        assert simplify(implies(gt(Var("x"), 0), BinOp("<=", IntConst(0), IntConst(0)))) == TRUE
+
+    def test_ite_folding(self):
+        expr = Ite(TRUE, IntConst(1), IntConst(2))
+        assert simplify(expr) == IntConst(1)
+
+    def test_double_negation(self):
+        p = gt(Var("x"), 0)
+        assert simplify(not_(not_(p))) == p
+
+    def test_mul_by_zero(self):
+        assert simplify(mul(Var("x"), IntConst(0))) == IntConst(0)
+
+    def test_iff_reflexive(self):
+        p = gt(Var("x"), 0)
+        assert simplify(iff(p, p)) == TRUE
+
+
+class TestPretty:
+    def test_flat_comparison(self):
+        assert pretty(ge(Var("v"), 0)) == "v >= 0"
+
+    def test_precedence_drops_parens(self):
+        expr = and_(ge(Var("v"), 0), ge(Var("v"), Var("x")))
+        assert pretty(expr) == "v >= 0 && v >= x"
+
+    def test_arith_in_comparison(self):
+        expr = eq(Var("v"), add(Var("n"), 1))
+        assert pretty(expr) == "v = n + 1"
+
+    def test_kvar(self):
+        assert pretty(KVar("k0", (Var("a"),))) == "$k0(a)"
+
+    def test_forall(self):
+        expr = Forall((("i", INT),), implies(lt(Var("i"), Var("n")), gt(Var("i"), -1)))
+        text = pretty(expr)
+        assert text.startswith("forall i: int")
+
+    def test_conjuncts_of(self):
+        expr = and_(gt(Var("x"), 0), gt(Var("y"), 0), gt(Var("z"), 0))
+        assert len(list(conjuncts_of(expr))) == 3

@@ -1,0 +1,229 @@
+"""Tests for MIR lowering and Rust-level type inference."""
+
+import pytest
+
+from repro.lang import ast, parse_program
+from repro.mir import (
+    Body,
+    CallTerm,
+    Goto,
+    ReturnTerm,
+    SwitchBool,
+    SwitchVariant,
+    infer_types,
+    lower_function,
+)
+from repro.mir.typeinfer import ProgramTypes, TypeError_
+
+
+def lower(source: str, name: str = None) -> Body:
+    program = parse_program(source)
+    fn = program.function(name) if name else program.functions[0]
+    return lower_function(fn)
+
+
+def lower_and_infer(source: str, name: str = None):
+    program = parse_program(source)
+    fn = program.function(name) if name else program.functions[0]
+    body = lower_function(fn)
+    types = infer_types(body, ProgramTypes.from_program(program))
+    return body, types
+
+
+class TestLowering:
+    def test_straight_line(self):
+        body = lower("fn f(x: i32) -> i32 { let y = x + 1; y }")
+        assert len(body.blocks) == 1
+        assert isinstance(body.blocks[0].terminator, ReturnTerm)
+
+    def test_if_produces_join(self):
+        body = lower("fn f(z: bool) -> i32 { if z { 1 } else { 2 } }")
+        assert any(isinstance(b.terminator, SwitchBool) for b in body.blocks)
+        preds = body.predecessors()
+        join_blocks = [b for b, ps in preds.items() if len(ps) == 2]
+        assert join_blocks
+
+    def test_while_creates_loop_head(self):
+        body = lower(
+            "fn f(n: usize) { let mut i = 0; while i < n { i += 1; } }"
+        )
+        heads = [b for b in body.blocks if b.is_loop_head]
+        assert len(heads) == 1
+        assert heads[0].block_id in body.loop_heads()
+
+    def test_loop_head_collects_invariants(self):
+        body = lower(
+            "fn f(n: usize) { let mut i = 0; while i < n { body_invariant!(i <= n); i += 1; } }"
+        )
+        head = next(b for b in body.blocks if b.is_loop_head)
+        assert head.invariants
+
+    def test_call_becomes_terminator(self):
+        body = lower("fn f() -> usize { let v = RVec::new(); v.len() }")
+        calls = [b.terminator for b in body.blocks if isinstance(b.terminator, CallTerm)]
+        assert len(calls) == 2
+        assert calls[0].func == "RVec::new"
+        assert calls[1].func == "method:len"
+
+    def test_deref_assignment(self):
+        body = lower("fn f(x: &mut i32) { *x = 1; }")
+        statement = body.blocks[0].statements[0]
+        assert statement.place.projections == (("deref",),)
+
+    def test_return_statement(self):
+        body = lower("fn f(x: i32) -> i32 { return x; }")
+        assert isinstance(body.blocks[0].terminator, ReturnTerm)
+
+    def test_match_lowering(self):
+        source = """
+        enum Shape { Circle(i32), Square(i32) }
+        fn area(s: Shape) -> i32 {
+            match s {
+                Shape::Circle(r) => r * r * 3,
+                Shape::Square(w) => w * w,
+            }
+        }
+        """
+        body = lower(source, "area")
+        switches = [b.terminator for b in body.blocks if isinstance(b.terminator, SwitchVariant)]
+        assert len(switches) == 1
+        assert {arm[0] for arm in switches[0].arms} == {"Circle", "Square"}
+
+    def test_reverse_postorder_starts_at_entry(self):
+        body = lower("fn f(z: bool) -> i32 { if z { 1 } else { 2 } }")
+        rpo = body.reverse_postorder()
+        assert rpo[0] == Body.ENTRY
+
+    def test_nested_loops(self):
+        source = """
+        fn f(n: usize) {
+            let mut i = 0;
+            while i < n {
+                let mut j = 0;
+                while j < n {
+                    j += 1;
+                }
+                i += 1;
+            }
+        }
+        """
+        body = lower(source)
+        assert len(body.loop_heads()) == 2
+
+
+class TestTypeInference:
+    def test_simple_locals(self):
+        _, types = lower_and_infer("fn f(x: i32) -> i32 { let y = x + 1; y }")
+        assert types["y"] == ast.TyName("i32")
+
+    def test_counter_adopts_usize(self):
+        source = """
+        fn f(v: &RVec<i32>) -> usize {
+            let mut i = 0;
+            while i < v.len() {
+                i += 1;
+            }
+            i
+        }
+        """
+        _, types = lower_and_infer(source)
+        assert types["i"] == ast.TyName("usize")
+
+    def test_vector_element_inference(self):
+        source = """
+        fn f() -> RVec<f32> {
+            let mut v = RVec::new();
+            v.push(0.5);
+            v
+        }
+        """
+        body, types = lower_and_infer(source)
+        assert types["v"] == ast.TyName("RVec", (ast.TyName("f32"),))
+        resolved = [t.func for b in body.blocks for t in [b.terminator] if isinstance(t, CallTerm)]
+        assert "RVec::push" in resolved
+
+    def test_method_resolution_on_reference(self):
+        source = """
+        fn f(v: &mut RVec<i32>, i: usize) -> i32 {
+            let p = v.get_mut(i);
+            *p
+        }
+        """
+        body, types = lower_and_infer(source)
+        assert types["p"] == ast.TyRef(True, ast.TyName("i32"))
+
+    def test_user_function_call(self):
+        source = """
+        fn helper(x: i32) -> bool { x > 0 }
+        fn f(y: i32) -> bool { helper(y) }
+        """
+        _, types = lower_and_infer(source, "f")
+        assert types["__ret"] == ast.TyName("bool")
+
+    def test_user_method_resolution(self):
+        source = """
+        struct Counter { value: i32 }
+        impl Counter {
+            fn get(&self) -> i32 { self.value }
+        }
+        fn f(c: &Counter) -> i32 { c.get() }
+        """
+        body, types = lower_and_infer(source, "f")
+        calls = [b.terminator for b in body.blocks if isinstance(b.terminator, CallTerm)]
+        assert calls[0].func == "Counter::get"
+
+    def test_struct_field_access(self):
+        source = """
+        struct Point { x: i32, y: i32 }
+        fn f(p: &Point) -> i32 { p.x }
+        """
+        _, types = lower_and_infer(source, "f")
+        assert types["__ret"] == ast.TyName("i32")
+
+    def test_enum_constructor_types(self):
+        source = """
+        enum List<T> { Nil, Cons(T, Box<List<T>>) }
+        fn f() -> List<i32> {
+            List::Cons(1, Box::new(List::Nil))
+        }
+        """
+        _, types = lower_and_infer(source, "f")
+        ret = types["__ret"]
+        assert isinstance(ret, ast.TyName) and ret.name == "List"
+
+    def test_match_bindings_behind_reference(self):
+        source = """
+        enum List<T> { Nil, Cons(T, Box<List<T>>) }
+        impl<T> List<T> {
+            fn is_empty(&self) -> bool {
+                match self {
+                    List::Nil => true,
+                    List::Cons(_, _) => false,
+                }
+            }
+        }
+        """
+        _, types = lower_and_infer(source, "List::is_empty")
+        assert types["__ret"] == ast.TyName("bool")
+
+    def test_unknown_method_raises(self):
+        source = "fn f(v: &RVec<i32>) { v.frobnicate(); }"
+        with pytest.raises(TypeError_):
+            lower_and_infer(source)
+
+    def test_unknown_function_raises(self):
+        source = "fn f() { missing(); }"
+        with pytest.raises(TypeError_):
+            lower_and_infer(source)
+
+    def test_swap_generic_instantiation(self):
+        source = """
+        fn use_swap() -> i32 {
+            let mut x = 0;
+            let mut y = 1;
+            swap(&mut x, &mut y);
+            x
+        }
+        """
+        _, types = lower_and_infer(source)
+        assert types["x"] in (ast.TyName("i32"),)

@@ -1,0 +1,216 @@
+"""Tests for the Prusti-style program-logic baseline."""
+
+import pytest
+
+from repro.prusti import verify_source_prusti
+
+
+def assert_prusti_ok(source: str, **kwargs):
+    result = verify_source_prusti(source, **kwargs)
+    assert result.ok, [
+        (fn.name, fn.failed) for fn in result.functions if not fn.ok
+    ]
+    return result
+
+
+def assert_prusti_fails(source: str, **kwargs):
+    result = verify_source_prusti(source, **kwargs)
+    assert not result.ok
+    return result
+
+
+class TestContracts:
+    def test_simple_postcondition(self):
+        source = """
+        #[ensures(result >= x)]
+        #[ensures(result >= 0)]
+        fn abs(x: i32) -> i32 {
+            if x < 0 { -x } else { x }
+        }
+        """
+        assert_prusti_ok(source)
+
+    def test_wrong_postcondition(self):
+        source = """
+        #[ensures(result > x)]
+        fn identity(x: i32) -> i32 { x }
+        """
+        assert_prusti_fails(source)
+
+    def test_precondition_used(self):
+        source = """
+        #[requires(x > 0)]
+        #[ensures(result > 1)]
+        fn inc(x: i32) -> i32 { x + 1 }
+        """
+        assert_prusti_ok(source)
+
+    def test_callee_contract_used(self):
+        source = """
+        #[requires(x >= 0)]
+        #[ensures(result >= 1)]
+        fn bump(x: i32) -> i32 { x + 1 }
+
+        #[ensures(result >= 1)]
+        fn caller() -> i32 { bump(3) }
+        """
+        assert_prusti_ok(source)
+
+    def test_callee_precondition_checked(self):
+        source = """
+        #[requires(x >= 0)]
+        #[ensures(result >= 1)]
+        fn bump(x: i32) -> i32 { x + 1 }
+
+        fn caller() -> i32 { bump(-3) }
+        """
+        result = verify_source_prusti(source)
+        assert not result.function("caller").ok
+
+
+class TestVectors:
+    def test_in_bounds_access(self):
+        source = """
+        #[requires(v.len() > 0)]
+        fn first(v: &RVec<i32>) -> i32 {
+            v.lookup(0)
+        }
+        """
+        assert_prusti_ok(source)
+
+    def test_out_of_bounds_detected(self):
+        source = """
+        fn first(v: &RVec<i32>) -> i32 {
+            v.lookup(0)
+        }
+        """
+        assert_prusti_fails(source)
+
+    def test_push_axioms(self):
+        source = """
+        #[ensures(result.len() == 2)]
+        fn two() -> RVec<i32> {
+            let mut v = RVec::new();
+            v.push(1);
+            v.push(2);
+            v
+        }
+        """
+        assert_prusti_ok(source)
+
+    def test_store_frame_axiom(self):
+        source = """
+        #[requires(v.len() > 1)]
+        #[ensures(v.lookup(0) == old(v.lookup(0)))]
+        #[ensures(v.lookup(1) == 5)]
+        fn set_second(v: &mut RVec<i32>) {
+            v.store(1, 5);
+        }
+        """
+        assert_prusti_ok(source)
+
+    def test_loop_with_invariant(self):
+        source = """
+        #[requires(n >= 0)]
+        #[ensures(result.len() == n)]
+        fn init_zeros(n: usize) -> RVec<i32> {
+            let mut vec = RVec::new();
+            let mut i = 0;
+            while i < n {
+                body_invariant!(i <= n);
+                body_invariant!(vec.len() == i);
+                vec.push(0);
+                i += 1;
+            }
+            vec
+        }
+        """
+        assert_prusti_ok(source)
+
+    def test_loop_without_invariant_fails(self):
+        # Without the body_invariant! annotations the baseline cannot relate
+        # the loop counter to the vector length: exactly the annotation burden
+        # §5.4 describes.
+        source = """
+        #[requires(n >= 0)]
+        #[ensures(result.len() == n)]
+        fn init_zeros(n: usize) -> RVec<i32> {
+            let mut vec = RVec::new();
+            let mut i = 0;
+            while i < n {
+                vec.push(0);
+                i += 1;
+            }
+            vec
+        }
+        """
+        assert_prusti_fails(source)
+
+    def test_quantified_invariant(self):
+        source = """
+        #[requires(n >= 0)]
+        #[ensures(forall(|k: usize| (0 <= k && k < n) ==> result.lookup(k) >= 0))]
+        fn positives(n: usize) -> RVec<i32> {
+            let mut vec = RVec::new();
+            let mut i = 0;
+            while i < n {
+                body_invariant!(i <= n);
+                body_invariant!(vec.len() == i);
+                body_invariant!(forall(|k: usize| (0 <= k && k < vec.len()) ==> vec.lookup(k) >= 0));
+                vec.push(1);
+                i += 1;
+            }
+            vec
+        }
+        """
+        assert_prusti_ok(source)
+
+    def test_bounds_inside_loop_via_invariant(self):
+        source = """
+        #[requires(v.len() > 0)]
+        fn sum(v: &RVec<i32>) -> i32 {
+            let mut total = 0;
+            let mut i = 0;
+            while i < v.len() {
+                body_invariant!(i <= v.len());
+                total = total + v.lookup(i);
+                i += 1;
+            }
+            total
+        }
+        """
+        assert_prusti_ok(source)
+
+    def test_swap_axioms(self):
+        source = """
+        #[requires(v.len() > 1)]
+        #[ensures(v.len() == old(v.len()))]
+        fn flip(v: &mut RVec<i32>) {
+            v.swap(0, 1);
+        }
+        """
+        assert_prusti_ok(source)
+
+
+class TestMetrics:
+    def test_spec_and_invariant_counting(self):
+        source = """
+        #[requires(n >= 0)]
+        #[ensures(result.len() == n)]
+        fn init(n: usize) -> RVec<i32> {
+            let mut v = RVec::new();
+            let mut i = 0;
+            while i < n {
+                body_invariant!(i <= n);
+                body_invariant!(v.len() == i);
+                v.push(0);
+                i += 1;
+            }
+            v
+        }
+        """
+        result = verify_source_prusti(source)
+        fn = result.function("init")
+        assert fn.spec_lines == 2
+        assert fn.invariant_lines == 2
+        assert fn.num_obligations >= 3

@@ -1,0 +1,173 @@
+"""Unit tests for the CDCL SAT core."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smt.sat import SatSolver
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {i + 1: bits[i] for i in range(num_vars)}
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        solver = SatSolver()
+        assert solver.solve() == {}
+
+    def test_single_unit_clause(self):
+        solver = SatSolver()
+        v = solver.new_var()
+        solver.add_clause([v])
+        model = solver.solve()
+        assert model == {v: True}
+
+    def test_conflicting_units(self):
+        solver = SatSolver()
+        v = solver.new_var()
+        solver.add_clause([v])
+        solver.add_clause([-v])
+        assert solver.solve() is None
+
+    def test_empty_clause_is_unsat(self):
+        solver = SatSolver()
+        solver.new_var()
+        assert solver.add_clause([]) is False
+        assert solver.solve() is None
+
+    def test_tautology_ignored(self):
+        solver = SatSolver()
+        v = solver.new_var()
+        assert solver.add_clause([v, -v]) is True
+        assert solver.solve() is not None
+
+    def test_unknown_variable_rejected(self):
+        solver = SatSolver()
+        with pytest.raises(ValueError):
+            solver.add_clause([1])
+
+    def test_simple_implication_chain(self):
+        solver = SatSolver()
+        a, b, c = solver.new_var(), solver.new_var(), solver.new_var()
+        solver.add_clause([a])
+        solver.add_clause([-a, b])
+        solver.add_clause([-b, c])
+        model = solver.solve()
+        assert model[a] and model[b] and model[c]
+
+    def test_pigeonhole_2_in_1_unsat(self):
+        # two pigeons, one hole
+        solver = SatSolver()
+        p1, p2 = solver.new_var(), solver.new_var()
+        solver.add_clause([p1])
+        solver.add_clause([p2])
+        solver.add_clause([-p1, -p2])
+        assert solver.solve() is None
+
+    def test_model_satisfies_clauses(self):
+        solver = SatSolver()
+        variables = [solver.new_var() for _ in range(4)]
+        clauses = [
+            [variables[0], variables[1]],
+            [-variables[0], variables[2]],
+            [-variables[1], -variables[2], variables[3]],
+            [-variables[3], variables[0]],
+        ]
+        for clause in clauses:
+            solver.add_clause(clause)
+        model = solver.solve()
+        assert model is not None
+        for clause in clauses:
+            assert any(model[abs(lit)] == (lit > 0) for lit in clause)
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([-a, b])
+        model = solver.solve(assumptions=[a])
+        assert model[a] is True and model[b] is True
+
+    def test_contradictory_assumptions(self):
+        solver = SatSolver()
+        a = solver.new_var()
+        assert solver.solve(assumptions=[a, -a]) is None
+
+    def test_assumption_conflicts_with_clause(self):
+        solver = SatSolver()
+        a = solver.new_var()
+        solver.add_clause([-a])
+        assert solver.solve(assumptions=[a]) is None
+
+    def test_resolvable_without_assumption(self):
+        solver = SatSolver()
+        a = solver.new_var()
+        solver.add_clause([-a])
+        model = solver.solve()
+        assert model[a] is False
+
+
+class TestIncremental:
+    def test_clause_added_between_solves(self):
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        assert solver.solve() is not None
+        solver.add_clause([-a])
+        solver.add_clause([-b])
+        assert solver.solve() is None
+
+    def test_blocking_clause_enumeration(self):
+        solver = SatSolver()
+        variables = [solver.new_var() for _ in range(3)]
+        solver.add_clause(variables)  # at least one true
+        models = []
+        while True:
+            model = solver.solve()
+            if model is None:
+                break
+            models.append(tuple(model[v] for v in variables))
+            solver.add_clause([-v if model[v] else v for v in variables])
+        assert len(set(models)) == 7  # all assignments except all-false
+
+
+class TestRandomAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_3sat(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 8)
+        num_clauses = rng.randint(3, 25)
+        clauses = []
+        for _ in range(num_clauses):
+            size = rng.randint(1, 3)
+            clause = []
+            for _ in range(size):
+                var = rng.randint(1, num_vars)
+                clause.append(var if rng.random() < 0.5 else -var)
+            clauses.append(clause)
+        expected = brute_force_sat(num_vars, clauses)
+
+        solver = SatSolver()
+        for _ in range(num_vars):
+            solver.new_var()
+        trivially_unsat = False
+        for clause in clauses:
+            if not solver.add_clause(clause):
+                trivially_unsat = True
+        model = None if trivially_unsat else solver.solve()
+        assert (model is not None) == expected
+        if model is not None:
+            for clause in clauses:
+                if any(-lit in clause for lit in clause):
+                    continue  # tautologies are dropped by the solver
+                assert any(model[abs(lit)] == (lit > 0) for lit in clause)
