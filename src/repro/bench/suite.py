@@ -22,6 +22,8 @@ class SideMetrics:
     time: float = 0.0
     verified: bool = False
     failures: Tuple[str, ...] = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -64,9 +66,36 @@ class BenchmarkCase:
 
     # -- running ------------------------------------------------------------------
 
-    def run_flux(self) -> SideMetrics:
+    def run_flux(self, session: Optional["VerifySession"] = None) -> SideMetrics:
+        """Run the Flux side; with a ``session``, go through ``repro.service``
+        so repeated runs hit the per-function result cache and the metrics
+        report hit/miss counts."""
         started = time.perf_counter()
-        result = verify_source(self.program.flux_source, only=self.program.flux_functions)
+        cache_hits = cache_misses = 0
+        if session is not None:
+            from repro.service import VerifyJob, verify_job
+
+            report = verify_job(
+                VerifyJob(
+                    source=self.program.flux_source,
+                    name=self.name,
+                    only=tuple(self.program.flux_functions),
+                ),
+                session,
+            )
+            if report.error is not None:
+                from repro.core import FluxError
+
+                # Same exception type as the session-less path would raise.
+                if report.exception is not None:
+                    raise report.exception
+                raise FluxError(report.error)
+            result = report.result
+            cache_hits, cache_misses = report.cache_hits, report.cache_misses
+        else:
+            result = verify_source(
+                self.program.flux_source, only=self.program.flux_functions
+            )
         elapsed = time.perf_counter() - started
         failures = tuple(str(d) for d in result.diagnostics)
         return SideMetrics(
@@ -76,6 +105,8 @@ class BenchmarkCase:
             time=elapsed,
             verified=result.ok,
             failures=failures,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
 
     def run_prusti(self) -> SideMetrics:

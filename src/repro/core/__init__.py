@@ -21,6 +21,7 @@ Layout:
 from repro.core.pipeline import (
     FunctionResult,
     VerificationResult,
+    merge_programs,
     verify_program,
     verify_source,
 )
@@ -29,6 +30,7 @@ from repro.core.errors import FluxError
 __all__ = [
     "FunctionResult",
     "VerificationResult",
+    "merge_programs",
     "verify_program",
     "verify_source",
     "FluxError",

@@ -399,6 +399,125 @@ class GlobalEnv:
             return unrefined(base), False
         raise FluxError(f"cannot elaborate surface type {surf!r}")
 
+    # -- dependency extraction ----------------------------------------------------------
+
+    def function_dependencies(self, fn: ast.FnDef) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """Names a function's verification depends on: ``(callees, adts)``.
+
+        Verification is modular — checking ``fn`` consults only the
+        *signatures* of its callees and the refined definitions of the ADTs it
+        mentions, never callee bodies.  These name sets are what the service
+        cache keys hash: a function result stays valid as long as the
+        function's own text and every named interface are unchanged.
+
+        Method calls are resolved conservatively: ``x.len()`` depends on every
+        registered ``Path::len`` signature, since the receiver type is only
+        known after type inference.
+        """
+        callees: set = set()
+        adts: set = set()
+        methods: set = set()
+
+        def visit_type(ty: ast.Type) -> None:
+            if isinstance(ty, ast.TyRef):
+                visit_type(ty.inner)
+            elif isinstance(ty, ast.TyName):
+                if ty.name in self.adts:
+                    adts.add(ty.name)
+                for arg in ty.args:
+                    visit_type(arg)
+
+        def visit_expr(expr: Optional[ast.Expr]) -> None:
+            if expr is None:
+                return
+            if isinstance(expr, ast.CallExpr):
+                callees.add(expr.func)
+                owner = expr.func.split("::", 1)[0]
+                if "::" in expr.func and owner in self.adts:
+                    adts.add(owner)
+                for arg in expr.args:
+                    visit_expr(arg)
+            elif isinstance(expr, ast.MethodCallExpr):
+                methods.add(expr.method)
+                visit_expr(expr.receiver)
+                for arg in expr.args:
+                    visit_expr(arg)
+            elif isinstance(expr, ast.FieldExpr):
+                visit_expr(expr.receiver)
+            elif isinstance(expr, (ast.UnaryExpr,)):
+                visit_expr(expr.operand)
+            elif isinstance(expr, ast.BinaryExpr):
+                visit_expr(expr.lhs)
+                visit_expr(expr.rhs)
+            elif isinstance(expr, ast.BorrowExpr):
+                visit_expr(expr.place)
+            elif isinstance(expr, ast.DerefExpr):
+                visit_expr(expr.place)
+            elif isinstance(expr, ast.StructLit):
+                if expr.name in self.adts:
+                    adts.add(expr.name)
+                for _, value in expr.fields:
+                    visit_expr(value)
+            elif isinstance(expr, ast.IfExpr):
+                visit_expr(expr.cond)
+                visit_block(expr.then_block)
+                if expr.else_block is not None:
+                    visit_block(expr.else_block)
+            elif isinstance(expr, ast.MatchExpr):
+                visit_expr(expr.scrutinee)
+                for arm in expr.arms:
+                    owner = arm.variant.split("::", 1)[0]
+                    if owner in self.adts:
+                        adts.add(owner)
+                    visit_block(arm.body)
+            elif isinstance(expr, ast.BlockExpr):
+                visit_block(expr.block)
+            elif isinstance(expr, ast.CastExpr):
+                visit_expr(expr.operand)
+                visit_type(expr.target)
+
+        def visit_block(block: ast.Block) -> None:
+            for stmt in block.stmts:
+                if isinstance(stmt, ast.LetStmt):
+                    if stmt.ty is not None:
+                        visit_type(stmt.ty)
+                    visit_expr(stmt.init)
+                elif isinstance(stmt, ast.AssignStmt):
+                    visit_expr(stmt.place)
+                    visit_expr(stmt.value)
+                elif isinstance(stmt, ast.ExprStmt):
+                    visit_expr(stmt.expr)
+                elif isinstance(stmt, ast.WhileStmt):
+                    visit_expr(stmt.cond)
+                    visit_block(stmt.body)
+                elif isinstance(stmt, ast.ReturnStmt):
+                    visit_expr(stmt.value)
+            visit_expr(block.tail)
+
+        for param in fn.params:
+            visit_type(param.ty)
+        visit_type(fn.ret)
+        if fn.body is not None:
+            visit_block(fn.body)
+        # Refinement signatures mention ADTs by name inside raw attribute
+        # tokens (e.g. ``RVec<T>[@n]``); scan those tokens too.
+        for attr in fn.attrs:
+            for token in attr.tokens:
+                if token in self.adts:
+                    adts.add(token)
+        for method in methods:
+            suffix = f"::{method}"
+            for name in self.signatures:
+                if name.endswith(suffix):
+                    callees.add(name)
+                    owner = name.split("::", 1)[0]
+                    if owner in self.adts:
+                        adts.add(owner)
+            if method in self.signatures:
+                callees.add(method)
+        callees.discard(fn.name)
+        return tuple(sorted(callees)), tuple(sorted(adts))
+
     # -- queries -----------------------------------------------------------------------
 
     def signature(self, name: str) -> FluxSignature:

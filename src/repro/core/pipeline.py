@@ -25,7 +25,7 @@ from repro.fixpoint.constraint import c_conj
 from repro.core.checker import Checker
 from repro.core.errors import Diagnostic, FluxError
 from repro.core.genv import GlobalEnv
-from repro.smt import get_stats, reset_stats
+from repro.smt import SmtContext, use_context
 
 
 @dataclass
@@ -48,6 +48,7 @@ class VerificationResult:
 
     functions: List[FunctionResult] = field(default_factory=list)
     time: float = 0.0
+    _index: Dict[str, int] = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -57,11 +58,28 @@ class VerificationResult:
     def diagnostics(self) -> List[Diagnostic]:
         return [diag for fn in self.functions for diag in fn.diagnostics]
 
+    def add(self, result: FunctionResult) -> None:
+        # First match wins on duplicate names (a body-less declaration plus
+        # its definition), matching the old linear scan.
+        self._index.setdefault(result.name, len(self.functions))
+        self.functions.append(result)
+
     def function(self, name: str) -> FunctionResult:
-        for fn in self.functions:
-            if fn.name == name:
-                return fn
-        raise KeyError(f"no verification result for {name!r}")
+        # The index is only a cache: callers may mutate ``functions``
+        # directly, so validate the indexed slot and rebuild on any mismatch.
+        position = self._index.get(name)
+        if (
+            position is None
+            or position >= len(self.functions)
+            or self.functions[position].name != name
+        ):
+            self._index = {}
+            for i, fn in enumerate(self.functions):
+                self._index.setdefault(fn.name, i)
+            position = self._index.get(name)
+            if position is None:
+                raise KeyError(f"no verification result for {name!r}")
+        return self.functions[position]
 
     def summary(self) -> str:
         lines = []
@@ -85,16 +103,51 @@ def verify_source(
     whose signatures should be in scope; library functions are verified too
     unless marked ``#[flux::trusted]``.
     """
-    programs = [parse_program(text) for text in (*extra_sources, source)]
-    merged = ast.Program(
+    merged = merge_programs([parse_program(text) for text in (*extra_sources, source)])
+    return verify_program(merged, only=only)
+
+
+def merge_programs(programs: Sequence[ast.Program]) -> ast.Program:
+    """Concatenate parsed programs, rejecting duplicate function definitions.
+
+    Duplicates used to shadow silently (the last registration won in the
+    global environment while every copy was verified), which produced
+    confusing diagnostics; make it a hard error instead.  Body-less
+    extern/trusted *declarations* don't count — declaring a function in one
+    source and defining it in a library source stays legal.
+    """
+    seen: Dict[str, int] = {}
+    for program in programs:
+        for fn in program.functions:
+            if fn.body is None:
+                continue
+            seen[fn.name] = seen.get(fn.name, 0) + 1
+    duplicates = sorted(name for name, count in seen.items() if count > 1)
+    if duplicates:
+        raise FluxError(f"duplicate function definition(s): {', '.join(duplicates)}")
+    return ast.Program(
         functions=tuple(fn for program in programs for fn in program.functions),
         structs=tuple(struct for program in programs for struct in program.structs),
         enums=tuple(enum for program in programs for enum in program.enums),
     )
-    return verify_program(merged, only=only)
 
 
-def verify_program(program: ast.Program, only: Optional[Sequence[str]] = None) -> VerificationResult:
+def definition_map(program: ast.Program) -> Dict[str, ast.FnDef]:
+    """Name → definition, preferring a bodied definition over a body-less
+    declaration of the same name regardless of source order."""
+    fns: Dict[str, ast.FnDef] = {}
+    for fn in program.functions:
+        current = fns.get(fn.name)
+        if current is None or (current.body is None and fn.body is not None):
+            fns[fn.name] = fn
+    return fns
+
+
+def verify_program(
+    program: ast.Program,
+    only: Optional[Sequence[str]] = None,
+    session: Optional[SmtContext] = None,
+) -> VerificationResult:
     started = time.perf_counter()
     genv = GlobalEnv()
     genv.register_program(program)
@@ -106,16 +159,35 @@ def verify_program(program: ast.Program, only: Optional[Sequence[str]] = None) -
             continue
         signature = genv.signature(fn.name)
         if signature.trusted or fn.body is None:
-            result.functions.append(
-                FunctionResult(name=fn.name, ok=True, trusted=True)
-            )
+            result.add(FunctionResult(name=fn.name, ok=True, trusted=True))
             continue
-        result.functions.append(_verify_function(fn, genv, rust_context))
+        result.add(_verify_function(fn, genv, rust_context, session=session))
     result.time = time.perf_counter() - started
     return result
 
 
-def _verify_function(fn: ast.FnDef, genv: GlobalEnv, rust_context: ProgramTypes) -> FunctionResult:
+def _verify_function(
+    fn: ast.FnDef,
+    genv: GlobalEnv,
+    rust_context: ProgramTypes,
+    session: Optional[SmtContext] = None,
+) -> FunctionResult:
+    """Verify one function, optionally under an explicit SMT context.
+
+    Module-level (and with picklable arguments) so the service scheduler can
+    ship it to worker processes.
+    """
+    if session is None:
+        # Run under whatever context is already active (default or one a
+        # caller installed with ``use_context``).
+        return _verify_function_in_context(fn, genv, rust_context)
+    with use_context(session):
+        return _verify_function_in_context(fn, genv, rust_context)
+
+
+def _verify_function_in_context(
+    fn: ast.FnDef, genv: GlobalEnv, rust_context: ProgramTypes
+) -> FunctionResult:
     started = time.perf_counter()
     name = fn.name
     try:

@@ -1,0 +1,40 @@
+"""The verification service: incremental, cacheable, parallel runs.
+
+``repro.core.verify_source`` re-checks every function from scratch on every
+call; this package is the production entry point layered on top of it:
+
+* :mod:`repro.service.session` — :class:`VerifySession`, owning per-run SMT
+  state and the result cache (no shared globals, hence safe concurrency);
+* :mod:`repro.service.cache` — a content-addressed per-function result cache
+  (in-memory and on-disk JSON) keyed by the function's AST and the interfaces
+  it depends on;
+* :mod:`repro.service.scheduler` — callee-first scheduling onto a process
+  pool with a serial fallback and deterministic output;
+* :mod:`repro.service.api` — batch jobs in, structured JSON reports out;
+* :mod:`repro.service.cli` — ``python -m repro``.
+"""
+
+from repro.service.api import (
+    FunctionReport,
+    JobReport,
+    ServiceReport,
+    VerifyJob,
+    verify_job,
+    verify_jobs,
+    verify_source,
+)
+from repro.service.cache import ResultCache, function_key
+from repro.service.session import VerifySession
+
+__all__ = [
+    "FunctionReport",
+    "JobReport",
+    "ServiceReport",
+    "VerifyJob",
+    "VerifySession",
+    "ResultCache",
+    "function_key",
+    "verify_job",
+    "verify_jobs",
+    "verify_source",
+]

@@ -1,0 +1,255 @@
+"""Batch verification API — the recommended entry point.
+
+Wraps :mod:`repro.core.pipeline` with sessions, the per-function result
+cache, and the parallel scheduler.  Each :class:`VerifyJob` is one program
+(a source plus optional library sources); :func:`verify_jobs` runs many of
+them against a shared :class:`VerifySession` and returns a structured
+:class:`ServiceReport` that serialises to JSON for the CLI and for clients.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import FluxError
+from repro.core.genv import GlobalEnv
+from repro.core.pipeline import (
+    FunctionResult,
+    VerificationResult,
+    merge_programs,
+)
+from repro.lang import LexError, ParseError, parse_program
+from repro.mir.typeinfer import ProgramTypes
+from repro.service.cache import KeyTables, function_key
+from repro.service.scheduler import verify_functions
+from repro.service.session import VerifySession
+
+
+@dataclass(frozen=True)
+class VerifyJob:
+    """One verification request: a program and what to check in it."""
+
+    source: str
+    name: str = "job"
+    extra_sources: Tuple[str, ...] = ()
+    only: Optional[Tuple[str, ...]] = None
+
+
+@dataclass
+class FunctionReport:
+    name: str
+    status: str  # "ok" | "error" | "trusted"
+    cached: bool
+    time: float
+    smt_queries: int
+    num_constraints: int
+    num_kvars: int
+    diagnostics: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "cached": self.cached,
+            "time": round(self.time, 6),
+            "smt_queries": self.smt_queries,
+            "num_constraints": self.num_constraints,
+            "num_kvars": self.num_kvars,
+            "diagnostics": list(self.diagnostics),
+        }
+
+
+@dataclass
+class JobReport:
+    name: str
+    ok: bool
+    time: float
+    cache_hits: int
+    cache_misses: int
+    functions: List[FunctionReport] = field(default_factory=list)
+    error: Optional[str] = None  # parse/merge failure, before any checking
+    exception: Optional[Exception] = None  # the original error, not serialised
+    result: Optional[VerificationResult] = None  # full result, not serialised
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "ok": self.ok,
+            "time": round(self.time, 6),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "functions": [fn.to_dict() for fn in self.functions],
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+@dataclass
+class ServiceReport:
+    jobs: List[JobReport] = field(default_factory=list)
+    time: float = 0.0
+    smt: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(job.ok for job in self.jobs)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(job.cache_hits for job in self.jobs)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(job.cache_misses for job in self.jobs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "time": round(self.time, 6),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "smt": self.smt,
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+
+
+def _function_status(result: FunctionResult) -> str:
+    if result.trusted:
+        return "trusted"
+    return "ok" if result.ok else "error"
+
+
+def verify_job(job: VerifyJob, session: VerifySession) -> JobReport:
+    """Verify one job against a session, using its cache and scheduler."""
+    started = time.perf_counter()
+    hits_before = session.cache.hits
+    misses_before = session.cache.misses
+    try:
+        program = merge_programs(
+            [parse_program(text) for text in (*job.extra_sources, job.source)]
+        )
+        genv = GlobalEnv()
+        genv.register_program(program)
+        rust_context = ProgramTypes.from_program(program)
+    except (FluxError, ParseError, LexError) as error:
+        return JobReport(
+            name=job.name,
+            ok=False,
+            time=time.perf_counter() - started,
+            cache_hits=0,
+            cache_misses=0,
+            error=str(error),
+            exception=error,
+        )
+
+    # Split targets into trusted, cache hits, and work for the scheduler.
+    ordered: List[Tuple[str, Optional[FunctionResult], bool]] = []  # (name, result, cached)
+    keys: Dict[str, str] = {}
+    callee_deps: Dict[str, Tuple[str, ...]] = {}
+    pending: List[str] = []
+    tables = KeyTables(program, genv) if session.cache.enabled else None
+    for fn in program.functions:
+        if job.only is not None and fn.name not in job.only:
+            continue
+        signature = genv.signature(fn.name)
+        if signature.trusted or fn.body is None:
+            ordered.append((fn.name, FunctionResult(name=fn.name, ok=True, trusted=True), False))
+            continue
+        deps = genv.function_dependencies(fn)
+        callee_deps[fn.name] = deps[0]
+        cached = None
+        if tables is not None:
+            # The scheduler still needs ``deps``, but hashing keys is pure
+            # overhead when the result cache is off.
+            key = function_key(program, fn, genv, deps=deps, tables=tables)
+            keys[fn.name] = key
+            cached = session.cache.get(key)
+        if cached is not None:
+            ordered.append((fn.name, cached, True))
+        else:
+            ordered.append((fn.name, None, False))
+            pending.append(fn.name)
+
+    fresh = verify_functions(
+        program,
+        pending,
+        genv,
+        rust_context,
+        session.smt,
+        jobs=session.jobs,
+        deps=callee_deps,
+        fns=tables.fn_decls if tables is not None else None,
+    )
+    for name, (result, worker_stats) in fresh.items():
+        if worker_stats is not None:
+            session.smt.stats.merge(worker_stats)
+        if name in keys:
+            session.cache.put(keys[name], result)
+
+    verification = VerificationResult()
+    report = JobReport(name=job.name, ok=True, time=0.0, cache_hits=0, cache_misses=0)
+    for name, result, cached in ordered:
+        if result is None:
+            result = fresh[name][0]
+        verification.add(result)
+        report.functions.append(
+            FunctionReport(
+                name=name,
+                status=_function_status(result),
+                cached=cached,
+                time=result.time,
+                smt_queries=result.smt_queries,
+                num_constraints=result.num_constraints,
+                num_kvars=result.num_kvars,
+                diagnostics=[str(diag) for diag in result.diagnostics],
+            )
+        )
+    verification.time = time.perf_counter() - started
+    report.time = verification.time
+    report.ok = verification.ok
+    report.cache_hits = session.cache.hits - hits_before
+    report.cache_misses = session.cache.misses - misses_before
+    report.result = verification
+    return report
+
+
+def verify_jobs(
+    jobs: Sequence[VerifyJob], session: Optional[VerifySession] = None
+) -> ServiceReport:
+    """Verify a batch of jobs, sharing one session (and so one cache)."""
+    session = session or VerifySession()
+    started = time.perf_counter()
+    report = ServiceReport()
+    for job in jobs:
+        report.jobs.append(verify_job(job, session))
+    report.time = time.perf_counter() - started
+    report.smt = session.stats.to_dict()
+    return report
+
+
+def verify_source(
+    source: str,
+    only: Optional[Sequence[str]] = None,
+    extra_sources: Sequence[str] = (),
+    session: Optional[VerifySession] = None,
+) -> VerificationResult:
+    """Drop-in, cached replacement for :func:`repro.core.verify_source`
+    (same parameter order, plus the optional ``session``)."""
+    session = session or VerifySession()
+    job = VerifyJob(
+        source=source,
+        extra_sources=tuple(extra_sources),
+        only=tuple(only) if only is not None else None,
+    )
+    report = verify_job(job, session)
+    if report.error is not None:
+        # Re-raise the original error so the exception contract matches
+        # ``repro.core.verify_source`` (ParseError stays ParseError).
+        if report.exception is not None:
+            raise report.exception
+        raise FluxError(report.error)
+    assert report.result is not None
+    return report.result

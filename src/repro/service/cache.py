@@ -1,0 +1,231 @@
+"""Content-addressed per-function result cache.
+
+The key for a function is a hash of
+
+* the function's own AST (with source line numbers normalised away, so
+  shuffling unrelated code does not invalidate it),
+* the *interface* — attributes, generics, parameter/return types, but not the
+  body — of every callee it can reach, and
+* the full refined definition of every ADT it mentions, closed transitively
+  (a struct whose field type names another refined struct pulls that one in
+  too).
+
+Because checking is modular (§4: callee *signatures* only), this is exactly
+the information a function's verification result depends on.  Editing a
+function's body re-verifies that function alone; editing its signature also
+re-verifies its callers; everything else is served from cache.
+
+Values are :class:`repro.core.FunctionResult` records; with a ``cache_dir``
+they persist as one JSON file per key and survive across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.errors import Diagnostic
+from repro.core.genv import GlobalEnv
+from repro.core.pipeline import FunctionResult, definition_map
+from repro.lang import ast
+
+# Bump when the verifier changes in a way that invalidates cached verdicts.
+SCHEMA_VERSION = 1
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _normalized_repr(node: object) -> str:
+    """Deterministic content fingerprint of an AST dataclass tree.
+
+    ``line`` numbers are provenance, not content — zero them so editing one
+    function does not shift every later function's key.
+    """
+    if isinstance(node, ast.FnDef) and node.line != 0:
+        node = dataclasses.replace(node, line=0)
+    return repr(node)
+
+
+def _interface_repr(fn: ast.FnDef) -> str:
+    """A function's externally visible surface: everything but the body."""
+    return repr((fn.name, fn.generics, fn.params, fn.ret, fn.attrs, fn.body is None))
+
+
+def _adt_closure(names: Iterable[str], decls: Dict[str, object], known: Iterable[str]) -> Tuple[str, ...]:
+    """Close a set of ADT names over the ADT names their definitions mention."""
+    known_set = set(known)
+    closed: set = set()
+    frontier = [name for name in names]
+    while frontier:
+        name = frontier.pop()
+        if name in closed:
+            continue
+        closed.add(name)
+        decl = decls.get(name)
+        if decl is None:
+            continue
+        for ident in _IDENT.findall(repr(decl)):
+            if ident in known_set and ident not in closed:
+                frontier.append(ident)
+    return tuple(sorted(closed))
+
+
+class KeyTables:
+    """Per-program lookup tables shared across ``function_key`` calls.
+
+    Building these is O(program); hoisting them out of the per-function key
+    computation keeps ``verify_job`` linear in program size.
+    """
+
+    def __init__(self, program: ast.Program, genv: GlobalEnv) -> None:
+        self.fn_decls: Dict[str, ast.FnDef] = definition_map(program)
+        self.adt_decls: Dict[str, object] = {s.name: s for s in program.structs}
+        self.adt_decls.update({e.name: e for e in program.enums})
+        self.known_adts = frozenset(self.adt_decls) | frozenset(genv.adts)
+
+
+def function_key(
+    program: ast.Program,
+    fn: ast.FnDef,
+    genv: GlobalEnv,
+    deps: Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]] = None,
+    tables: Optional[KeyTables] = None,
+) -> str:
+    """The cache key of ``fn`` within ``program``: a sha256 hex digest.
+
+    ``deps`` may carry a precomputed ``genv.function_dependencies(fn)`` and
+    ``tables`` the per-program :class:`KeyTables`, so callers looping over a
+    whole program do the O(program) work once.
+    """
+    if tables is None:
+        tables = KeyTables(program, genv)
+    fn_decls = tables.fn_decls
+    adt_decls = tables.adt_decls
+    known_adts = tables.known_adts
+
+    callees, adts = deps if deps is not None else genv.function_dependencies(fn)
+    adt_seeds = set(adts)
+    parts = [f"schema={SCHEMA_VERSION}", _normalized_repr(fn)]
+    for callee in callees:
+        decl = fn_decls.get(callee)
+        if decl is not None:
+            interface = _interface_repr(decl)
+            parts.append(f"fn {callee}:{interface}")
+            # ADTs a callee's signature mentions reach this function's
+            # obligations even when the function never names them itself
+            # (e.g. calling ``mk() -> S``) — seed the closure with them.
+            for ident in _IDENT.findall(interface):
+                if ident in known_adts:
+                    adt_seeds.add(ident)
+        else:
+            # Built-in (RVec API, swap, ...): fixed by SCHEMA_VERSION.
+            parts.append(f"builtin {callee}")
+    for adt in _adt_closure(adt_seeds, adt_decls, known_adts):
+        decl = adt_decls.get(adt)
+        if decl is not None:
+            parts.append(f"adt {adt}:{repr(decl)}")
+        else:
+            parts.append(f"builtin-adt {adt}")
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+    return digest
+
+
+# -- (de)serialisation -------------------------------------------------------
+
+
+def result_to_dict(result: FunctionResult) -> Dict[str, object]:
+    return {
+        "name": result.name,
+        "ok": result.ok,
+        "diagnostics": [
+            {"function": d.function, "tag": d.tag, "message": d.message}
+            for d in result.diagnostics
+        ],
+        "num_constraints": result.num_constraints,
+        "num_kvars": result.num_kvars,
+        "smt_queries": result.smt_queries,
+        "time": result.time,
+        "trusted": result.trusted,
+    }
+
+
+def result_from_dict(payload: Dict[str, object]) -> FunctionResult:
+    return FunctionResult(
+        name=str(payload["name"]),
+        ok=bool(payload["ok"]),
+        diagnostics=[
+            Diagnostic(
+                function=str(d["function"]),
+                tag=str(d["tag"]),
+                message=str(d.get("message", "")),
+            )
+            for d in payload.get("diagnostics", [])
+        ],
+        num_constraints=int(payload.get("num_constraints", 0)),
+        num_kvars=int(payload.get("num_kvars", 0)),
+        smt_queries=int(payload.get("smt_queries", 0)),
+        time=float(payload.get("time", 0.0)),
+        trusted=bool(payload.get("trusted", False)),
+    )
+
+
+class ResultCache:
+    """In-memory (and optionally on-disk) map from function key to result."""
+
+    def __init__(self, cache_dir: Optional[str] = None, enabled: bool = True) -> None:
+        self.cache_dir = cache_dir
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, FunctionResult] = {}
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def get(self, key: str) -> Optional[FunctionResult]:
+        if not self.enabled:
+            return None
+        result = self._entries.get(key)
+        if result is None and self.cache_dir is not None:
+            path = self._path(key)
+            if os.path.exists(path):
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        result = result_from_dict(json.load(handle))
+                    self._entries[key] = result
+                except (OSError, ValueError, KeyError, TypeError):
+                    result = None  # corrupt entry: treat as a miss
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: FunctionResult) -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = result
+        if self.cache_dir is not None:
+            path = self._path(key)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            try:
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump(result_to_dict(result), handle)
+                os.replace(tmp, path)
+            except OSError:
+                pass  # a read-only cache dir degrades to in-memory
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,127 @@
+"""Command-line front end: ``python -m repro [files...]``.
+
+Each positional file is one verification job; ``--lib`` files are parsed
+into every job as library code (their functions are verified too unless
+marked ``#[flux::trusted]``).  The report is JSON on stdout; the exit code
+is 0 iff every job verified.
+
+Examples
+--------
+::
+
+    python -m repro program.rs
+    python -m repro --jobs 4 --cache-dir .flux-cache a.rs b.rs
+    python -m repro --only main,loop_body --no-cache program.rs
+    echo 'fn main() {}' | python -m repro -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.service.api import VerifyJob, verify_jobs
+from repro.service.session import VerifySession
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Incremental, parallel Flux verification service.",
+    )
+    parser.add_argument(
+        "sources",
+        nargs="+",
+        metavar="FILE",
+        help="MiniRust source files to verify (one job each); '-' reads stdin",
+    )
+    parser.add_argument(
+        "--lib",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="library source in scope for every job (repeatable)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="verify up to N functions concurrently (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist per-function results as JSON under DIR",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-function result cache",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated function names to verify (default: all)",
+    )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="print a human-readable summary instead of JSON",
+    )
+    return parser
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    only = tuple(name.strip() for name in args.only.split(",")) if args.only else None
+    try:
+        libs = tuple(_read_source(path) for path in args.lib)
+        jobs: List[VerifyJob] = []
+        for path in args.sources:
+            name = "<stdin>" if path == "-" else os.path.basename(path)
+            jobs.append(
+                VerifyJob(source=_read_source(path), name=name, extra_sources=libs, only=only)
+            )
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    session = VerifySession(
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        jobs=args.jobs,
+    )
+    report = verify_jobs(jobs, session)
+
+    if args.summary:
+        for job in report.jobs:
+            status = "ok" if job.ok else "FAILED"
+            print(f"{job.name}: {status} ({job.cache_hits} cached, {job.time:.2f}s)")
+            if job.error:
+                print(f"  error: {job.error}")
+            for fn in job.functions:
+                marker = "*" if fn.cached else " "
+                print(f"  {marker} {fn.name:32s} {fn.status:8s} {fn.time:6.3f}s")
+                for diagnostic in fn.diagnostics:
+                    print(f"      {diagnostic}")
+    else:
+        json.dump(report.to_dict(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Dependency-aware, optionally parallel execution of per-function checks.
+
+Flux checking is modular — a function consults callee *signatures*, never
+callee bodies — so distinct functions verify independently and can run on a
+``concurrent.futures`` process pool.  The scheduler still orders work
+callee-first (topologically over the call graph): leaf results land first,
+which keeps progress output meaningful and is the order a future
+signature-inference pass would require.
+
+Determinism: results are keyed by function name and re-assembled by the
+caller in program order, so parallel runs report byte-identical diagnostics
+to serial runs regardless of completion order.  Any failure to parallelise
+(unpicklable state, a sandbox that forbids subprocesses, a broken pool)
+degrades to the serial path rather than erroring.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pickle
+import warnings
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.genv import GlobalEnv
+from repro.core.pipeline import FunctionResult, _verify_function, definition_map
+from repro.lang import ast
+from repro.mir.typeinfer import ProgramTypes
+from repro.smt import SmtContext, SmtStats
+
+# Per-worker-process state, built once by the pool initializer so each task
+# ships only a function name, not the whole program.
+_WORKER_GENV: Optional[GlobalEnv] = None
+_WORKER_RUST: Optional[ProgramTypes] = None
+_WORKER_FNS: Dict[str, ast.FnDef] = {}
+_WORKER_SMT: Optional[SmtContext] = None
+
+
+def _init_worker(program: ast.Program) -> None:
+    global _WORKER_GENV, _WORKER_RUST, _WORKER_FNS, _WORKER_SMT
+    _WORKER_GENV = GlobalEnv()
+    _WORKER_GENV.register_program(program)
+    _WORKER_RUST = ProgramTypes.from_program(program)
+    _WORKER_FNS = definition_map(program)
+    _WORKER_SMT = SmtContext()
+
+
+def _worker_verify(name: str) -> Tuple[str, FunctionResult, SmtStats]:
+    assert _WORKER_GENV is not None and _WORKER_RUST is not None and _WORKER_SMT is not None
+    # Keep the worker's answer cache warm across functions, but give every
+    # function a fresh stats record so the session can merge exact deltas.
+    _WORKER_SMT.stats = SmtStats()
+    result = _verify_function(
+        _WORKER_FNS[name], _WORKER_GENV, _WORKER_RUST, session=_WORKER_SMT
+    )
+    return name, result, _WORKER_SMT.stats
+
+
+def topological_order(
+    names: Sequence[str],
+    genv: GlobalEnv,
+    fns: Dict[str, ast.FnDef],
+    deps: Optional[Dict[str, Tuple[str, ...]]] = None,
+) -> List[str]:
+    """Order ``names`` callee-first; cycles fall back to the given order.
+
+    ``deps`` maps a function name to its precomputed callee names so callers
+    that already extracted dependencies (for cache keys) avoid a second walk.
+    """
+    indexed = {name: position for position, name in enumerate(names)}
+    order: List[str] = []
+    visiting: set = set()
+    done: set = set()
+
+    def callees_of(name: str) -> List[str]:
+        if deps is not None and name in deps:
+            callees: Sequence[str] = deps[name]
+        else:
+            callees, _ = genv.function_dependencies(fns[name])
+        # Reverse-sorted because the DFS below pops from the end: children
+        # are then visited in ascending program order, deterministically.
+        return sorted(
+            (c for c in callees if c in indexed), key=lambda n: indexed[n], reverse=True
+        )
+
+    # Iterative DFS: call chains can be arbitrarily deep, and a
+    # RecursionError here would kill the whole report.
+    for root in names:
+        if root in done:
+            continue
+        visiting.add(root)
+        stack: List[Tuple[str, List[str]]] = [(root, callees_of(root))]
+        while stack:
+            name, children = stack[-1]
+            while children and (children[-1] in done or children[-1] in visiting):
+                children.pop()
+            if children:
+                child = children.pop()
+                visiting.add(child)
+                stack.append((child, callees_of(child)))
+            else:
+                stack.pop()
+                visiting.discard(name)
+                done.add(name)
+                order.append(name)
+    return order
+
+
+def verify_functions(
+    program: ast.Program,
+    names: Sequence[str],
+    genv: GlobalEnv,
+    rust_context: ProgramTypes,
+    smt_context: SmtContext,
+    jobs: int = 1,
+    deps: Optional[Dict[str, Tuple[str, ...]]] = None,
+    fns: Optional[Dict[str, ast.FnDef]] = None,
+) -> Dict[str, Tuple[FunctionResult, Optional[SmtStats]]]:
+    """Verify ``names`` and return per-function results (+ worker SMT stats).
+
+    Serial runs record straight into ``smt_context`` (stats entry is ``None``);
+    parallel runs return each worker's stats delta for the caller to merge.
+    ``fns`` may carry a precomputed ``definition_map(program)``.
+    """
+    if fns is None:
+        fns = definition_map(program)
+    ordered = topological_order(names, genv, fns, deps=deps)
+    results: Dict[str, Tuple[FunctionResult, Optional[SmtStats]]] = {}
+
+    if jobs > 1 and len(ordered) > 1:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(ordered)),
+                initializer=_init_worker,
+                initargs=(program,),
+            ) as pool:
+                for name, result, stats in pool.map(_worker_verify, ordered):
+                    results[name] = (result, stats)
+            return results
+        except (BrokenProcessPool, pickle.PicklingError, OSError, ImportError) as error:
+            # Pool-infrastructure failures only (a sandbox without process
+            # support, unpicklable state, a killed worker): re-run serially —
+            # but tell the user, or --jobs silently never parallelises.
+            # Genuine verification exceptions propagate, as in serial mode.
+            warnings.warn(
+                f"parallel verification failed ({type(error).__name__}: {error}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            results.clear()
+
+    for name in ordered:
+        result = _verify_function(fns[name], genv, rust_context, session=smt_context)
+        results[name] = (result, None)
+    return results

@@ -1,0 +1,61 @@
+"""Per-run verification state.
+
+A :class:`VerifySession` owns everything that used to live in module-level
+globals: the SMT statistics and answer cache (now an
+:class:`repro.smt.SmtContext`) plus the per-function result cache.  Two
+sessions never share mutable state, which is what makes it safe to run
+several verifications concurrently in one process — and what lets worker
+processes each build their own context without trampling a shared one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.smt import SmtContext, SmtStats, use_context
+
+from repro.service.cache import ResultCache
+
+
+class VerifySession:
+    """Owns the mutable state of one verification run (or server lifetime).
+
+    Parameters
+    ----------
+    cache_dir:
+        When given, function results persist as JSON under this directory and
+        survive across sessions/processes.
+    use_cache:
+        Set to ``False`` to disable the per-function result cache entirely
+        (the SMT answer cache within a run stays on; it is what makes a
+        single fixpoint run tractable).
+    jobs:
+        Default worker count for :meth:`repro.service.api.verify_jobs`;
+        ``1`` means serial.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        jobs: int = 1,
+    ) -> None:
+        self.smt = SmtContext()
+        self.cache = ResultCache(cache_dir=cache_dir, enabled=use_cache)
+        self.jobs = max(1, int(jobs))
+
+    # -- SMT state ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> SmtStats:
+        return self.smt.stats
+
+    def reset_stats(self) -> None:
+        self.smt.stats = SmtStats()
+
+    @contextmanager
+    def activate(self) -> Iterator["VerifySession"]:
+        """Make this session's SMT context the current one for a block."""
+        with use_context(self.smt):
+            yield self

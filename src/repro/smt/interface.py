@@ -17,8 +17,11 @@ from __future__ import annotations
 
 import itertools
 import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.logic.expr import (
     BinOp,
@@ -58,41 +61,132 @@ class SmtStats:
         else:
             self.unknown += 1
 
+    def merge(self, other: "SmtStats") -> None:
+        """Fold another run's counters into this one (scheduler workers)."""
+        self.queries += other.queries
+        self.valid += other.valid
+        self.invalid += other.invalid
+        self.unknown += other.unknown
+        self.quantifier_instantiations += other.quantifier_instantiations
+        self.total_time += other.total_time
+        for key, value in other.details.items():
+            self.details[key] = self.details.get(key, 0) + value
 
-_GLOBAL_STATS = SmtStats()
-_SKOLEM_COUNTER = itertools.count(1)
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "queries": self.queries,
+            "valid": self.valid,
+            "invalid": self.invalid,
+            "unknown": self.unknown,
+            "quantifier_instantiations": self.quantifier_instantiations,
+            "total_time": self.total_time,
+        }
 
 
-def reset_stats() -> None:
-    global _GLOBAL_STATS
-    _GLOBAL_STATS = SmtStats()
-
-
-def get_stats() -> SmtStats:
-    return _GLOBAL_STATS
-
-
-_ANSWER_CACHE: Dict[object, SolverAnswer] = {}
 _ANSWER_CACHE_LIMIT = 50000
 
 
-def check_sat(expr: Expr, sorts: Optional[Dict[str, Sort]] = None) -> SolverAnswer:
-    """Satisfiability of a quantifier-free formula.
+class AnswerCache:
+    """LRU memo of ``check_sat`` answers.
 
-    Results are memoised: liquid inference re-checks many identical
-    obligations across fixpoint iterations, and the cache turns those repeats
-    into dictionary lookups.
+    Liquid inference re-checks many identical obligations across fixpoint
+    iterations; the cache turns those repeats into dictionary lookups.  Hits
+    move the entry to the MRU end; inserting past ``limit`` evicts the LRU
+    entry (the old implementation simply stopped inserting at the limit).
     """
+
+    def __init__(self, limit: int = _ANSWER_CACHE_LIMIT) -> None:
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[object, SolverAnswer]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: object) -> Optional[SolverAnswer]:
+        answer = self._entries.get(key)
+        if answer is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return answer
+
+    def put(self, key: object, answer: SolverAnswer) -> None:
+        self._entries[key] = answer
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.limit:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class SmtContext:
+    """Per-run solver state: statistics plus the answer cache.
+
+    ``repro.service.VerifySession`` owns one of these per run; the module
+    keeps a default context so the legacy ``get_stats``/``reset_stats`` API
+    and bare ``verify_source`` calls keep working unchanged.
+    """
+
+    stats: SmtStats = field(default_factory=SmtStats)
+    cache: AnswerCache = field(default_factory=AnswerCache)
+
+
+_DEFAULT_CONTEXT = SmtContext()
+# A ContextVar (not a bare module global) so sessions activated in different
+# threads or asyncio tasks stay isolated from each other.
+_CONTEXT_VAR: "ContextVar[SmtContext]" = ContextVar(
+    "repro_smt_context", default=_DEFAULT_CONTEXT
+)
+_SKOLEM_COUNTER = itertools.count(1)
+
+
+def current_context() -> SmtContext:
+    return _CONTEXT_VAR.get()
+
+
+def set_context(context: Optional[SmtContext]) -> SmtContext:
+    """Install ``context`` (or the default when ``None``); returns the old one."""
+    previous = _CONTEXT_VAR.get()
+    _CONTEXT_VAR.set(context if context is not None else _DEFAULT_CONTEXT)
+    return previous
+
+
+@contextmanager
+def use_context(context: Optional[SmtContext]) -> Iterator[SmtContext]:
+    previous = set_context(context)
+    try:
+        yield _CONTEXT_VAR.get()
+    finally:
+        set_context(previous)
+
+
+def reset_stats() -> None:
+    _CONTEXT_VAR.get().stats = SmtStats()
+
+
+def get_stats() -> SmtStats:
+    return _CONTEXT_VAR.get().stats
+
+
+def check_sat(expr: Expr, sorts: Optional[Dict[str, Sort]] = None) -> SolverAnswer:
+    """Satisfiability of a quantifier-free formula, memoised per context."""
+    context = _CONTEXT_VAR.get()
     key = (expr, tuple(sorted((sorts or {}).items(), key=lambda kv: kv[0])))
-    cached = _ANSWER_CACHE.get(key)
+    cached = context.cache.get(key)
     if cached is not None:
-        _GLOBAL_STATS.record(cached, 0.0)
+        context.stats.record(cached, 0.0)
         return cached
     started = time.perf_counter()
     answer = solve_formula(expr, sorts)
-    _GLOBAL_STATS.record(answer, time.perf_counter() - started)
-    if len(_ANSWER_CACHE) < _ANSWER_CACHE_LIMIT:
-        _ANSWER_CACHE[key] = answer
+    context.stats.record(answer, time.perf_counter() - started)
+    context.cache.put(key, answer)
     return answer
 
 
@@ -147,7 +241,9 @@ def is_valid(
         # Prusti-style baseline); instantiating the whole query lets ground
         # terms from the goal serve as instantiation candidates.
         query = instantiate(query, rounds=quantifier_rounds, stats=instantiation_stats)
-    _GLOBAL_STATS.quantifier_instantiations += instantiation_stats.get("instantiations", 0)
+    _CONTEXT_VAR.get().stats.quantifier_instantiations += instantiation_stats.get(
+        "instantiations", 0
+    )
 
     answer = check_sat(query, sort_env)
     return answer.is_unsat
