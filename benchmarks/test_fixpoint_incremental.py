@@ -1,0 +1,89 @@
+"""Differential and speedup gate for the incremental fixpoint backend.
+
+The worklist + incremental-SMT strategy must be a pure optimisation: on the
+exact same Horn constraints (every checked function of every Table-1
+program) it has to produce *identical* solutions and error sets to the
+historical naive loop, while cutting from-scratch SMT solver builds by at
+least 2x and not regressing wall-clock time.
+
+Programs whose elaboration fails (e.g. a spec outside the supported
+fragment) are skipped — both strategies would fail before reaching the
+fixpoint solver anyway.
+"""
+
+import pytest
+
+from repro.bench.fixpoint_bench import (
+    collect_function_constraints,
+    solve_constraints,
+    table1_programs,
+)
+from repro.core.errors import FluxError
+from repro.lang import LexError, ParseError
+
+
+def _collect_all():
+    batch = []
+    skipped = []
+    for program in table1_programs():
+        try:
+            batch.extend(collect_function_constraints(program))
+        except (FluxError, ParseError, LexError) as error:
+            skipped.append((program.name, str(error)))
+    return batch, skipped
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    batch, skipped = _collect_all()
+    assert batch, f"no benchmark constraints collected (skipped: {skipped})"
+    incremental = solve_constraints(batch, "incremental")
+    naive = solve_constraints(batch, "naive")
+    return incremental, naive
+
+
+def test_covers_most_table1_programs(outcomes):
+    incremental, _ = outcomes
+    programs = {key.split("::")[0] for key in incremental.results}
+    assert len(programs) >= 7, f"too few programs exercised: {sorted(programs)}"
+
+
+def test_worklist_solutions_match_naive_exactly(outcomes):
+    incremental, naive = outcomes
+    assert set(incremental.results) == set(naive.results)
+    for key in sorted(incremental.results):
+        inc_solution, inc_errors = incremental.results[key]
+        naive_solution, naive_errors = naive.results[key]
+        assert inc_solution == naive_solution, f"{key}: solutions diverge"
+        assert inc_errors == naive_errors, f"{key}: errors diverge"
+
+
+def test_from_scratch_solves_reduced_at_least_2x(outcomes):
+    incremental, naive = outcomes
+    assert incremental.from_scratch_solves > 0
+    ratio = naive.from_scratch_solves / incremental.from_scratch_solves
+    assert ratio >= 2.0, (
+        f"expected >=2x fewer from-scratch solves, got {ratio:.2f}x "
+        f"({naive.from_scratch_solves} naive vs "
+        f"{incremental.from_scratch_solves} incremental)"
+    )
+
+
+def test_no_wallclock_regression(outcomes):
+    incremental, naive = outcomes
+    # The incremental backend is reliably faster in practice; 10% headroom
+    # absorbs timer noise without letting a real regression through.
+    assert incremental.elapsed <= naive.elapsed * 1.10, (
+        f"incremental {incremental.elapsed:.2f}s vs naive {naive.elapsed:.2f}s"
+    )
+
+
+def test_incremental_statistics_populated(outcomes):
+    incremental, naive = outcomes
+    assert incremental.assumption_checks > 0
+    assert incremental.incremental_hits > 0
+    assert incremental.clauses_retained > 0
+    # The oracle never touches the incremental backend.
+    assert naive.assumption_checks == 0
+    assert naive.incremental_hits == 0
+    assert naive.from_scratch_solves == naive.smt_queries

@@ -1,0 +1,153 @@
+"""Fixpoint-solver benchmarking harness.
+
+Two granularities, shared by ``scripts/bench_fixpoint.py`` (the CI benchmark
+lane) and ``benchmarks/test_fixpoint_incremental.py`` (the differential /
+speedup gate):
+
+* :func:`run_program_metrics` — end-to-end pipeline metrics for one Table-1
+  program under a fresh SMT context (what ``BENCH_fixpoint.json`` records);
+* :func:`collect_function_constraints` / :func:`solve_constraints` — the
+  phase-3 liquid inference in isolation, so the incremental and naive
+  strategies can be compared on *identical* Horn constraints without paying
+  for parsing/lowering/checking twice.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.programs import BenchmarkProgram, benchmark_programs
+from repro.core import verify_source
+from repro.core.checker import Checker
+from repro.core.errors import FluxError
+from repro.core.genv import GlobalEnv
+from repro.fixpoint import FixpointResult, FixpointSolver
+from repro.fixpoint.constraint import Constraint, KVarDecl, c_conj
+from repro.lang import LexError, ParseError, parse_program
+from repro.mir.lower import lower_function
+from repro.mir.typeinfer import ProgramTypes, infer_types
+from repro.smt import SmtContext, use_context
+
+
+@dataclass
+class FunctionConstraints:
+    """The Horn constraint problem of one checked function."""
+
+    program: str
+    function: str
+    kvar_decls: Dict[str, KVarDecl]
+    constraint: Constraint
+
+
+@dataclass
+class StrategyOutcome:
+    """Aggregated result of solving a batch of constraints one way."""
+
+    strategy: str
+    elapsed: float = 0.0
+    smt_queries: int = 0
+    from_scratch_solves: int = 0
+    assumption_checks: int = 0
+    incremental_hits: int = 0
+    clauses_retained: int = 0
+    # function -> (solution as printable strings, sorted error descriptions)
+    results: Dict[str, Tuple[Dict[str, str], Tuple[str, ...]]] = field(
+        default_factory=dict
+    )
+
+    def record(self, key: str, result: FixpointResult) -> None:
+        self.smt_queries += result.smt_queries
+        self.from_scratch_solves += result.from_scratch_solves
+        self.assumption_checks += result.assumption_checks
+        self.incremental_hits += result.incremental_hits
+        self.clauses_retained += result.clauses_retained
+        solution = {name: str(expr) for name, expr in sorted(result.solution.items())}
+        errors = tuple(sorted(f"{e.kind}:{e.tag}" for e in result.errors))
+        self.results[key] = (solution, errors)
+
+
+def collect_function_constraints(
+    program: BenchmarkProgram,
+) -> List[FunctionConstraints]:
+    """Phase 1+2 (elaboration and constraint generation) for every target
+    function of a benchmark's Flux side.  Raises the usual pipeline errors
+    (``ParseError``/``FluxError``) for programs outside the supported
+    fragment — callers skip those."""
+    parsed = parse_program(program.flux_source)
+    genv = GlobalEnv()
+    genv.register_program(parsed)
+    rust_context = ProgramTypes.from_program(parsed)
+    collected: List[FunctionConstraints] = []
+    for fn in parsed.functions:
+        if fn.name not in program.flux_functions:
+            continue
+        signature = genv.signature(fn.name)
+        if signature.trusted or fn.body is None:
+            continue
+        body = lower_function(fn)
+        infer_types(body, rust_context)
+        output = Checker(body, genv, signature).check()
+        collected.append(
+            FunctionConstraints(
+                program=program.name,
+                function=fn.name,
+                kvar_decls=dict(output.kvar_decls),
+                constraint=c_conj(*output.constraints),
+            )
+        )
+    return collected
+
+
+def solve_constraints(
+    batch: List[FunctionConstraints], strategy: str
+) -> StrategyOutcome:
+    """Solve every constraint problem in ``batch`` with ``strategy``, each
+    under a fresh :class:`SmtContext` so answer caches never leak between
+    strategies or functions."""
+    outcome = StrategyOutcome(strategy=strategy)
+    started = time.perf_counter()
+    for item in batch:
+        solver = FixpointSolver(strategy=strategy)
+        for decl in item.kvar_decls.values():
+            solver.declare(decl)
+        with use_context(SmtContext()):
+            result = solver.solve(item.constraint)
+        outcome.record(f"{item.program}::{item.function}", result)
+    outcome.elapsed = time.perf_counter() - started
+    return outcome
+
+
+def run_program_metrics(program: BenchmarkProgram) -> Dict[str, object]:
+    """End-to-end Flux metrics for one benchmark program (fresh context)."""
+    started = time.perf_counter()
+    try:
+        with use_context(SmtContext()):
+            result = verify_source(program.flux_source, only=program.flux_functions)
+    except (FluxError, ParseError, LexError) as error:
+        return {
+            "error": f"{type(error).__name__}: {error}",
+            "elapsed": time.perf_counter() - started,
+        }
+    return {
+        "elapsed": time.perf_counter() - started,
+        "verified": result.ok,
+        "failures": sorted(str(d) for d in result.diagnostics),
+        "smt_queries": sum(fn.smt_queries for fn in result.functions),
+        "from_scratch_solves": sum(fn.smt_from_scratch for fn in result.functions),
+        "assumption_checks": sum(fn.smt_assumption_checks for fn in result.functions),
+        "incremental_hits": sum(fn.smt_incremental_hits for fn in result.functions),
+        "clauses_retained": sum(fn.smt_clauses_retained for fn in result.functions),
+    }
+
+
+def table1_programs(names: Optional[List[str]] = None) -> List[BenchmarkProgram]:
+    programs = benchmark_programs()
+    if names:
+        wanted = set(names)
+        unknown = wanted - {p.name for p in programs}
+        if unknown:
+            raise ValueError(f"unknown benchmark program(s): {', '.join(sorted(unknown))}")
+        programs = [p for p in programs if p.name in wanted]
+    return programs

@@ -24,6 +24,11 @@ class SideMetrics:
     failures: Tuple[str, ...] = ()
     cache_hits: int = 0
     cache_misses: int = 0
+    smt_queries: int = 0
+    from_scratch_solves: int = 0
+    assumption_checks: int = 0
+    incremental_hits: int = 0
+    clauses_retained: int = 0
 
 
 @dataclass
@@ -107,6 +112,11 @@ class BenchmarkCase:
             failures=failures,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            smt_queries=sum(fn.smt_queries for fn in result.functions),
+            from_scratch_solves=sum(fn.smt_from_scratch for fn in result.functions),
+            assumption_checks=sum(fn.smt_assumption_checks for fn in result.functions),
+            incremental_hits=sum(fn.smt_incremental_hits for fn in result.functions),
+            clauses_retained=sum(fn.smt_clauses_retained for fn in result.functions),
         )
 
     def run_prusti(self) -> SideMetrics:

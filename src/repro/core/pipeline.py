@@ -38,6 +38,10 @@ class FunctionResult:
     num_constraints: int = 0
     num_kvars: int = 0
     smt_queries: int = 0
+    smt_from_scratch: int = 0
+    smt_assumption_checks: int = 0
+    smt_incremental_hits: int = 0
+    smt_clauses_retained: int = 0
     time: float = 0.0
     trusted: bool = False
 
@@ -210,6 +214,10 @@ def _verify_function_in_context(
             num_constraints=len(output.constraints),
             num_kvars=output.num_kvars,
             smt_queries=fixpoint_result.smt_queries,
+            smt_from_scratch=fixpoint_result.from_scratch_solves,
+            smt_assumption_checks=fixpoint_result.assumption_checks,
+            smt_incremental_hits=fixpoint_result.incremental_hits,
+            smt_clauses_retained=fixpoint_result.clauses_retained,
             time=time.perf_counter() - started,
         )
     except FluxError as error:

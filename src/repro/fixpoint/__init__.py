@@ -22,9 +22,22 @@ from repro.fixpoint.constraint import (
     flatten,
 )
 from repro.fixpoint.qualifiers import Qualifier, default_qualifiers, instantiate_qualifiers
-from repro.fixpoint.solve import FixpointResult, FixpointSolver, Solution, apply_solution
+from repro.fixpoint.solve import (
+    BUDGET_EXHAUSTED,
+    DEFAULT_STRATEGY,
+    INVALID,
+    FixpointError,
+    FixpointResult,
+    FixpointSolver,
+    Solution,
+    apply_solution,
+)
 
 __all__ = [
+    "BUDGET_EXHAUSTED",
+    "DEFAULT_STRATEGY",
+    "INVALID",
+    "FixpointError",
     "Constraint",
     "ConstraintError",
     "FlatConstraint",

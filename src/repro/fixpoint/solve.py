@@ -11,11 +11,36 @@ Algorithm (the "liquid inference" of §4.2, phase 3):
 3. When no more weakening is needed, check every concrete-head constraint
    under the final assignment; failures are reported with their provenance
    tags — these are the type errors shown to the user.
+
+Scheduling and SMT backend come in two strategies:
+
+``"incremental"`` (the default)
+    Clauses are processed off a κ-dependency *worklist*: a clause is
+    re-examined only when a κ appearing in its hypotheses was weakened,
+    instead of rescanning every clause whose κ-footprint intersects a dirty
+    set.  Each clause owns a persistent :class:`repro.smt.IncrementalSolver`;
+    one visit asserts the (solution-substituted) hypotheses once inside a
+    ``push``/``pop`` scope and tests every candidate qualifier under a
+    throwaway assumption literal, so N qualifier checks cost one CNF build
+    instead of N.  Atom tables, learned clauses and theory lemmas survive
+    across visits to the same clause.
+
+``"naive"``
+    The historical loop: dirty-set rescan, one from-scratch
+    :func:`repro.smt.is_valid` query per qualifier check.  Kept as the
+    differential-testing oracle; both strategies converge to the same
+    (unique) greatest fixpoint, so solutions and reported errors must match
+    exactly.
+
+Exhausting ``max_iterations`` does not raise: the result carries one
+budget-exhausted :class:`FixpointError` per clause still scheduled, so
+callers keep their diagnostics (tags, partial solution, statistics).
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -31,9 +56,10 @@ from repro.logic.expr import (
     and_,
 )
 from repro.logic.simplify import simplify
-from repro.logic.sorts import INT, Sort
-from repro.logic.subst import free_vars, kvars_of, substitute
-from repro.smt import is_valid
+from repro.logic.sorts import Sort
+from repro.logic.subst import kvars_of, substitute
+from repro.smt import IncrementalSolver, SmtError, current_context, is_valid
+from repro.smt.quant import has_quantifier
 from repro.fixpoint.constraint import (
     Constraint,
     ConstraintError,
@@ -47,19 +73,56 @@ from repro.fixpoint.qualifiers import Qualifier, default_qualifiers, instantiate
 Solution = Dict[str, Expr]
 """Maps κ names to predicates over the κ's formal parameters."""
 
+DEFAULT_STRATEGY = "incremental"
+"""Strategy used when :class:`FixpointSolver` is built without an explicit
+one; tests and benchmarks flip this to ``"naive"`` to run the oracle loop."""
+
+BUDGET_EXHAUSTED = "budget-exhausted"
+INVALID = "invalid"
+
+_ONESHOT = object()
+"""Per-clause sentinel: the clause left the incremental fragment (quantified
+hypotheses or a preprocessing error) and is checked with one-shot queries."""
+
 
 @dataclass
 class FixpointError:
-    """A constraint that remains invalid under the weakest viable assignment."""
+    """A constraint the solver could not discharge.
+
+    ``kind`` is :data:`INVALID` for a constraint that remains invalid under
+    the weakest viable assignment (a type error), or
+    :data:`BUDGET_EXHAUSTED` for a constraint still scheduled for weakening
+    when ``max_iterations`` ran out (an incomplete run, not a refutation).
+    """
 
     constraint: FlatConstraint
+    kind: str = INVALID
+    detail: str = ""
 
     @property
     def tag(self) -> str:
         return self.constraint.tag
 
     def __str__(self) -> str:
+        if self.kind == BUDGET_EXHAUSTED:
+            suffix = f" ({self.detail})" if self.detail else ""
+            return (
+                f"iteration budget exhausted before clause "
+                f"{self.constraint.describe()} converged{suffix}"
+            )
         return f"invalid constraint {self.constraint.describe()}"
+
+
+@dataclass
+class _RunStats:
+    """Counters threaded through one ``solve`` call."""
+
+    iterations: int = 0
+    queries: int = 0
+    from_scratch: int = 0
+    assumption_checks: int = 0
+    contexts_built: int = 0
+    clauses_retained: int = 0
 
 
 @dataclass
@@ -69,6 +132,11 @@ class FixpointResult:
     iterations: int = 0
     smt_queries: int = 0
     elapsed: float = 0.0
+    from_scratch_solves: int = 0
+    assumption_checks: int = 0
+    incremental_hits: int = 0
+    clauses_retained: int = 0
+    budget_exhausted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -119,6 +187,7 @@ class FixpointSolver:
     kvar_decls: Dict[str, KVarDecl] = field(default_factory=dict)
     qualifiers: Sequence[Qualifier] = field(default_factory=default_qualifiers)
     max_iterations: int = 10000
+    strategy: Optional[str] = None  # None -> module DEFAULT_STRATEGY
 
     def declare(self, decl: KVarDecl) -> None:
         self.kvar_decls[decl.name] = decl
@@ -127,6 +196,9 @@ class FixpointSolver:
 
     def solve(self, constraint: Constraint) -> FixpointResult:
         started = time.perf_counter()
+        strategy = self.strategy or DEFAULT_STRATEGY
+        if strategy not in ("incremental", "naive"):
+            raise ConstraintError(f"unknown fixpoint strategy {strategy!r}")
         clauses = flatten(constraint)
         self._check_kvars_known(clauses)
 
@@ -138,8 +210,103 @@ class FixpointSolver:
         kvar_clauses = [clause for clause in clauses if clause.head.is_kvar]
         concrete_clauses = [clause for clause in clauses if not clause.head.is_kvar]
 
-        # Which κ variables each clause depends on (head and hypotheses): a
-        # clause only needs to be re-checked when one of them was weakened.
+        stats = _RunStats()
+        if strategy == "naive":
+            budget_errors = self._weaken_naive(kvar_clauses, candidate, stats)
+        else:
+            budget_errors = self._weaken_worklist(kvar_clauses, candidate, stats)
+
+        solution: Solution = {
+            name: simplify(and_(*predicates)) for name, predicates in candidate.items()
+        }
+
+        errors: List[FixpointError] = list(budget_errors)
+        if not budget_errors:
+            # Only check concrete heads at an actual fixpoint: under a
+            # half-weakened assignment a failure would not be a type error.
+            for clause in concrete_clauses:
+                hypotheses, sorts = self._clause_hypotheses(clause, candidate)
+                goal = apply_solution(clause.head.expr, solution, self.kvar_decls)
+                stats.queries += 1
+                stats.from_scratch += 1
+                if not is_valid(hypotheses, goal, sorts):
+                    errors.append(FixpointError(clause))
+
+        return FixpointResult(
+            solution=solution,
+            errors=errors,
+            iterations=stats.iterations,
+            smt_queries=stats.queries,
+            elapsed=time.perf_counter() - started,
+            from_scratch_solves=stats.from_scratch,
+            assumption_checks=stats.assumption_checks,
+            incremental_hits=max(0, stats.assumption_checks - stats.contexts_built),
+            clauses_retained=stats.clauses_retained,
+            budget_exhausted=bool(budget_errors),
+        )
+
+    # -- weakening strategies ----------------------------------------------------
+
+    def _weaken_worklist(
+        self,
+        kvar_clauses: List[FlatConstraint],
+        candidate: Dict[str, List[Expr]],
+        stats: _RunStats,
+    ) -> List[FixpointError]:
+        """Weaken to the greatest fixpoint, worklist-scheduled.
+
+        ``dependents[κ]`` lists the clauses whose *hypotheses* mention κ:
+        those are exactly the clauses whose checks can newly fail when κ is
+        weakened.  (A clause whose only link to κ is its own head needs no
+        revisit — its kept qualifiers were proved under hypotheses that did
+        not change.)
+        """
+        dependents: Dict[str, List[int]] = {}
+        for index, clause in enumerate(kvar_clauses):
+            mentioned: Set[str] = set()
+            for hypothesis in clause.hypotheses:
+                mentioned |= kvars_of(hypothesis)
+            for name in mentioned:
+                dependents.setdefault(name, []).append(index)
+
+        contexts: List[object] = [None] * len(kvar_clauses)
+        queue = deque(range(len(kvar_clauses)))
+        queued = set(queue)
+        budget_errors: List[FixpointError] = []
+        while queue:
+            index = queue.popleft()
+            queued.discard(index)
+            stats.iterations += 1
+            if stats.iterations > self.max_iterations:
+                budget_errors = self._budget_errors([index, *queue], kvar_clauses)
+                break
+            clause = kvar_clauses[index]
+            head_name = clause.head.kvar.name
+            current = candidate[head_name]
+            if not current:
+                continue
+            hypotheses, sorts = self._clause_hypotheses(clause, candidate)
+            kept = self._surviving_qualifiers(
+                index, clause, hypotheses, sorts, current, contexts, stats
+            )
+            if len(kept) != len(current):
+                candidate[head_name] = kept
+                for dependent in dependents.get(head_name, ()):
+                    if dependent not in queued:
+                        queued.add(dependent)
+                        queue.append(dependent)
+        for context in contexts:
+            if isinstance(context, IncrementalSolver):
+                stats.clauses_retained += context.clauses_retained
+        return budget_errors
+
+    def _weaken_naive(
+        self,
+        kvar_clauses: List[FlatConstraint],
+        candidate: Dict[str, List[Expr]],
+        stats: _RunStats,
+    ) -> List[FixpointError]:
+        """The historical dirty-set rescan with one-shot queries (oracle)."""
         clause_kvars: List[Set[str]] = []
         for clause in kvar_clauses:
             mentioned: Set[str] = set(kvars_of(clause.head.expr))
@@ -147,55 +314,183 @@ class FixpointSolver:
                 mentioned |= kvars_of(hypothesis)
             clause_kvars.append(mentioned)
 
-        iterations = 0
-        queries = 0
         dirty: Set[str] = set(candidate.keys())
         first_round = True
         while dirty or first_round:
             newly_dirty: Set[str] = set()
-            for clause, mentioned in zip(kvar_clauses, clause_kvars):
+            for index, (clause, mentioned) in enumerate(zip(kvar_clauses, clause_kvars)):
                 if not first_round and not (mentioned & dirty):
                     continue
-                iterations += 1
-                if iterations > self.max_iterations:
-                    raise ConstraintError("liquid fixpoint iteration budget exhausted")
-                head_kvar = clause.head.kvar
-                decl = self.kvar_decls[head_kvar.name]
-                kept: List[Expr] = []
-                current = candidate[head_kvar.name]
+                stats.iterations += 1
+                if stats.iterations > self.max_iterations:
+                    # Everything still scheduled: the interrupted clause, the
+                    # rest of the current round, and every clause the next
+                    # round would revisit because of fresh weakenings.
+                    pending = [index]
+                    for later in range(index + 1, len(kvar_clauses)):
+                        if first_round or (clause_kvars[later] & dirty):
+                            pending.append(later)
+                    for other in range(len(kvar_clauses)):
+                        if clause_kvars[other] & newly_dirty:
+                            pending.append(other)
+                    return self._budget_errors(pending, kvar_clauses)
+                head_name = clause.head.kvar.name
+                current = candidate[head_name]
                 if not current:
                     continue
                 hypotheses, sorts = self._clause_hypotheses(clause, candidate)
+                kept: List[Expr] = []
+                decl = self.kvar_decls[head_name]
                 for qualifier in current:
-                    goal = self._instantiate_head(qualifier, decl, head_kvar)
-                    queries += 1
+                    goal = self._instantiate_head(qualifier, decl, clause.head.kvar)
+                    stats.queries += 1
+                    stats.from_scratch += 1
                     if is_valid(hypotheses, goal, sorts):
                         kept.append(qualifier)
                     else:
-                        newly_dirty.add(head_kvar.name)
-                candidate[head_kvar.name] = kept
+                        newly_dirty.add(head_name)
+                candidate[head_name] = kept
             dirty = newly_dirty
             first_round = False
+        return []
 
-        solution: Solution = {
-            name: simplify(and_(*predicates)) for name, predicates in candidate.items()
-        }
-
+    def _budget_errors(
+        self, pending: Sequence[int], kvar_clauses: List[FlatConstraint]
+    ) -> List[FixpointError]:
+        detail = f"max_iterations={self.max_iterations}"
+        seen: Set[int] = set()
         errors: List[FixpointError] = []
-        for clause in concrete_clauses:
-            hypotheses, sorts = self._clause_hypotheses(clause, candidate)
-            goal = apply_solution(clause.head.expr, solution, self.kvar_decls)
-            queries += 1
-            if not is_valid(hypotheses, goal, sorts):
-                errors.append(FixpointError(clause))
+        for index in pending:
+            if index in seen:
+                continue
+            seen.add(index)
+            errors.append(
+                FixpointError(kvar_clauses[index], kind=BUDGET_EXHAUSTED, detail=detail)
+            )
+        return errors
 
-        return FixpointResult(
-            solution=solution,
-            errors=errors,
-            iterations=iterations,
-            smt_queries=queries,
-            elapsed=time.perf_counter() - started,
-        )
+    # -- qualifier filtering -----------------------------------------------------
+
+    def _surviving_qualifiers(
+        self,
+        index: int,
+        clause: FlatConstraint,
+        hypotheses: List[Expr],
+        sorts: Dict[str, Sort],
+        current: List[Expr],
+        contexts: List[object],
+        stats: _RunStats,
+    ) -> List[Expr]:
+        """Qualifiers of ``current`` implied by the clause's hypotheses."""
+        decl = self.kvar_decls[clause.head.kvar.name]
+        goals = [
+            (qualifier, self._instantiate_head(qualifier, decl, clause.head.kvar))
+            for qualifier in current
+        ]
+        if contexts[index] is not _ONESHOT and any(
+            has_quantifier(hypothesis) for hypothesis in hypotheses
+        ):
+            contexts[index] = _ONESHOT
+        if contexts[index] is not _ONESHOT:
+            before = (
+                stats.queries,
+                stats.from_scratch,
+                stats.assumption_checks,
+                stats.contexts_built,
+            )
+            try:
+                return self._filter_incremental(index, hypotheses, sorts, goals, contexts, stats)
+            except SmtError:
+                # Outside the incremental fragment (non-linear after
+                # substitution, sort clash, ...): permanently demote this
+                # clause to the one-shot path, which has its own handling.
+                # Counters roll back so the aborted attempt's checks are not
+                # double-counted on top of the full one-shot re-run below;
+                # clauses the discarded solver retained over its lifetime
+                # stay counted since the final summation no longer sees it.
+                demoted = contexts[index]
+                if isinstance(demoted, IncrementalSolver):
+                    stats.clauses_retained += demoted.clauses_retained
+                contexts[index] = _ONESHOT
+                (
+                    stats.queries,
+                    stats.from_scratch,
+                    stats.assumption_checks,
+                    stats.contexts_built,
+                ) = before
+        kept: List[Expr] = []
+        for qualifier, goal in goals:
+            stats.queries += 1
+            stats.from_scratch += 1
+            if is_valid(hypotheses, goal, sorts):
+                kept.append(qualifier)
+        return kept
+
+    def _filter_incremental(
+        self,
+        index: int,
+        hypotheses: List[Expr],
+        sorts: Dict[str, Sort],
+        goals: List[Tuple[Expr, Expr]],
+        contexts: List[object],
+        stats: _RunStats,
+    ) -> List[Expr]:
+        """One clause visit on the incremental backend.
+
+        Hypotheses are asserted once in a fresh ``push`` scope; every
+        candidate qualifier is then tested under an assumption literal
+        against the same asserted state.  The per-clause solver (atom table,
+        CNF, learned clauses) persists across visits.
+        """
+        solver = contexts[index]
+        if not isinstance(solver, IncrementalSolver):
+            solver = IncrementalSolver(dict(sorts))
+            contexts[index] = solver
+            stats.contexts_built += 1
+            stats.from_scratch += 1
+        else:
+            solver.declare_sorts(sorts)
+        # Session-level SMT statistics are committed only once the whole
+        # visit succeeds: if a goal aborts the visit with an SmtError, the
+        # one-shot re-run does its own recording and an eager commit here
+        # would double-count the aborted checks.  Quantified goals (which
+        # need the skolemising one-shot interface, whose recording cannot be
+        # deferred) run after the abort-prone incremental block for the same
+        # reason.
+        survived: Dict[int, bool] = {}
+        quantified: List[int] = []
+        incremental_records: List[Tuple[object, float]] = []
+        solver.push()
+        try:
+            for hypothesis in hypotheses:
+                solver.assert_expr(simplify(hypothesis))
+            for position, (_, goal) in enumerate(goals):
+                if has_quantifier(goal):
+                    quantified.append(position)
+                    continue
+                stats.queries += 1
+                stats.assumption_checks += 1
+                started = time.perf_counter()
+                answer = solver.check_valid_detailed(goal)
+                incremental_records.append((answer, time.perf_counter() - started))
+                survived[position] = answer.is_unsat
+        finally:
+            solver.pop()
+        if incremental_records:
+            record = current_context().stats
+            for answer, elapsed in incremental_records:
+                record.record(answer, elapsed)
+            record.bump("incremental_checks", len(incremental_records))
+        for position in quantified:
+            _, goal = goals[position]
+            stats.queries += 1
+            stats.from_scratch += 1
+            survived[position] = is_valid(hypotheses, goal, sorts)
+        return [
+            qualifier
+            for position, (qualifier, _) in enumerate(goals)
+            if survived.get(position)
+        ]
 
     # -- helpers ----------------------------------------------------------------
 

@@ -46,6 +46,10 @@ class FunctionReport:
     smt_queries: int
     num_constraints: int
     num_kvars: int
+    smt_from_scratch: int = 0
+    smt_assumption_checks: int = 0
+    smt_incremental_hits: int = 0
+    smt_clauses_retained: int = 0
     diagnostics: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
@@ -55,6 +59,10 @@ class FunctionReport:
             "cached": self.cached,
             "time": round(self.time, 6),
             "smt_queries": self.smt_queries,
+            "smt_from_scratch": self.smt_from_scratch,
+            "smt_assumption_checks": self.smt_assumption_checks,
+            "smt_incremental_hits": self.smt_incremental_hits,
+            "smt_clauses_retained": self.smt_clauses_retained,
             "num_constraints": self.num_constraints,
             "num_kvars": self.num_kvars,
             "diagnostics": list(self.diagnostics),
@@ -202,6 +210,10 @@ def verify_job(job: VerifyJob, session: VerifySession) -> JobReport:
                 cached=cached,
                 time=result.time,
                 smt_queries=result.smt_queries,
+                smt_from_scratch=result.smt_from_scratch,
+                smt_assumption_checks=result.smt_assumption_checks,
+                smt_incremental_hits=result.smt_incremental_hits,
+                smt_clauses_retained=result.smt_clauses_retained,
                 num_constraints=result.num_constraints,
                 num_kvars=result.num_kvars,
                 diagnostics=[str(diag) for diag in result.diagnostics],

@@ -34,7 +34,9 @@ from repro.core.pipeline import FunctionResult, definition_map
 from repro.lang import ast
 
 # Bump when the verifier changes in a way that invalidates cached verdicts.
-SCHEMA_VERSION = 1
+# 2: incremental SMT backend + worklist fixpoint scheduling (new statistics,
+#    different query accounting).
+SCHEMA_VERSION = 2
 
 _IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
@@ -148,6 +150,10 @@ def result_to_dict(result: FunctionResult) -> Dict[str, object]:
         "num_constraints": result.num_constraints,
         "num_kvars": result.num_kvars,
         "smt_queries": result.smt_queries,
+        "smt_from_scratch": result.smt_from_scratch,
+        "smt_assumption_checks": result.smt_assumption_checks,
+        "smt_incremental_hits": result.smt_incremental_hits,
+        "smt_clauses_retained": result.smt_clauses_retained,
         "time": result.time,
         "trusted": result.trusted,
     }
@@ -168,6 +174,10 @@ def result_from_dict(payload: Dict[str, object]) -> FunctionResult:
         num_constraints=int(payload.get("num_constraints", 0)),
         num_kvars=int(payload.get("num_kvars", 0)),
         smt_queries=int(payload.get("smt_queries", 0)),
+        smt_from_scratch=int(payload.get("smt_from_scratch", 0)),
+        smt_assumption_checks=int(payload.get("smt_assumption_checks", 0)),
+        smt_incremental_hits=int(payload.get("smt_incremental_hits", 0)),
+        smt_clauses_retained=int(payload.get("smt_clauses_retained", 0)),
         time=float(payload.get("time", 0.0)),
         trusted=bool(payload.get("trusted", False)),
     )

@@ -50,6 +50,16 @@ def add_formula(solver: SatSolver, formula: Skeleton) -> None:
     solver.add_clause([root])
 
 
+def encode(solver: SatSolver, formula: Skeleton) -> int:
+    """Tseitin-encode ``formula`` WITHOUT asserting it.
+
+    Returns a literal equivalent to the formula; callers decide how to use it
+    — the incremental backend asserts ``(-guard, root)`` so the formula is
+    only in force while ``guard`` is assumed.
+    """
+    return _encode(solver, formula)
+
+
 def _encode(solver: SatSolver, formula: Skeleton) -> int:
     """Return a literal equivalent to ``formula``, adding defining clauses."""
     kind = formula[0]

@@ -1,0 +1,269 @@
+"""Incremental SMT solving: persistent solver state across many checks.
+
+The one-shot pipeline (:func:`repro.smt.solver.solve_formula`) rebuilds the
+preprocessor, the atom table, the CNF and the whole DPLL(T) search for every
+query.  Liquid inference issues *bursts* of closely related queries — all
+qualifier checks for one clause share the exact same hypotheses — so an
+:class:`IncrementalSolver` keeps everything alive between checks:
+
+* the preprocessor (if-then-else lifting, Ackermann expansion) and its
+  application cache, with Ackermann axioms emitted incrementally as new
+  applications appear;
+* the atomizer (theory atom -> SAT variable map);
+* the CDCL SAT core, including every clause it has learned and every theory
+  blocking clause the lazy loop has discovered — both are consequences of
+  the asserted formulas, so they keep pruning the search in later checks;
+* an assertion stack: :meth:`push` opens a scope guarded by a fresh selector
+  variable, :meth:`pop` retires the scope by permanently asserting the
+  selector's negation (the guarded clauses become vacuous).
+
+Goals are tested with :meth:`check_sat_assuming`: the negated goal's
+memoised Tseitin root literal is *assumed*, never asserted, so testing ten
+candidate qualifiers against one hypothesis set costs one CNF build plus ten
+cheap assumption-guarded searches instead of ten full rebuilds — and a goal
+re-tested on a later visit costs a dictionary lookup plus a search over an
+already-warm clause database.  The theory loop only hands the simplex the
+atoms of formulas currently in force (global assertions, open scopes, the
+goal under test), so retired goals never inflate later LIA calls.
+
+Soundness of retention rests on two facts: clauses are only ever *added*
+(popping a scope adds the selector's negation rather than deleting
+anything), and the SAT core analyses conflicts with assumptions on their own
+decision levels, so learned clauses never bake in an assumption.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.logic.expr import Expr, TRUE, not_
+from repro.logic.simplify import simplify
+from repro.logic.sorts import BOOL, INT, Sort
+from repro.logic.subst import free_vars
+from repro.smt import cnf
+from repro.smt.atoms import AtomError
+from repro.smt.result import SolverAnswer
+from repro.smt.sat import SatSolver
+from repro.smt.solver import (
+    SmtError,
+    _Atomizer,
+    _Preprocessor,
+    ackermann_axioms,
+    run_theory_loop,
+)
+
+
+class IncrementalSolver:
+    """A persistent DPLL(T) context with an assertion stack and assumptions.
+
+    Typical use by the fixpoint solver::
+
+        solver = IncrementalSolver(sorts)
+        solver.push()
+        for hypothesis in hypotheses:
+            solver.assert_expr(hypothesis)
+        for qualifier in candidates:
+            if solver.check_valid(goal_of(qualifier)):
+                ...
+        solver.pop()
+
+    The instance survives across ``push``/``pop`` cycles; atoms, Tseitin
+    variables, learned clauses and theory lemmas accumulated in one cycle
+    keep serving the next.
+    """
+
+    def __init__(
+        self,
+        sorts: Optional[Dict[str, Sort]] = None,
+        max_theory_rounds: int = 5000,
+    ) -> None:
+        self.sorts: Dict[str, Sort] = dict(sorts or {})
+        self.max_theory_rounds = max_theory_rounds
+        self._sat = SatSolver()
+        self._pre = _Preprocessor(sorts=self.sorts)
+        self._atomizer = _Atomizer(solver=self._sat, sorts=self.sorts)
+        self._frames: List[int] = []  # selector variable per open scope
+        self._ackermann_done = 0  # apps already covered by emitted axioms
+        self._root_cache: Dict[Expr, int] = {}  # expr -> Tseitin root literal
+        # Theory-atom bookkeeping: the theory loop only sends the simplex the
+        # atoms of formulas actually in force (global assertions, open
+        # scopes, the goal under test), not every atom the solver has ever
+        # encoded — otherwise each check would drag the whole history of
+        # retired goals into every LIA call.
+        self._expr_atoms: Dict[Expr, frozenset] = {}
+        self._global_atoms: Set[int] = set()
+        self._frame_atoms: List[Set[int]] = []
+        # -- statistics ------------------------------------------------------
+        self.checks = 0
+        self.assumption_checks = 0
+        self.clauses_retained = 0
+        self.theory_rounds = 0
+        self.total_time = 0.0
+
+    # -- assertion stack -----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    def push(self) -> None:
+        """Open a retractable assertion scope."""
+        self._frames.append(self._sat.new_var())
+        self._frame_atoms.append(set())
+
+    def pop(self) -> None:
+        """Retire the innermost scope: its assertions become vacuous."""
+        if not self._frames:
+            raise SmtError("pop from an empty assertion stack")
+        selector = self._frames.pop()
+        self._frame_atoms.pop()
+        self._sat.add_clause([-selector])
+
+    # -- asserting formulas --------------------------------------------------
+
+    def declare_sorts(self, sorts: Dict[str, Sort]) -> None:
+        """Merge sort declarations; conflicting re-declarations are errors."""
+        for name, sort in sorts.items():
+            known = self.sorts.setdefault(name, sort)
+            if known != sort:
+                raise SmtError(
+                    f"variable {name} re-declared at sort {sort} (was {known})"
+                )
+
+    def assert_expr(self, expr: Expr) -> None:
+        """Assert ``expr`` in the innermost scope (or globally when no scope
+        is open).  The expression must be quantifier-free."""
+        root = self.literal_for(expr)
+        atoms = self._expr_atoms.get(expr, frozenset())
+        if self._frames:
+            self._sat.add_clause([-self._frames[-1], root])
+            self._frame_atoms[-1] |= atoms
+        else:
+            self._sat.add_clause([root])
+            self._global_atoms |= atoms
+
+    def literal_for(self, expr: Expr) -> int:
+        """The Tseitin root literal equivalent to ``expr``, memoised.
+
+        Encoding happens once per distinct expression: the definitional
+        clauses are inert until the literal is assumed or asserted, so the
+        same hypothesis or goal re-appearing in a later scope or check costs
+        a dictionary lookup instead of a CNF rebuild.  Side conditions
+        (if-then-else definitions) and Ackermann congruence axioms are
+        definitional/global facts and are asserted permanently.
+        """
+        cached = self._root_cache.get(expr)
+        if cached is not None:
+            return cached
+        if sys.getrecursionlimit() < 100000:
+            sys.setrecursionlimit(100000)
+        for name in free_vars(expr):
+            self.sorts.setdefault(name, INT)
+        try:
+            main, side = self._pre.rewrite_split(expr)
+            side.extend(self._new_ackermann_axioms())
+            # Side parts are asserted permanently, so their atoms are always
+            # theory-relevant; the main part's atoms only while it is active.
+            side_atoms: Set[int] = set()
+            self._atomizer.touched = side_atoms
+            for part in side:
+                prepared = simplify(part)
+                if prepared == TRUE:
+                    continue
+                self._sat.add_clause(
+                    [cnf.encode(self._sat, self._atomizer.skeleton(prepared))]
+                )
+            main_atoms: Set[int] = set()
+            self._atomizer.touched = main_atoms
+            root = cnf.encode(self._sat, self._atomizer.skeleton(simplify(main)))
+        except AtomError as error:
+            raise SmtError(str(error)) from error
+        finally:
+            self._atomizer.touched = None
+        self._global_atoms |= side_atoms
+        self._root_cache[expr] = root
+        self._expr_atoms[expr] = frozenset(main_atoms)
+        return root
+
+    def _new_ackermann_axioms(self) -> List[Expr]:
+        """Ackermann congruence axioms for application pairs not yet covered.
+
+        The one-shot preprocessor emits all pairs at the end of its single
+        run; here new applications may appear with every assertion, so we
+        emit exactly the pairs involving an application first seen since the
+        previous assertion.
+        """
+        apps = self._pre._apps_seen
+        axioms = ackermann_axioms(apps, start=self._ackermann_done)
+        self._ackermann_done = len(apps)
+        return axioms
+
+    # -- checking ------------------------------------------------------------
+
+    def check_sat(self) -> SolverAnswer:
+        """Satisfiability of everything asserted in the active scopes."""
+        return self._check([], frozenset())
+
+    def check_sat_assuming(
+        self, assumptions: Iterable[int], relevant_atoms: Iterable[int] = ()
+    ) -> SolverAnswer:
+        """Satisfiability under extra assumption literals; nothing is
+        permanently asserted.  ``relevant_atoms`` names theory atoms the
+        assumed literals' encodings reference (callers assuming a cached
+        root literal pass the atoms recorded for that expression)."""
+        self.assumption_checks += 1
+        return self._check(list(assumptions), frozenset(relevant_atoms))
+
+    def check_valid_detailed(self, goal: Expr) -> SolverAnswer:
+        """Decide ``asserted hypotheses |= goal`` without disturbing them.
+
+        The negated goal's root literal is *assumed*, never asserted, so
+        consecutive goals never see each other — and a goal re-tested on a
+        later visit reuses its original encoding plus every clause the solver
+        has learned since.  ``UNSAT`` means the goal is valid; unknown
+        answers count as "not proved", matching :func:`repro.smt.is_valid`.
+        """
+        negated = not_(goal)
+        root = self.literal_for(negated)
+        return self.check_sat_assuming([root], self._expr_atoms.get(negated, frozenset()))
+
+    def check_valid(self, goal: Expr) -> bool:
+        return self.check_valid_detailed(goal).is_unsat
+
+    def _check(self, assumptions: List[int], relevant_atoms: frozenset) -> SolverAnswer:
+        started = time.perf_counter()
+        self.checks += 1
+        clauses_before = self._sat.num_clauses
+        int_vars = {name for name, sort in self.sorts.items() if sort in (INT, BOOL)}
+        # Atoms of formulas in force right now.  Atoms encoded for retired
+        # goals or popped scopes may still be assigned by the SAT core, but
+        # they constrain nothing active, so feeding them to the simplex would
+        # only blow up every theory call (and every conflict explanation).
+        active_atoms = self._global_atoms.union(relevant_atoms, *self._frame_atoms)
+        try:
+            answer = run_theory_loop(
+                self._sat,
+                self._atomizer,
+                int_vars,
+                self.max_theory_rounds,
+                assumptions=list(self._frames) + assumptions,
+                active_atoms=active_atoms,
+            )
+        finally:
+            self.clauses_retained += self._sat.num_clauses - clauses_before
+            self.total_time += time.perf_counter() - started
+        self.theory_rounds += int(answer.stats.get("theory_rounds", 0))
+        return answer
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats_dict(self) -> Dict[str, float]:
+        return {
+            "checks": self.checks,
+            "assumption_checks": self.assumption_checks,
+            "clauses_retained": self.clauses_retained,
+            "theory_rounds": self.theory_rounds,
+            "total_time": self.total_time,
+        }

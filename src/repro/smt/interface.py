@@ -72,8 +72,12 @@ class SmtStats:
         for key, value in other.details.items():
             self.details[key] = self.details.get(key, 0) + value
 
+    def bump(self, detail: str, count: int = 1) -> None:
+        """Increment a named side-counter (e.g. incremental-solver activity)."""
+        self.details[detail] = self.details.get(detail, 0) + count
+
     def to_dict(self) -> Dict[str, float]:
-        return {
+        payload: Dict[str, float] = {
             "queries": self.queries,
             "valid": self.valid,
             "invalid": self.invalid,
@@ -81,6 +85,8 @@ class SmtStats:
             "quantifier_instantiations": self.quantifier_instantiations,
             "total_time": self.total_time,
         }
+        payload.update(self.details)
+        return payload
 
 
 _ANSWER_CACHE_LIMIT = 50000

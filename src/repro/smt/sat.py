@@ -60,6 +60,11 @@ class SatSolver:
     def num_vars(self) -> int:
         return self._num_vars
 
+    @property
+    def num_clauses(self) -> int:
+        """Size of the clause database, learned and blocking clauses included."""
+        return len(self._clauses)
+
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a clause.  Returns ``False`` if the formula became trivially unsat.
 
@@ -235,19 +240,22 @@ class SatSolver:
 
         Returns a complete assignment (variable -> bool) or ``None`` if the
         formula is unsatisfiable under the given assumptions.
+
+        Each assumption is asserted at its own decision level (the MiniSat
+        discipline) rather than at level 0.  Level-0 literals are dropped
+        during conflict analysis as globally implied, so an assumption planted
+        there would leak into learned clauses and poison later ``solve`` calls
+        made under different assumptions — the incremental SMT backend relies
+        on every learned clause being a consequence of the clause database
+        alone.
         """
         if self._unsat:
             return None
+        assumption_list = list(assumptions)
+        for lit in assumption_list:
+            if not 1 <= abs(lit) <= self._num_vars:
+                raise ValueError(f"assumption {lit} refers to an unallocated variable")
         self._reset_search_state()
-
-        for lit in assumptions:
-            value = self._value(lit)
-            if value is False:
-                return None
-            if value is None:
-                self._assign(lit, None)
-        if self._propagate() is not None:
-            return None
 
         while True:
             conflict = self._propagate()
@@ -260,6 +268,20 @@ class SatSolver:
                 index = self._attach(learned)
                 self._assign(learned[0], index)
                 self._activity_inc *= 1.05
+                continue
+            # Re-establish any assumption lost to backjumping before making a
+            # free decision; a falsified assumption means unsat-under-assumptions.
+            pending_assumption = None
+            for lit in assumption_list:
+                value = self._value(lit)
+                if value is False:
+                    return None
+                if value is None:
+                    pending_assumption = lit
+                    break
+            if pending_assumption is not None:
+                self._trail_lim.append(len(self._trail))
+                self._assign(pending_assumption, None)
                 continue
             branch_var = self._pick_branch_var()
             if branch_var is None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.logic.expr import (
     App,
@@ -195,6 +195,25 @@ class _Preprocessor:
             return BOOL
         raise SmtError(f"cannot determine the sort of {expr}")
 
+    # -- incremental-friendly entry points ---------------------------------------
+
+    def rewrite_split(self, expr: Expr) -> Tuple[Expr, List[Expr]]:
+        """Rewrite ``expr`` and drain the side conditions it produced.
+
+        Returns ``(main, side)`` where ``side`` holds the fully rewritten
+        if-then-else definitions.  The incremental backend asserts the two
+        parts differently (side conditions are global facts, the main part
+        is scoped), hence the split; :meth:`run` folds everything into one
+        conjunction for the one-shot pipeline.
+        """
+        main = self.rewrite_bool(expr)
+        side: List[Expr] = []
+        while self.side_conditions:
+            batch, self.side_conditions = self.side_conditions, []
+            for condition in batch:
+                side.append(self.rewrite_bool(condition))
+        return main, side
+
     # -- Ackermann expansion -----------------------------------------------------
 
     def _name_app(self, app: App) -> Var:
@@ -209,8 +228,23 @@ class _Preprocessor:
         return result
 
     def _ackermann_axioms(self) -> List[Expr]:
-        axioms: List[Expr] = []
-        for (app_a, var_a), (app_b, var_b) in itertools.combinations(self._apps_seen, 2):
+        return ackermann_axioms(self._apps_seen)
+
+
+def ackermann_axioms(
+    apps_seen: List[Tuple[App, Var]], start: int = 0
+) -> List[Expr]:
+    """Congruence axioms for same-function application pairs.
+
+    With ``start`` = 0 every pair is covered (the one-shot pipeline, which
+    sees all applications before emitting axioms); the incremental backend
+    passes the count of already-covered applications so only pairs involving
+    a *new* application are emitted.
+    """
+    axioms: List[Expr] = []
+    for index in range(max(start, 1), len(apps_seen)):
+        app_b, var_b = apps_seen[index]
+        for app_a, var_a in itertools.islice(apps_seen, index):
             if app_a.func != app_b.func or len(app_a.args) != len(app_b.args):
                 continue
             args_equal = and_(*[_split_eq(x, y) for x, y in zip(app_a.args, app_b.args)])
@@ -218,17 +252,24 @@ class _Preprocessor:
                 axioms.append(implies(args_equal, BinOp("<=>", var_a, var_b)))
             else:
                 axioms.append(implies(args_equal, _split_eq(var_a, var_b)))
-        return axioms
+    return axioms
 
 
 @dataclass
 class _Atomizer:
-    """Maps theory atoms and boolean variables to SAT variables."""
+    """Maps theory atoms and boolean variables to SAT variables.
+
+    When ``touched`` is set (the incremental backend does this while encoding
+    one expression), every atom variable the skeleton references is recorded
+    there, so the theory loop can later restrict itself to the atoms of the
+    formulas actually in force.
+    """
 
     solver: SatSolver
     sorts: Dict[str, Sort]
     atom_of_var: Dict[int, LinearAtom] = field(default_factory=dict)
     bool_var_of_name: Dict[str, int] = field(default_factory=dict)
+    touched: Optional[Set[int]] = None
     _atom_cache: Dict[LinearAtom, int] = field(default_factory=dict)
 
     def skeleton(self, expr: Expr):
@@ -269,6 +310,8 @@ class _Atomizer:
             var = self.solver.new_var()
             self._atom_cache[atom] = var
             self.atom_of_var[var] = atom
+        if self.touched is not None:
+            self.touched.add(var)
         return var
 
 
@@ -291,6 +334,75 @@ def _negate_atom(atom: LinearAtom) -> LinearAtom:
 
 def _atom_to_constraint(atom: LinearAtom) -> Constraint:
     return Constraint(atom.term.coeff_map(), atom.op, -atom.term.const)
+
+
+def run_theory_loop(
+    sat: SatSolver,
+    atomizer: _Atomizer,
+    int_vars: Set[str],
+    max_theory_rounds: int,
+    assumptions: Sequence[int] = (),
+    active_atoms: Optional[Set[int]] = None,
+) -> SolverAnswer:
+    """The lazy DPLL(T) refinement loop.
+
+    Shared by the one-shot pipeline and :class:`repro.smt.IncrementalSolver`:
+    propositional models come from ``sat`` (under ``assumptions``), assigned
+    atoms are checked for LIA-consistency, and conflicts return as blocking
+    clauses.  ``active_atoms``, when given, restricts the theory check to
+    that subset of atom variables — the incremental backend passes the atoms
+    of the formulas currently in force so retired state never reaches the
+    simplex.  Blocking clauses are theory lemmas (independent of the
+    assumptions), so adding them permanently is sound.
+    """
+    stats = {"theory_rounds": 0, "sat_conflicts": 0}
+    # The atom table is fixed for the duration of the loop (blocking clauses
+    # only reuse existing variables), so the relevant items are computed once.
+    if active_atoms is None:
+        atom_items = list(atomizer.atom_of_var.items())
+    else:
+        atom_items = [
+            (var, atomizer.atom_of_var[var])
+            for var in sorted(active_atoms)
+            if var in atomizer.atom_of_var
+        ]
+    for _ in range(max_theory_rounds):
+        assignment = sat.solve(assumptions)
+        stats["sat_conflicts"] = sat.num_conflicts
+        if assignment is None:
+            return SolverAnswer(SatResult.UNSAT, stats=stats)
+        stats["theory_rounds"] += 1
+
+        constraints: List[Constraint] = []
+        constraint_literal: List[int] = []
+        for var, atom in atom_items:
+            value = assignment.get(var)
+            if value is None:
+                continue
+            chosen = atom if value else _negate_atom(atom)
+            constraints.append(_atom_to_constraint(chosen))
+            constraint_literal.append(var if value else -var)
+
+        if not constraints:
+            model = _model_from_assignment(assignment, atomizer, {})
+            return SolverAnswer(SatResult.SAT, model=model, stats=stats)
+
+        lia_result = check_lia(constraints, int_vars)
+        if lia_result.status == "sat":
+            model = _model_from_assignment(assignment, atomizer, lia_result.model or {})
+            return SolverAnswer(SatResult.SAT, model=model, stats=stats)
+        if lia_result.status == "unknown":
+            return SolverAnswer(
+                SatResult.UNKNOWN, reason="integer branch-and-bound budget exhausted", stats=stats
+            )
+        conflict_indices = lia_result.conflict or set(range(len(constraints)))
+        blocking = [-constraint_literal[index] for index in sorted(conflict_indices)]
+        if not sat.add_clause(blocking):
+            return SolverAnswer(SatResult.UNSAT, stats=stats)
+
+    return SolverAnswer(
+        SatResult.UNKNOWN, reason="theory-refinement round budget exhausted", stats=stats
+    )
 
 
 def solve_formula(
@@ -329,45 +441,7 @@ def solve_formula(
     cnf.add_formula(sat, skeleton)
 
     int_vars = {name for name, sort in sort_env.items() if sort in (INT, BOOL)}
-    stats = {"theory_rounds": 0, "sat_conflicts": 0}
-
-    for _ in range(max_theory_rounds):
-        assignment = sat.solve()
-        stats["sat_conflicts"] = sat.num_conflicts
-        if assignment is None:
-            return SolverAnswer(SatResult.UNSAT, stats=stats)
-        stats["theory_rounds"] += 1
-
-        constraints: List[Constraint] = []
-        constraint_literal: List[int] = []
-        for var, atom in atomizer.atom_of_var.items():
-            value = assignment.get(var)
-            if value is None:
-                continue
-            chosen = atom if value else _negate_atom(atom)
-            constraints.append(_atom_to_constraint(chosen))
-            constraint_literal.append(var if value else -var)
-
-        if not constraints:
-            model = _model_from_assignment(assignment, atomizer, {})
-            return SolverAnswer(SatResult.SAT, model=model, stats=stats)
-
-        lia_result = check_lia(constraints, int_vars)
-        if lia_result.status == "sat":
-            model = _model_from_assignment(assignment, atomizer, lia_result.model or {})
-            return SolverAnswer(SatResult.SAT, model=model, stats=stats)
-        if lia_result.status == "unknown":
-            return SolverAnswer(
-                SatResult.UNKNOWN, reason="integer branch-and-bound budget exhausted", stats=stats
-            )
-        conflict_indices = lia_result.conflict or set(range(len(constraints)))
-        blocking = [-constraint_literal[index] for index in sorted(conflict_indices)]
-        if not sat.add_clause(blocking):
-            return SolverAnswer(SatResult.UNSAT, stats=stats)
-
-    return SolverAnswer(
-        SatResult.UNKNOWN, reason="theory-refinement round budget exhausted", stats=stats
-    )
+    return run_theory_loop(sat, atomizer, int_vars, max_theory_rounds)
 
 
 def _model_from_assignment(

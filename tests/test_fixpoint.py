@@ -3,6 +3,7 @@
 import pytest
 
 from repro.fixpoint import (
+    BUDGET_EXHAUSTED,
     FixpointSolver,
     KVarDecl,
     apply_solution,
@@ -220,3 +221,100 @@ class TestSolver:
         result = solver.solve(c_forall("x", INT, gt(x, 0), c_pred(ge(x, 1))))
         assert result.smt_queries >= 1
         assert result.elapsed >= 0
+
+
+def _loop_invariant_constraint():
+    i, n = Var("i"), Var("n")
+    return c_conj(
+        c_forall("n", INT, ge(n, 0),
+            c_forall("i", INT, eq(i, 0), c_pred(KVar("inv", (i, n))))),
+        c_forall("n", INT, ge(n, 0),
+            c_forall("i", INT, and_(KVar("inv", (i, n)), lt(i, n)),
+                c_pred(KVar("inv", (add(i, 1), n))))),
+        c_forall("n", INT, ge(n, 0),
+            c_forall("i", INT, and_(KVar("inv", (i, n)), ge(i, n)),
+                c_pred(eq(i, n), tag="exit"))),
+    )
+
+
+class TestStrategies:
+    """The worklist/incremental strategy is a pure optimisation: it must
+    produce the same (unique greatest) fixpoint as the naive oracle."""
+
+    def _solve(self, strategy, constraint, decls):
+        solver = FixpointSolver(strategy=strategy)
+        for decl in decls:
+            solver.declare(decl)
+        return solver.solve(constraint)
+
+    def test_strategies_agree_on_loop_invariant(self):
+        decls = [KVarDecl("inv", (("i", INT), ("n", INT)))]
+        constraint = _loop_invariant_constraint()
+        incremental = self._solve("incremental", constraint, decls)
+        naive = self._solve("naive", constraint, decls)
+        assert incremental.ok and naive.ok
+        assert {k: str(v) for k, v in incremental.solution.items()} == {
+            k: str(v) for k, v in naive.solution.items()
+        }
+
+    def test_strategies_agree_on_errors(self):
+        v = Var("v")
+        decls = [KVarDecl("k", (("v", INT),))]
+        constraint = c_conj(
+            c_forall("v", INT, eq(v, 1), c_pred(KVar("k", (v,)))),
+            c_forall("v", INT, eq(v, -5), c_pred(KVar("k", (v,)))),
+            c_forall("v", INT, KVar("k", (v,)), c_pred(ge(v, 0), tag="goal")),
+        )
+        incremental = self._solve("incremental", constraint, decls)
+        naive = self._solve("naive", constraint, decls)
+        assert not incremental.ok and not naive.ok
+        assert [e.tag for e in incremental.errors] == [e.tag for e in naive.errors]
+
+    def test_incremental_stats_reported(self):
+        decls = [KVarDecl("inv", (("i", INT), ("n", INT)))]
+        result = self._solve("incremental", _loop_invariant_constraint(), decls)
+        assert result.assumption_checks > 0
+        assert result.incremental_hits > 0
+        assert result.clauses_retained > 0
+        assert result.from_scratch_solves < result.smt_queries
+
+    def test_naive_does_no_incremental_work(self):
+        decls = [KVarDecl("inv", (("i", INT), ("n", INT)))]
+        result = self._solve("naive", _loop_invariant_constraint(), decls)
+        assert result.assumption_checks == 0
+        assert result.incremental_hits == 0
+        assert result.from_scratch_solves == result.smt_queries
+
+    def test_unknown_strategy_rejected(self):
+        solver = FixpointSolver(strategy="bogus")
+        with pytest.raises(ConstraintError):
+            solver.solve(c_pred(ge(Var("x"), 0)))
+
+
+class TestIterationBudget:
+    def test_budget_exhaustion_returns_structured_result(self):
+        """Exhausting ``max_iterations`` must not raise a bare exception:
+        the result carries budget-exhausted errors with the clause tags."""
+        for strategy in ("incremental", "naive"):
+            solver = FixpointSolver(max_iterations=0, strategy=strategy)
+            v = Var("v")
+            solver.declare(KVarDecl("k", (("v", INT),)))
+            constraint = c_conj(
+                c_forall("v", INT, eq(v, 1), c_pred(KVar("k", (v,)), tag="flow")),
+                c_forall("v", INT, KVar("k", (v,)), c_pred(ge(v, 0), tag="goal")),
+            )
+            result = solver.solve(constraint)
+            assert not result.ok
+            assert result.budget_exhausted
+            assert all(e.kind == BUDGET_EXHAUSTED for e in result.errors)
+            assert "flow" in {e.tag for e in result.errors}
+            assert "budget" in str(result.errors[0])
+
+    def test_generous_budget_not_exhausted(self):
+        solver = FixpointSolver()
+        v = Var("v")
+        solver.declare(KVarDecl("k", (("v", INT),)))
+        result = solver.solve(
+            c_forall("v", INT, KVar("k", (v,)), c_pred(ge(v, 0), tag="goal"))
+        )
+        assert not result.budget_exhausted
