@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.bench.programs import BenchmarkProgram, benchmark_programs
 from repro.core import verify_source
+from repro.logic import term_cache_stats
+from repro.smt.atoms import numeric_path_counts
 from repro.core.checker import Checker
 from repro.core.errors import FluxError
 from repro.core.genv import GlobalEnv
@@ -119,8 +121,45 @@ def solve_constraints(
     return outcome
 
 
+_TERM_DELTA_KEYS = (
+    "intern_hits",
+    "intern_misses",
+    "subst_cache_hits",
+    "subst_cache_misses",
+    "simplify_cache_hits",
+    "simplify_cache_misses",
+)
+_PATH_DELTA_KEYS = ("int_atoms", "fraction_atoms", "int_divisions", "fraction_divisions")
+
+
+def term_metric_snapshot() -> Dict[str, int]:
+    """Snapshot of the process-global term-layer/arithmetic counters."""
+    snapshot = dict(term_cache_stats())
+    snapshot.update(numeric_path_counts())
+    return snapshot
+
+
+def side_metric_deltas(before: Dict[str, int]) -> Dict[str, int]:
+    """Per-run growth of the counters since ``before`` (a snapshot).
+
+    The intern table and its memo caches are process-wide (that is the point
+    of hash-consing), so per-program metrics report the *growth* during this
+    run; ``intern_table_size`` reports the absolute size, which is what a
+    capacity dashboard wants.  Shared by :func:`run_program_metrics` and
+    :meth:`repro.bench.suite.BenchmarkCase.run_flux` so the two reports
+    cannot diverge.
+    """
+    now = term_metric_snapshot()
+    deltas = {
+        key: now[key] - before.get(key, 0) for key in _TERM_DELTA_KEYS + _PATH_DELTA_KEYS
+    }
+    deltas["intern_table_size"] = now["intern_table_size"]
+    return deltas
+
+
 def run_program_metrics(program: BenchmarkProgram) -> Dict[str, object]:
     """End-to-end Flux metrics for one benchmark program (fresh context)."""
+    before = term_metric_snapshot()
     started = time.perf_counter()
     try:
         with use_context(SmtContext()):
@@ -130,7 +169,7 @@ def run_program_metrics(program: BenchmarkProgram) -> Dict[str, object]:
             "error": f"{type(error).__name__}: {error}",
             "elapsed": time.perf_counter() - started,
         }
-    return {
+    metrics: Dict[str, object] = {
         "elapsed": time.perf_counter() - started,
         "verified": result.ok,
         "failures": sorted(str(d) for d in result.diagnostics),
@@ -140,6 +179,8 @@ def run_program_metrics(program: BenchmarkProgram) -> Dict[str, object]:
         "incremental_hits": sum(fn.smt_incremental_hits for fn in result.functions),
         "clauses_retained": sum(fn.smt_clauses_retained for fn in result.functions),
     }
+    metrics.update(side_metric_deltas(before))
+    return metrics
 
 
 def table1_programs(names: Optional[List[str]] = None) -> List[BenchmarkProgram]:

@@ -29,6 +29,18 @@ class SideMetrics:
     assumption_checks: int = 0
     incremental_hits: int = 0
     clauses_retained: int = 0
+    # -- term-layer / arithmetic fast-path observability (per run) ----------
+    intern_table_size: int = 0
+    intern_hits: int = 0
+    intern_misses: int = 0
+    subst_cache_hits: int = 0
+    subst_cache_misses: int = 0
+    simplify_cache_hits: int = 0
+    simplify_cache_misses: int = 0
+    int_atoms: int = 0
+    fraction_atoms: int = 0
+    int_divisions: int = 0
+    fraction_divisions: int = 0
 
 
 @dataclass
@@ -75,6 +87,9 @@ class BenchmarkCase:
         """Run the Flux side; with a ``session``, go through ``repro.service``
         so repeated runs hit the per-function result cache and the metrics
         report hit/miss counts."""
+        from repro.bench.fixpoint_bench import side_metric_deltas, term_metric_snapshot
+
+        before = term_metric_snapshot()
         started = time.perf_counter()
         cache_hits = cache_misses = 0
         if session is not None:
@@ -104,6 +119,7 @@ class BenchmarkCase:
         elapsed = time.perf_counter() - started
         failures = tuple(str(d) for d in result.diagnostics)
         return SideMetrics(
+            **side_metric_deltas(before),
             loc=self._code_lines(self.program.flux_source),
             spec_lines=self._attr_lines(self.program.flux_source, ("#[flux::",)),
             annot_lines=0,  # Flux needs no loop invariants: they are inferred

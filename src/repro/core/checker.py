@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.lang import ast
 from repro.logic.expr import (
+    binop,
     BinOp,
     BoolConst,
     Expr,
@@ -221,6 +222,8 @@ class Checker:
         state = RefinementState()
         for name, sort in self.signature.refinement_params:
             state.bind(name, sort)
+        for constraint in self.signature.requires:
+            state.assume(constraint)
         for name, declared, strong in zip(
             self.signature.param_names, self.signature.param_types, self.signature.strong_params
         ):
@@ -335,6 +338,22 @@ class Checker:
                 continue
             for (name, _), value in zip(payload.binders, indices):
                 binder_values.setdefault(name, value)
+
+        # A template binder with no value on this edge (its local is not yet
+        # initialised here) still occurs inside the other templates' κ
+        # applications.  Bind it universally — with its declared sort — so the
+        # emitted clauses stay closed and correctly sorted; qualifiers over it
+        # then survive only if they hold for every value, which is exactly the
+        # join semantics for an unknown input.
+        bound = {name for name, _ in incoming.binders}
+        for local, expected in template.items():
+            payload = expected.inner if isinstance(expected, RRef) else expected
+            if not isinstance(payload, RExists):
+                continue
+            for name, sort in payload.binders:
+                if name not in binder_values and name not in bound:
+                    bound.add(name)
+                    incoming.bind(name, sort)
 
         for local, expected in template.items():
             actual = incoming.env.get(local)
@@ -714,15 +733,15 @@ class Checker:
 
         if op in ("==", "!=", "<", "<=", ">", ">="):
             logic_op = "=" if op == "==" else op
-            return RIndexed(BTBool(), (BinOp(logic_op, lhs_index, rhs_index),))
+            return RIndexed(BTBool(), (binop(logic_op, lhs_index, rhs_index),))
         if op in ("&&", "||"):
-            return RIndexed(BTBool(), (BinOp(op, lhs_index, rhs_index),))
+            return RIndexed(BTBool(), (binop(op, lhs_index, rhs_index),))
         if op in ("+", "-"):
             result_base = lhs_base if isinstance(lhs_base, BTInt) else rhs_base
-            return RIndexed(result_base or BTInt(), (BinOp(op, lhs_index, rhs_index),))
+            return RIndexed(result_base or BTInt(), (binop(op, lhs_index, rhs_index),))
         if op == "*":
             if isinstance(lhs_index, IntConst) or isinstance(rhs_index, IntConst):
-                return RIndexed(lhs_base or BTInt(), (BinOp("*", lhs_index, rhs_index),))
+                return RIndexed(lhs_base or BTInt(), (binop("*", lhs_index, rhs_index),))
             return unrefined(lhs_base or BTInt())
         if op in ("/", "%"):
             return self._division_type(state, lhs, rhs, lhs_index, rhs_index, op)
@@ -752,8 +771,8 @@ class Checker:
         result_var = state.bind(result, INT)
         if op == "/":
             # divisor*q <= dividend < divisor*q + divisor
-            state.assume(le(BinOp("*", IntConst(divisor), result_var), lhs_index))
-            state.assume(lt(lhs_index, BinOp("+", BinOp("*", IntConst(divisor), result_var), IntConst(divisor))))
+            state.assume(le(binop("*", IntConst(divisor), result_var), lhs_index))
+            state.assume(lt(lhs_index, binop("+", binop("*", IntConst(divisor), result_var), IntConst(divisor))))
             state.assume(ge(result_var, 0))
         else:
             state.assume(ge(result_var, 0))
@@ -912,6 +931,14 @@ class Checker:
 
         def instantiate(rtype: RType) -> RType:
             return subst_type_params(subst_rtype(rtype, refinement_subst), generic_map)
+
+        # Signature-level requirements on refinement parameters (from
+        # ``B[@n]{v: pred}`` argument types) are obligations of the caller.
+        for constraint in signature.requires:
+            self.emit(
+                state,
+                c_pred(substitute(constraint, refinement_subst), tag=f"call {func} requires"),
+            )
 
         # Pass 2: argument subtyping (and borrow weakening / strong updates).
         for index, (formal, actual, operand) in enumerate(

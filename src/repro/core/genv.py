@@ -27,6 +27,7 @@ from repro.lang.specs import (
 )
 from repro.logic.expr import Expr, TRUE, Var
 from repro.logic.sorts import BOOL, INT, Sort
+from repro.logic.subst import substitute
 from repro.core.errors import FluxError
 from repro.core.rtypes import (
     BTAdt,
@@ -63,6 +64,9 @@ class FluxSignature:
     ensures: Tuple[Tuple[str, RType], ...]
     generics: Tuple[str, ...] = ()
     trusted: bool = False
+    #: Constraints on refinement parameters from ``B[@n]{v: pred}`` argument
+    #: types: assumed when checking the function body, proved at call sites.
+    requires: Tuple[Expr, ...] = ()
 
     def __str__(self) -> str:
         params = ", ".join(
@@ -309,8 +313,9 @@ class GlobalEnv:
         param_types: List[RType] = []
         param_names: List[str] = []
         strong_flags: List[bool] = []
+        requires: List[Expr] = []
         for index, sig_param in enumerate(sig_ast.params):
-            rtype, strong = self._elaborate(sig_param.ty, generics, params)
+            rtype, strong = self._elaborate(sig_param.ty, generics, params, requires=requires)
             param_types.append(rtype)
             strong_flags.append(strong)
             if sig_param.name is not None:
@@ -344,6 +349,7 @@ class GlobalEnv:
             ensures=tuple(ensures),
             generics=tuple(generics),
             trusted=trusted,
+            requires=tuple(requires),
         )
 
     def _elaborate(
@@ -352,12 +358,18 @@ class GlobalEnv:
         generics: Sequence[str],
         params: Dict[str, Sort],
         allow_binders: bool = True,
+        requires: Optional[List[Expr]] = None,
     ) -> Tuple[RType, bool]:
-        """Elaborate a surface refined type.  Returns (type, was-strong-ref)."""
+        """Elaborate a surface refined type.  Returns (type, was-strong-ref).
+
+        ``requires`` collects constraints arising from the combined
+        index-binding-plus-constraint form ``B[@n]{v: pred}``; passing
+        ``None`` (return/ensures/field positions) makes that form an error.
+        """
         if isinstance(surf, SurfUnit):
             return UNIT, False
         if isinstance(surf, SurfRef):
-            inner, _ = self._elaborate(surf.inner, generics, params, allow_binders)
+            inner, _ = self._elaborate(surf.inner, generics, params, allow_binders, requires)
             if surf.kind == "strg":
                 # Strong references are modelled as mutable references whose
                 # argument must be a strong pointer at the call site; the flag
@@ -370,7 +382,7 @@ class GlobalEnv:
             )
             base = self._base_of_name(surf.name, args, generics)
             sorts = base.index_sorts()
-            if surf.exists_binder is not None:
+            if surf.exists_binder is not None and not surf.indices:
                 binders = tuple(
                     (surf.exists_binder if position == 0 else fresh_name(surf.exists_binder), sort)
                     for position, sort in enumerate(sorts)
@@ -395,6 +407,22 @@ class GlobalEnv:
                         index_exprs.append(Var(index.name, sorts[position]))
                     else:
                         index_exprs.append(index)
+                if surf.exists_binder is not None:
+                    # ``B[@n]{v: pred}``: the constraint reads the first index
+                    # through the binder.  It is not part of the type — it
+                    # becomes a signature-level requirement on the refinement
+                    # parameters (assumed in the body, proved at call sites).
+                    if requires is None:
+                        raise FluxError(
+                            f"type {surf.name}: an index constraint "
+                            "{...} is only supported in argument position"
+                        )
+                    constraint = substitute(
+                        surf.exists_pred or TRUE,
+                        {surf.exists_binder: index_exprs[0]},
+                    )
+                    if constraint != TRUE:
+                        requires.append(constraint)
                 return RIndexed(base, tuple(index_exprs)), False
             return unrefined(base), False
         raise FluxError(f"cannot elaborate surface type {surf!r}")

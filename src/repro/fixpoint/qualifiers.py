@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.logic.expr import BinOp, Expr, Var, add, sub
+from repro.logic.expr import BinOp, Expr, Var, add, sub, binop
 from repro.logic.sorts import BOOL, INT, Sort
 from repro.logic.subst import substitute
 from repro.fixpoint.constraint import KVarDecl
@@ -41,7 +41,7 @@ class Qualifier:
 
 
 def _cmp(op: str, rhs: Expr) -> Expr:
-    return BinOp(op, Var("v"), rhs)
+    return binop(op, Var("v"), rhs)
 
 
 def default_qualifiers() -> List[Qualifier]:
@@ -72,7 +72,7 @@ def default_qualifiers() -> List[Qualifier]:
         Qualifier("bool-true", Var("v", BOOL), (), BOOL),
         Qualifier(
             "bool-false",
-            BinOp("=", Var("v", BOOL), Var("x0", BOOL)),
+            binop("=", Var("v", BOOL), Var("x0", BOOL)),
             (BOOL,),
             BOOL,
         ),
@@ -86,7 +86,7 @@ def default_qualifiers() -> List[Qualifier]:
         qualifiers.append(
             Qualifier(
                 f"iff-{op_name}-zero",
-                BinOp("<=>", bool_value, BinOp(op, Var("x0"), zero)),
+                binop("<=>", bool_value, binop(op, Var("x0"), zero)),
                 (INT,),
                 BOOL,
             )
@@ -94,7 +94,7 @@ def default_qualifiers() -> List[Qualifier]:
         qualifiers.append(
             Qualifier(
                 f"iff-{op_name}-hole",
-                BinOp("<=>", bool_value, BinOp(op, Var("x0"), Var("x1"))),
+                binop("<=>", bool_value, binop(op, Var("x0"), Var("x1"))),
                 (INT, INT),
                 BOOL,
             )

@@ -45,6 +45,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.logic.expr import (
+    binop,
+    unary,
     App,
     BinOp,
     Expr,
@@ -144,7 +146,15 @@ class FixpointResult:
 
 
 def apply_solution(expr: Expr, solution: Solution, decls: Dict[str, KVarDecl]) -> Expr:
-    """Substitute solved κ applications inside ``expr``."""
+    """Substitute solved κ applications inside ``expr``.
+
+    Subtrees without κ occurrences are returned as-is — with interned
+    expressions the check is one cached-frozenset truthiness test, which
+    spares the common case (concrete hypotheses) a full rebuild per fixpoint
+    visit.
+    """
+    if not kvars_of(expr):
+        return expr
     if isinstance(expr, KVar):
         decl = decls.get(expr.name)
         if decl is None:
@@ -156,13 +166,13 @@ def apply_solution(expr: Expr, solution: Solution, decls: Dict[str, KVarDecl]) -
         }
         return substitute(body, mapping)
     if isinstance(expr, BinOp):
-        return BinOp(
+        return binop(
             expr.op,
             apply_solution(expr.lhs, solution, decls),
             apply_solution(expr.rhs, solution, decls),
         )
     if isinstance(expr, UnaryOp):
-        return UnaryOp(expr.op, apply_solution(expr.operand, solution, decls))
+        return unary(expr.op, apply_solution(expr.operand, solution, decls))
     if isinstance(expr, Ite):
         return Ite(
             apply_solution(expr.cond, solution, decls),

@@ -22,6 +22,8 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.lang.lexer import TokenStream, tokenize
 from repro.lang.parser import ParseError
 from repro.logic.expr import (
+    binop,
+    unary,
     App,
     BinOp,
     BoolConst,
@@ -104,7 +106,7 @@ class VariantSigAst:
 # Type aliases used in the paper's examples (§2.1: "nat abbreviates
 # i32{v: v >= 0}").
 TYPE_ALIASES = {
-    "nat": ("i32", BinOp(">=", Var("v"), IntConst(0))),
+    "nat": ("i32", binop(">=", Var("v"), IntConst(0))),
 }
 
 
@@ -139,14 +141,14 @@ class _SpecParser:
         expr = self._and()
         while self.ts.at("||"):
             self.ts.next()
-            expr = BinOp("||", expr, self._and())
+            expr = binop("||", expr, self._and())
         return expr
 
     def _and(self) -> Expr:
         expr = self._cmp()
         while self.ts.at("&&"):
             self.ts.next()
-            expr = BinOp("&&", expr, self._cmp())
+            expr = binop("&&", expr, self._cmp())
         return expr
 
     def _cmp(self) -> Expr:
@@ -158,30 +160,30 @@ class _SpecParser:
             self.ts.next()
             rhs = self._add()
             op = "=" if token == "==" else token
-            return BinOp(op, expr, rhs)
+            return binop(op, expr, rhs)
         if token == "=" and self.ts.peek(1).text != ">":
             self.ts.next()
-            return BinOp("=", expr, self._add())
+            return binop("=", expr, self._add())
         return expr
 
     def _add(self) -> Expr:
         expr = self._mul()
         while self.ts.peek().text in ("+", "-"):
             op = self.ts.next().text
-            expr = BinOp(op, expr, self._mul())
+            expr = binop(op, expr, self._mul())
         return expr
 
     def _mul(self) -> Expr:
         expr = self._unary()
         while self.ts.peek().text in ("*", "/", "%"):
             op = self.ts.next().text
-            expr = BinOp(op, expr, self._unary())
+            expr = binop(op, expr, self._unary())
         return expr
 
     def _unary(self) -> Expr:
         if self.ts.at("-"):
             self.ts.next()
-            return UnaryOp("-", self._unary())
+            return unary("-", self._unary())
         if self.ts.at("!"):
             self.ts.next()
             return not_(self._unary())
@@ -298,7 +300,9 @@ class _SpecParser:
                 else:
                     indices.append(self.expr())
                 self.ts.accept(",")
-        elif self.ts.at("{"):
+        if self.ts.at("{"):
+            # Either ``B{v: pred}`` (existential) or ``B[@n]{v: pred}``
+            # (indexed type with a constraint on its first index).
             self.ts.expect("{")
             binder = self.ts.expect_kind("ident").text
             self.ts.expect(":")

@@ -19,6 +19,10 @@ from repro.logic.expr import (
     App,
     KVar,
     Forall,
+    binop,
+    unary,
+    intern_stats,
+    clear_intern_table,
     and_,
     or_,
     not_,
@@ -37,9 +41,32 @@ from repro.logic.expr import (
     TRUE,
     FALSE,
 )
-from repro.logic.subst import substitute, free_vars, kvars_of, rename
-from repro.logic.simplify import simplify
+from repro.logic.subst import (
+    substitute,
+    free_vars,
+    kvars_of,
+    rename,
+    subst_cache_stats,
+    clear_subst_cache,
+)
+from repro.logic.simplify import simplify, simplify_cache_stats, clear_simplify_cache
 from repro.logic.pretty import pretty
+
+
+def term_cache_stats() -> dict:
+    """Aggregate observability for the interning layer and its memo caches."""
+    stats = {}
+    stats.update(intern_stats())
+    stats.update(subst_cache_stats())
+    stats.update(simplify_cache_stats())
+    return stats
+
+
+def clear_term_caches() -> None:
+    """Reset the intern table and every memo cache that keys on its nodes."""
+    clear_subst_cache()
+    clear_simplify_cache()
+    clear_intern_table()
 
 __all__ = [
     "Sort",
@@ -76,10 +103,15 @@ __all__ = [
     "neg",
     "TRUE",
     "FALSE",
+    "binop",
+    "unary",
     "substitute",
     "free_vars",
     "kvars_of",
     "rename",
     "simplify",
     "pretty",
+    "intern_stats",
+    "term_cache_stats",
+    "clear_term_caches",
 ]

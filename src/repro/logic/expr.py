@@ -1,8 +1,20 @@
-"""Expression AST for the refinement logic.
+"""Expression AST for the refinement logic, with hash-consing.
 
-Expressions are immutable and hashable so they can be shared freely between
-refinement types, Horn constraints and SMT queries.  The grammar mirrors the
-``r`` production of Fig. 6 in the paper:
+Expressions are immutable and *interned* (hash-consed): constructing a node
+with the same structure twice returns the same object, so
+
+* structural equality is pointer equality (``__eq__`` is identity),
+* ``hash`` is a precomputed integer read off the node,
+* ``free_vars`` / ``kvars_of`` / ``has_quantifier`` are cached on the node at
+  construction time from the (already interned) children, and
+* traversals such as substitution and simplification can be memoised on the
+  node object itself — dictionary lookups over interned nodes cost O(1)
+  instead of a structural re-hash of the whole subtree.
+
+This mirrors the cheap structural sharing the paper's Rust implementation
+gets for free and is the backbone of the check-pipeline fast path.
+
+The grammar mirrors the ``r`` production of Fig. 6 in the paper:
 
 * variables, integer / boolean constants,
 * equality, boolean connectives, linear integer arithmetic,
@@ -11,21 +23,69 @@ refinement types, Horn constraints and SMT queries.  The grammar mirrors the
   - ``KVar`` applications, the unknown Horn predicates of liquid inference,
   - ``Forall`` and uninterpreted ``App`` nodes, used only by the Prusti-style
     baseline for quantified container specifications.
+
+Construction outside this module should go through the node classes'
+interning constructors (``Var``, ``IntConst``, ...) for leaves and the smart
+constructors (``and_``, ``binop``, ``unary``, ...) for interior nodes;
+``tests/test_construction_guard.py`` enforces the latter for ``BinOp`` /
+``UnaryOp``, whose smart constructors also validate the operator.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Tuple, Union
 
 from repro.logic.sorts import BOOL, INT, REAL, Sort
 
+_EMPTY: FrozenSet[str] = frozenset()
+
+#: The intern table.  Keys are per-class structural tuples; values are the
+#: unique node for that structure.  Entries are kept alive for the lifetime
+#: of the process (callers running many unrelated programs can reclaim the
+#: memory with :func:`clear_intern_table`).
+_INTERN: Dict[tuple, "Expr"] = {}
+_INTERN_HITS = 0
+_INTERN_MISSES = 0
+
+
+def intern_stats() -> Dict[str, int]:
+    """Intern-table observability for benchmarks and the service layer."""
+    return {
+        "intern_table_size": len(_INTERN),
+        "intern_hits": _INTERN_HITS,
+        "intern_misses": _INTERN_MISSES,
+    }
+
+
+def clear_intern_table() -> None:
+    """Drop every interned node except the pinned shared constants.
+
+    Only for long-lived processes between unrelated runs; any still-referenced
+    expression keeps working (its caches live on the node), but re-built
+    structures will no longer be identical to it, so memo caches keyed on old
+    nodes must be cleared alongside (see :func:`repro.logic.clear_term_caches`).
+    The module-level constants (``TRUE``/``FALSE``/``IntConst(0)``/
+    ``IntConst(1)``) are re-seeded so identity checks against them stay valid
+    across a clear.
+    """
+    _INTERN.clear()
+    for constant in (TRUE, FALSE):
+        _INTERN[("BoolConst", constant.value)] = constant
+    for constant in (_ZERO, _ONE):
+        _INTERN[("IntConst", constant.value)] = constant
+
 
 class Expr:
-    """Base class of all refinement expressions."""
+    """Base class of all refinement expressions (interned, immutable)."""
 
-    __slots__ = ()
+    __slots__ = ("_hash", "_free", "_kvars", "_quant")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Identity equality: interning makes structural equality and identity
+    # coincide, so the default object ``__eq__``/``__ne__`` are exactly right.
 
     def __and__(self, other: "Expr") -> "Expr":
         return and_(self, other)
@@ -37,36 +97,130 @@ class Expr:
         return not_(self)
 
 
-@dataclass(frozen=True)
 class Var(Expr):
     """A refinement variable with its sort."""
 
-    name: str
-    sort: Sort = INT
+    __slots__ = ("name", "sort")
+
+    def __new__(cls, name: str, sort: Sort = INT) -> "Var":
+        key = ("Var", name, sort)
+        self = _INTERN.get(key)
+        if self is None:
+            global _INTERN_MISSES
+            _INTERN_MISSES += 1
+            self = object.__new__(cls)
+            self.name = name
+            self.sort = sort
+            self._hash = hash(key)
+            self._free = frozenset((name,))
+            self._kvars = _EMPTY
+            self._quant = False
+            _INTERN[key] = self
+        else:
+            global _INTERN_HITS
+            _INTERN_HITS += 1
+        return self
+
+    def __reduce__(self):
+        return (Var, (self.name, self.sort))
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r}, {self.sort!r})"
 
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class IntConst(Expr):
-    value: int
+    __slots__ = ("value",)
+
+    def __new__(cls, value: int) -> "IntConst":
+        value = int(value)  # normalise bools and int subclasses
+        key = ("IntConst", value)
+        self = _INTERN.get(key)
+        if self is None:
+            global _INTERN_MISSES
+            _INTERN_MISSES += 1
+            self = object.__new__(cls)
+            self.value = value
+            self._hash = hash(key)
+            self._free = _EMPTY
+            self._kvars = _EMPTY
+            self._quant = False
+            _INTERN[key] = self
+        else:
+            global _INTERN_HITS
+            _INTERN_HITS += 1
+        return self
+
+    def __reduce__(self):
+        return (IntConst, (self.value,))
+
+    def __repr__(self) -> str:
+        return f"IntConst({self.value!r})"
 
     def __str__(self) -> str:
         return str(self.value)
 
 
-@dataclass(frozen=True)
 class RealConst(Expr):
-    value: Fraction
+    __slots__ = ("value",)
+
+    def __new__(cls, value: Fraction) -> "RealConst":
+        key = ("RealConst", value)
+        self = _INTERN.get(key)
+        if self is None:
+            global _INTERN_MISSES
+            _INTERN_MISSES += 1
+            self = object.__new__(cls)
+            self.value = value
+            self._hash = hash(key)
+            self._free = _EMPTY
+            self._kvars = _EMPTY
+            self._quant = False
+            _INTERN[key] = self
+        else:
+            global _INTERN_HITS
+            _INTERN_HITS += 1
+        return self
+
+    def __reduce__(self):
+        return (RealConst, (self.value,))
+
+    def __repr__(self) -> str:
+        return f"RealConst({self.value!r})"
 
     def __str__(self) -> str:
         return str(self.value)
 
 
-@dataclass(frozen=True)
 class BoolConst(Expr):
-    value: bool
+    __slots__ = ("value",)
+
+    def __new__(cls, value: bool) -> "BoolConst":
+        value = bool(value)
+        key = ("BoolConst", value)
+        self = _INTERN.get(key)
+        if self is None:
+            global _INTERN_MISSES
+            _INTERN_MISSES += 1
+            self = object.__new__(cls)
+            self.value = value
+            self._hash = hash(key)
+            self._free = _EMPTY
+            self._kvars = _EMPTY
+            self._quant = False
+            _INTERN[key] = self
+        else:
+            global _INTERN_HITS
+            _INTERN_HITS += 1
+        return self
+
+    def __reduce__(self):
+        return (BoolConst, (self.value,))
+
+    def __repr__(self) -> str:
+        return f"BoolConst({self.value!r})"
 
     def __str__(self) -> str:
         return "true" if self.value else "false"
@@ -85,76 +239,236 @@ BOOL_OPS = frozenset({"&&", "||", "=>", "<=>"})
 ALL_OPS = ARITH_OPS | CMP_OPS | BOOL_OPS
 
 
-@dataclass(frozen=True)
-class BinOp(Expr):
-    op: str
-    lhs: Expr
-    rhs: Expr
+def _union(a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+    if not b:
+        return a
+    if not a:
+        return b
+    return a | b
 
-    def __post_init__(self) -> None:
-        if self.op not in ALL_OPS:
-            raise ValueError(f"unknown binary operator {self.op!r}")
+
+class BinOp(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __new__(cls, op: str, lhs: Expr, rhs: Expr) -> "BinOp":
+        key = ("BinOp", op, lhs, rhs)
+        self = _INTERN.get(key)
+        if self is None:
+            if op not in ALL_OPS:
+                raise ValueError(f"unknown binary operator {op!r}")
+            global _INTERN_MISSES
+            _INTERN_MISSES += 1
+            self = object.__new__(cls)
+            self.op = op
+            self.lhs = lhs
+            self.rhs = rhs
+            self._hash = hash(key)
+            self._free = _union(lhs._free, rhs._free)
+            self._kvars = _union(lhs._kvars, rhs._kvars)
+            self._quant = lhs._quant or rhs._quant
+            _INTERN[key] = self
+        else:
+            global _INTERN_HITS
+            _INTERN_HITS += 1
+        return self
+
+    def __reduce__(self):
+        return (BinOp, (self.op, self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r}, {self.lhs!r}, {self.rhs!r})"
 
     def __str__(self) -> str:
         return f"({self.lhs} {self.op} {self.rhs})"
 
 
-@dataclass(frozen=True)
 class UnaryOp(Expr):
-    op: str  # "!" or "-"
-    operand: Expr
+    __slots__ = ("op", "operand")
 
-    def __post_init__(self) -> None:
-        if self.op not in ("!", "-"):
-            raise ValueError(f"unknown unary operator {self.op!r}")
+    def __new__(cls, op: str, operand: Expr) -> "UnaryOp":
+        key = ("UnaryOp", op, operand)
+        self = _INTERN.get(key)
+        if self is None:
+            if op not in ("!", "-"):
+                raise ValueError(f"unknown unary operator {op!r}")
+            global _INTERN_MISSES
+            _INTERN_MISSES += 1
+            self = object.__new__(cls)
+            self.op = op
+            self.operand = operand
+            self._hash = hash(key)
+            self._free = operand._free
+            self._kvars = operand._kvars
+            self._quant = operand._quant
+            _INTERN[key] = self
+        else:
+            global _INTERN_HITS
+            _INTERN_HITS += 1
+        return self
+
+    def __reduce__(self):
+        return (UnaryOp, (self.op, self.operand))
+
+    def __repr__(self) -> str:
+        return f"UnaryOp({self.op!r}, {self.operand!r})"
 
     def __str__(self) -> str:
         return f"{self.op}{self.operand}"
 
 
-@dataclass(frozen=True)
 class Ite(Expr):
     """If-then-else term: ``cond ? then : otherwise``."""
 
-    cond: Expr
-    then: Expr
-    otherwise: Expr
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __new__(cls, cond: Expr, then: Expr, otherwise: Expr) -> "Ite":
+        key = ("Ite", cond, then, otherwise)
+        self = _INTERN.get(key)
+        if self is None:
+            global _INTERN_MISSES
+            _INTERN_MISSES += 1
+            self = object.__new__(cls)
+            self.cond = cond
+            self.then = then
+            self.otherwise = otherwise
+            self._hash = hash(key)
+            self._free = _union(_union(cond._free, then._free), otherwise._free)
+            self._kvars = _union(_union(cond._kvars, then._kvars), otherwise._kvars)
+            self._quant = cond._quant or then._quant or otherwise._quant
+            _INTERN[key] = self
+        else:
+            global _INTERN_HITS
+            _INTERN_HITS += 1
+        return self
+
+    def __reduce__(self):
+        return (Ite, (self.cond, self.then, self.otherwise))
+
+    def __repr__(self) -> str:
+        return f"Ite({self.cond!r}, {self.then!r}, {self.otherwise!r})"
 
     def __str__(self) -> str:
         return f"(if {self.cond} then {self.then} else {self.otherwise})"
 
 
-@dataclass(frozen=True)
 class App(Expr):
     """Application of an uninterpreted function symbol."""
 
-    func: str
-    args: Tuple[Expr, ...]
-    sort: Sort = INT
+    __slots__ = ("func", "args", "sort")
+
+    def __new__(cls, func: str, args: Tuple[Expr, ...], sort: Sort = INT) -> "App":
+        args = tuple(args)
+        key = ("App", func, args, sort)
+        self = _INTERN.get(key)
+        if self is None:
+            global _INTERN_MISSES
+            _INTERN_MISSES += 1
+            self = object.__new__(cls)
+            self.func = func
+            self.args = args
+            self.sort = sort
+            free = _EMPTY
+            kvars = _EMPTY
+            quant = False
+            for arg in args:
+                free = _union(free, arg._free)
+                kvars = _union(kvars, arg._kvars)
+                quant = quant or arg._quant
+            self._hash = hash(key)
+            self._free = free
+            self._kvars = kvars
+            self._quant = quant
+            _INTERN[key] = self
+        else:
+            global _INTERN_HITS
+            _INTERN_HITS += 1
+        return self
+
+    def __reduce__(self):
+        return (App, (self.func, self.args, self.sort))
+
+    def __repr__(self) -> str:
+        return f"App({self.func!r}, {self.args!r}, {self.sort!r})"
 
     def __str__(self) -> str:
         inner = ", ".join(str(a) for a in self.args)
         return f"{self.func}({inner})"
 
 
-@dataclass(frozen=True)
 class KVar(Expr):
     """An unknown Horn predicate ``κ(args)`` solved by liquid inference."""
 
-    name: str
-    args: Tuple[Expr, ...]
+    __slots__ = ("name", "args")
+
+    def __new__(cls, name: str, args: Tuple[Expr, ...]) -> "KVar":
+        args = tuple(args)
+        key = ("KVar", name, args)
+        self = _INTERN.get(key)
+        if self is None:
+            global _INTERN_MISSES
+            _INTERN_MISSES += 1
+            self = object.__new__(cls)
+            self.name = name
+            self.args = args
+            free = _EMPTY
+            kvars = frozenset((name,))
+            quant = False
+            for arg in args:
+                free = _union(free, arg._free)
+                kvars = _union(kvars, arg._kvars)
+                quant = quant or arg._quant
+            self._hash = hash(key)
+            self._free = free
+            self._kvars = kvars
+            self._quant = quant
+            _INTERN[key] = self
+        else:
+            global _INTERN_HITS
+            _INTERN_HITS += 1
+        return self
+
+    def __reduce__(self):
+        return (KVar, (self.name, self.args))
+
+    def __repr__(self) -> str:
+        return f"KVar({self.name!r}, {self.args!r})"
 
     def __str__(self) -> str:
         inner = ", ".join(str(a) for a in self.args)
         return f"${self.name}({inner})"
 
 
-@dataclass(frozen=True)
 class Forall(Expr):
     """Universally quantified predicate (Prusti-style baseline only)."""
 
-    binders: Tuple[Tuple[str, Sort], ...]
-    body: Expr
+    __slots__ = ("binders", "body")
+
+    def __new__(cls, binders: Tuple[Tuple[str, Sort], ...], body: Expr) -> "Forall":
+        binders = tuple(binders)
+        key = ("Forall", binders, body)
+        self = _INTERN.get(key)
+        if self is None:
+            global _INTERN_MISSES
+            _INTERN_MISSES += 1
+            self = object.__new__(cls)
+            self.binders = binders
+            self.body = body
+            bound = frozenset(name for name, _ in binders)
+            self._hash = hash(key)
+            self._free = body._free - bound
+            self._kvars = body._kvars
+            self._quant = True
+            _INTERN[key] = self
+        else:
+            global _INTERN_HITS
+            _INTERN_HITS += 1
+        return self
+
+    def __reduce__(self):
+        return (Forall, (self.binders, self.body))
+
+    def __repr__(self) -> str:
+        return f"Forall({self.binders!r}, {self.body!r})"
 
     def __str__(self) -> str:
         names = ", ".join(f"{n}: {s}" for n, s in self.binders)
@@ -178,14 +492,24 @@ def _as_expr(value: Union[Expr, int, bool]) -> Expr:
     raise TypeError(f"cannot coerce {value!r} to a refinement expression")
 
 
+def binop(op: str, lhs: Union[Expr, int, bool], rhs: Union[Expr, int, bool]) -> Expr:
+    """Interning constructor for a binary operation (no folding)."""
+    return BinOp(op, _as_expr(lhs), _as_expr(rhs))
+
+
+def unary(op: str, operand: Union[Expr, int, bool]) -> Expr:
+    """Interning constructor for a unary operation (no folding)."""
+    return UnaryOp(op, _as_expr(operand))
+
+
 def and_(*exprs: Union[Expr, int, bool]) -> Expr:
     """Conjunction, flattening ``true`` and short-circuiting ``false``."""
     conjuncts = []
     for raw in exprs:
         e = _as_expr(raw)
-        if e == TRUE:
+        if e is TRUE:
             continue
-        if e == FALSE:
+        if e is FALSE:
             return FALSE
         conjuncts.append(e)
     if not conjuncts:
@@ -201,9 +525,9 @@ def or_(*exprs: Union[Expr, int, bool]) -> Expr:
     disjuncts = []
     for raw in exprs:
         e = _as_expr(raw)
-        if e == FALSE:
+        if e is FALSE:
             continue
-        if e == TRUE:
+        if e is TRUE:
             return TRUE
         disjuncts.append(e)
     if not disjuncts:
@@ -216,9 +540,9 @@ def or_(*exprs: Union[Expr, int, bool]) -> Expr:
 
 def not_(expr: Union[Expr, int, bool]) -> Expr:
     e = _as_expr(expr)
-    if e == TRUE:
+    if e is TRUE:
         return FALSE
-    if e == FALSE:
+    if e is FALSE:
         return TRUE
     if isinstance(e, UnaryOp) and e.op == "!":
         return e.operand
@@ -228,9 +552,9 @@ def not_(expr: Union[Expr, int, bool]) -> Expr:
 def implies(antecedent: Union[Expr, int, bool], consequent: Union[Expr, int, bool]) -> Expr:
     p = _as_expr(antecedent)
     q = _as_expr(consequent)
-    if p == TRUE:
+    if p is TRUE:
         return q
-    if p == FALSE or q == TRUE:
+    if p is FALSE or q is TRUE:
         return TRUE
     return BinOp("=>", p, q)
 
@@ -263,33 +587,40 @@ def ge(lhs: Union[Expr, int, bool], rhs: Union[Expr, int, bool]) -> Expr:
     return BinOp(">=", _as_expr(lhs), _as_expr(rhs))
 
 
+_ZERO = IntConst(0)
+_ONE = IntConst(1)
+
+
 def add(lhs: Union[Expr, int], rhs: Union[Expr, int]) -> Expr:
     left, right = _as_expr(lhs), _as_expr(rhs)
-    if isinstance(left, IntConst) and isinstance(right, IntConst):
-        return IntConst(left.value + right.value)
-    if right == IntConst(0):
-        return left
-    if left == IntConst(0):
+    if isinstance(right, IntConst):
+        if isinstance(left, IntConst):
+            return IntConst(left.value + right.value)
+        if right.value == 0:
+            return left
+    if isinstance(left, IntConst) and left.value == 0:
         return right
     return BinOp("+", left, right)
 
 
 def sub(lhs: Union[Expr, int], rhs: Union[Expr, int]) -> Expr:
     left, right = _as_expr(lhs), _as_expr(rhs)
-    if isinstance(left, IntConst) and isinstance(right, IntConst):
-        return IntConst(left.value - right.value)
-    if right == IntConst(0):
-        return left
+    if isinstance(right, IntConst):
+        if isinstance(left, IntConst):
+            return IntConst(left.value - right.value)
+        if right.value == 0:
+            return left
     return BinOp("-", left, right)
 
 
 def mul(lhs: Union[Expr, int], rhs: Union[Expr, int]) -> Expr:
     left, right = _as_expr(lhs), _as_expr(rhs)
-    if isinstance(left, IntConst) and isinstance(right, IntConst):
-        return IntConst(left.value * right.value)
-    if left == IntConst(1):
-        return right
-    if right == IntConst(1):
+    if isinstance(left, IntConst):
+        if isinstance(right, IntConst):
+            return IntConst(left.value * right.value)
+        if left.value == 1:
+            return right
+    if isinstance(right, IntConst) and right.value == 1:
         return left
     return BinOp("*", left, right)
 

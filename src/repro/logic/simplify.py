@@ -4,9 +4,15 @@ The checker produces many trivially-true side conditions (e.g. ``0 <= 0``);
 folding them before they reach the SMT layer keeps both constraint dumps and
 solver inputs small.  The rewrites are purely local and syntactic, hence
 obviously validity-preserving.
+
+``simplify`` is a pure function of an interned expression, so its results
+are memoised globally: re-simplifying the hypotheses of a clause on every
+fixpoint visit costs one dictionary lookup.
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 from repro.logic.expr import (
     ARITH_OPS,
@@ -25,20 +31,57 @@ from repro.logic.expr import (
     Var,
 )
 
+_SIMPLIFY_CACHE: Dict[Expr, Expr] = {}
+_SIMPLIFY_CACHE_LIMIT = 250_000
+_SIMPLIFY_HITS = 0
+_SIMPLIFY_MISSES = 0
+
+
+def simplify_cache_stats() -> Dict[str, int]:
+    return {
+        "simplify_cache_size": len(_SIMPLIFY_CACHE),
+        "simplify_cache_hits": _SIMPLIFY_HITS,
+        "simplify_cache_misses": _SIMPLIFY_MISSES,
+    }
+
+
+def clear_simplify_cache() -> None:
+    global _SIMPLIFY_HITS, _SIMPLIFY_MISSES
+    _SIMPLIFY_CACHE.clear()
+    _SIMPLIFY_HITS = 0
+    _SIMPLIFY_MISSES = 0
+
 
 def simplify(expr: Expr) -> Expr:
     """Return a simplified expression equivalent to ``expr``."""
     if isinstance(expr, (Var, IntConst, BoolConst, RealConst)):
         return expr
+    global _SIMPLIFY_HITS, _SIMPLIFY_MISSES
+    cached = _SIMPLIFY_CACHE.get(expr)
+    if cached is not None:
+        _SIMPLIFY_HITS += 1
+        return cached
+    _SIMPLIFY_MISSES += 1
+    result = _simplify(expr)
+    if len(_SIMPLIFY_CACHE) >= _SIMPLIFY_CACHE_LIMIT:
+        _SIMPLIFY_CACHE.clear()
+    _SIMPLIFY_CACHE[expr] = result
+    if result is not expr:
+        # Simplification is idempotent; pin the fixed point too.
+        _SIMPLIFY_CACHE.setdefault(result, result)
+    return result
+
+
+def _simplify(expr: Expr) -> Expr:
     if isinstance(expr, UnaryOp):
         return _simplify_unary(expr)
     if isinstance(expr, BinOp):
         return _simplify_binop(expr)
     if isinstance(expr, Ite):
         cond = simplify(expr.cond)
-        if cond == TRUE:
+        if cond is TRUE:
             return simplify(expr.then)
-        if cond == FALSE:
+        if cond is FALSE:
             return simplify(expr.otherwise)
         return Ite(cond, simplify(expr.then), simplify(expr.otherwise))
     if isinstance(expr, App):
@@ -47,7 +90,7 @@ def simplify(expr: Expr) -> Expr:
         return KVar(expr.name, tuple(simplify(a) for a in expr.args))
     if isinstance(expr, Forall):
         body = simplify(expr.body)
-        if body in (TRUE, FALSE):
+        if body is TRUE or body is FALSE:
             return body
         return Forall(expr.binders, body)
     return expr
@@ -56,9 +99,9 @@ def simplify(expr: Expr) -> Expr:
 def _simplify_unary(expr: UnaryOp) -> Expr:
     operand = simplify(expr.operand)
     if expr.op == "!":
-        if operand == TRUE:
+        if operand is TRUE:
             return FALSE
-        if operand == FALSE:
+        if operand is FALSE:
             return TRUE
         if isinstance(operand, UnaryOp) and operand.op == "!":
             return operand.operand
@@ -78,29 +121,29 @@ def _simplify_binop(expr: BinOp) -> Expr:
         return _fold_arith(op, lhs, rhs)
 
     if op == "&&":
-        if lhs == FALSE or rhs == FALSE:
+        if lhs is FALSE or rhs is FALSE:
             return FALSE
-        if lhs == TRUE:
+        if lhs is TRUE:
             return rhs
-        if rhs == TRUE:
+        if rhs is TRUE:
             return lhs
         return BinOp(op, lhs, rhs)
     if op == "||":
-        if lhs == TRUE or rhs == TRUE:
+        if lhs is TRUE or rhs is TRUE:
             return TRUE
-        if lhs == FALSE:
+        if lhs is FALSE:
             return rhs
-        if rhs == FALSE:
+        if rhs is FALSE:
             return lhs
         return BinOp(op, lhs, rhs)
     if op == "=>":
-        if lhs == FALSE or rhs == TRUE:
+        if lhs is FALSE or rhs is TRUE:
             return TRUE
-        if lhs == TRUE:
+        if lhs is TRUE:
             return rhs
         return BinOp(op, lhs, rhs)
     if op == "<=>":
-        if lhs == rhs:
+        if lhs is rhs:
             return TRUE
         return BinOp(op, lhs, rhs)
 
@@ -112,39 +155,40 @@ def _simplify_binop(expr: BinOp) -> Expr:
             return BoolConst(lhs.value == rhs.value)
         if op == "!=":
             return BoolConst(lhs.value != rhs.value)
-    if lhs == rhs and op in ("=", "<=", ">="):
+    if lhs is rhs and op in ("=", "<=", ">="):
         return TRUE
-    if lhs == rhs and op in ("!=", "<", ">"):
+    if lhs is rhs and op in ("!=", "<", ">"):
         return FALSE
     return BinOp(op, lhs, rhs)
 
 
 def _fold_arith(op: str, lhs: Expr, rhs: Expr) -> Expr:
-    if isinstance(lhs, IntConst) and isinstance(rhs, IntConst):
-        left, right = lhs.value, rhs.value
+    lhs_const = lhs.value if isinstance(lhs, IntConst) else None
+    rhs_const = rhs.value if isinstance(rhs, IntConst) else None
+    if lhs_const is not None and rhs_const is not None:
         if op == "+":
-            return IntConst(left + right)
+            return IntConst(lhs_const + rhs_const)
         if op == "-":
-            return IntConst(left - right)
+            return IntConst(lhs_const - rhs_const)
         if op == "*":
-            return IntConst(left * right)
-        if op == "/" and right != 0:
-            return IntConst(left // right)
-        if op == "%" and right != 0:
-            return IntConst(left % right)
+            return IntConst(lhs_const * rhs_const)
+        if op == "/" and rhs_const != 0:
+            return IntConst(lhs_const // rhs_const)
+        if op == "%" and rhs_const != 0:
+            return IntConst(lhs_const % rhs_const)
     if op == "+":
-        if lhs == IntConst(0):
+        if lhs_const == 0:
             return rhs
-        if rhs == IntConst(0):
+        if rhs_const == 0:
             return lhs
-    if op == "-" and rhs == IntConst(0):
+    if op == "-" and rhs_const == 0:
         return lhs
     if op == "*":
-        if lhs == IntConst(1):
+        if lhs_const == 1:
             return rhs
-        if rhs == IntConst(1):
+        if rhs_const == 1:
             return lhs
-        if lhs == IntConst(0) or rhs == IntConst(0):
+        if lhs_const == 0 or rhs_const == 0:
             return IntConst(0)
     return BinOp(op, lhs, rhs)
 

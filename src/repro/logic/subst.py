@@ -1,22 +1,48 @@
-"""Substitution, renaming and variable queries over refinement expressions."""
+"""Substitution, renaming and variable queries over refinement expressions.
+
+All three queries are O(1) on interned expressions: ``free_vars`` and
+``kvars_of`` read the sets cached on the node at construction time, and
+``substitute`` is a memoised traversal that short-circuits every subtree
+whose cached free variables are disjoint from the substitution domain.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Mapping, Set
+from typing import Dict, FrozenSet, Mapping
 
 from repro.logic.expr import (
     App,
     BinOp,
-    BoolConst,
     Expr,
     Forall,
-    IntConst,
     Ite,
     KVar,
-    RealConst,
     UnaryOp,
     Var,
 )
+
+#: Global memo of completed substitutions, keyed on the interned expression
+#: plus the (restricted, sorted) mapping items.  Hashing the key is O(size of
+#: the mapping): every participating expression carries a precomputed hash.
+_SUBST_CACHE: Dict[tuple, Expr] = {}
+_SUBST_CACHE_LIMIT = 250_000
+_SUBST_HITS = 0
+_SUBST_MISSES = 0
+
+
+def subst_cache_stats() -> Dict[str, int]:
+    return {
+        "subst_cache_size": len(_SUBST_CACHE),
+        "subst_cache_hits": _SUBST_HITS,
+        "subst_cache_misses": _SUBST_MISSES,
+    }
+
+
+def clear_subst_cache() -> None:
+    global _SUBST_HITS, _SUBST_MISSES
+    _SUBST_CACHE.clear()
+    _SUBST_HITS = 0
+    _SUBST_MISSES = 0
 
 
 def substitute(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:
@@ -28,34 +54,65 @@ def substitute(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:
     """
     if not mapping:
         return expr
-    return _subst(expr, dict(mapping))
+    free = expr._free
+    # Restrict the mapping to the variables that actually occur; most
+    # substitutions touch a handful of a large context's binders.
+    items = tuple(
+        sorted(
+            ((name, value) for name, value in mapping.items() if name in free),
+            key=_by_name,
+        )
+    )
+    if not items:
+        return expr
+    global _SUBST_HITS, _SUBST_MISSES
+    key = (expr, items)
+    cached = _SUBST_CACHE.get(key)
+    if cached is not None:
+        _SUBST_HITS += 1
+        return cached
+    _SUBST_MISSES += 1
+    domain = frozenset(name for name, _ in items)
+    result = _subst(expr, dict(items), domain)
+    if len(_SUBST_CACHE) >= _SUBST_CACHE_LIMIT:
+        _SUBST_CACHE.clear()
+    _SUBST_CACHE[key] = result
+    return result
 
 
-def _subst(expr: Expr, mapping: Dict[str, Expr]) -> Expr:
+def _by_name(item):
+    return item[0]
+
+
+def _subst(expr: Expr, mapping: Dict[str, Expr], domain: FrozenSet[str]) -> Expr:
+    if domain.isdisjoint(expr._free):
+        return expr
     if isinstance(expr, Var):
         return mapping.get(expr.name, expr)
-    if isinstance(expr, (IntConst, BoolConst, RealConst)):
-        return expr
     if isinstance(expr, BinOp):
-        return BinOp(expr.op, _subst(expr.lhs, mapping), _subst(expr.rhs, mapping))
+        return BinOp(
+            expr.op, _subst(expr.lhs, mapping, domain), _subst(expr.rhs, mapping, domain)
+        )
     if isinstance(expr, UnaryOp):
-        return UnaryOp(expr.op, _subst(expr.operand, mapping))
+        return UnaryOp(expr.op, _subst(expr.operand, mapping, domain))
     if isinstance(expr, Ite):
         return Ite(
-            _subst(expr.cond, mapping),
-            _subst(expr.then, mapping),
-            _subst(expr.otherwise, mapping),
+            _subst(expr.cond, mapping, domain),
+            _subst(expr.then, mapping, domain),
+            _subst(expr.otherwise, mapping, domain),
         )
     if isinstance(expr, App):
-        return App(expr.func, tuple(_subst(a, mapping) for a in expr.args), expr.sort)
+        return App(
+            expr.func, tuple(_subst(a, mapping, domain) for a in expr.args), expr.sort
+        )
     if isinstance(expr, KVar):
-        return KVar(expr.name, tuple(_subst(a, mapping) for a in expr.args))
+        return KVar(expr.name, tuple(_subst(a, mapping, domain) for a in expr.args))
     if isinstance(expr, Forall):
         bound = {name for name, _ in expr.binders}
         inner = {k: v for k, v in mapping.items() if k not in bound}
         if not inner:
             return expr
-        return Forall(expr.binders, _subst(expr.body, inner))
+        return Forall(expr.binders, _subst(expr.body, inner, frozenset(inner)))
     raise TypeError(f"cannot substitute in {expr!r}")
 
 
@@ -65,60 +122,10 @@ def rename(expr: Expr, mapping: Mapping[str, str]) -> Expr:
 
 
 def free_vars(expr: Expr) -> FrozenSet[str]:
-    """Names of the free variables of ``expr``."""
-    acc: Set[str] = set()
-    _collect_free(expr, frozenset(), acc)
-    return frozenset(acc)
-
-
-def _collect_free(expr: Expr, bound: FrozenSet[str], acc: Set[str]) -> None:
-    if isinstance(expr, Var):
-        if expr.name not in bound:
-            acc.add(expr.name)
-    elif isinstance(expr, (IntConst, BoolConst, RealConst)):
-        return
-    elif isinstance(expr, BinOp):
-        _collect_free(expr.lhs, bound, acc)
-        _collect_free(expr.rhs, bound, acc)
-    elif isinstance(expr, UnaryOp):
-        _collect_free(expr.operand, bound, acc)
-    elif isinstance(expr, Ite):
-        _collect_free(expr.cond, bound, acc)
-        _collect_free(expr.then, bound, acc)
-        _collect_free(expr.otherwise, bound, acc)
-    elif isinstance(expr, (App, KVar)):
-        for arg in expr.args:
-            _collect_free(arg, bound, acc)
-    elif isinstance(expr, Forall):
-        inner_bound = bound | {name for name, _ in expr.binders}
-        _collect_free(expr.body, inner_bound, acc)
-    else:
-        raise TypeError(f"cannot collect free variables of {expr!r}")
+    """Names of the free variables of ``expr`` (cached on the node)."""
+    return expr._free
 
 
 def kvars_of(expr: Expr) -> FrozenSet[str]:
-    """Names of the κ (Horn) variables occurring in ``expr``."""
-    acc: Set[str] = set()
-    _collect_kvars(expr, acc)
-    return frozenset(acc)
-
-
-def _collect_kvars(expr: Expr, acc: Set[str]) -> None:
-    if isinstance(expr, KVar):
-        acc.add(expr.name)
-        for arg in expr.args:
-            _collect_kvars(arg, acc)
-    elif isinstance(expr, BinOp):
-        _collect_kvars(expr.lhs, acc)
-        _collect_kvars(expr.rhs, acc)
-    elif isinstance(expr, UnaryOp):
-        _collect_kvars(expr.operand, acc)
-    elif isinstance(expr, Ite):
-        _collect_kvars(expr.cond, acc)
-        _collect_kvars(expr.then, acc)
-        _collect_kvars(expr.otherwise, acc)
-    elif isinstance(expr, App):
-        for arg in expr.args:
-            _collect_kvars(arg, acc)
-    elif isinstance(expr, Forall):
-        _collect_kvars(expr.body, acc)
+    """Names of the κ (Horn) variables occurring in ``expr`` (cached)."""
+    return expr._kvars

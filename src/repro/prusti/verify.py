@@ -28,6 +28,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.lang import ast, parse_program
 from repro.lang.specs import parse_spec_expr
 from repro.logic.expr import (
+    binop,
+    unary,
     App,
     BinOp,
     BoolConst,
@@ -187,13 +189,13 @@ class _FunctionVerifier:
         if isinstance(spec, (IntConst, BoolConst)):
             return spec
         if isinstance(spec, BinOp):
-            return BinOp(
+            return binop(
                 spec.op,
                 self.eval_spec(spec.lhs, state, result),
                 self.eval_spec(spec.rhs, state, result),
             )
         if isinstance(spec, UnaryOp):
-            return UnaryOp(spec.op, self.eval_spec(spec.operand, state, result))
+            return unary(spec.op, self.eval_spec(spec.operand, state, result))
         if isinstance(spec, App):
             if spec.func == "old":
                 return self.eval_spec(spec.args[0], self.pre_state, result)
@@ -238,7 +240,7 @@ class _FunctionVerifier:
             operand = self.eval_expr(expr.operand, state)
             if expr.op == "!":
                 return not_(operand)
-            return UnaryOp("-", operand)
+            return unary("-", operand)
         if isinstance(expr, ast.BinaryExpr):
             lhs = self.eval_expr(expr.lhs, state)
             rhs = self.eval_expr(expr.rhs, state)
@@ -249,7 +251,7 @@ class _FunctionVerifier:
                 isinstance(lhs, IntConst) or isinstance(rhs, IntConst)
             ):
                 return fresh_symbol("nonlin")
-            return BinOp(op, lhs, rhs)
+            return binop(op, lhs, rhs)
         if isinstance(expr, ast.FieldExpr):
             receiver = self.eval_expr(expr.receiver, state)
             return App(f"field_{expr.field}", (receiver,), INT)
@@ -271,8 +273,8 @@ class _FunctionVerifier:
         if isinstance(rhs, IntConst) and rhs.value > 0:
             result = fresh_symbol("div" if op == "/" else "mod")
             if op == "/":
-                state.assume(BinOp("<=", BinOp("*", rhs, result), lhs))
-                state.assume(lt(lhs, BinOp("+", BinOp("*", rhs, result), rhs)))
+                state.assume(binop("<=", binop("*", rhs, result), lhs))
+                state.assume(lt(lhs, binop("+", binop("*", rhs, result), rhs)))
                 state.assume(ge(result, 0) if True else TRUE)
             else:
                 state.assume(ge(result, 0))
@@ -332,7 +334,7 @@ class _FunctionVerifier:
                 state.assume(axiom)
             return fresh_symbol("unit")
         if method == "is_empty":
-            return BinOp("=", seq_len(receiver), IntConst(0))
+            return binop("=", seq_len(receiver), IntConst(0))
         # user-defined method: resolve by suffix against known contracts
         qualified = [name for name in self.contracts if name.endswith(f"::{method}")]
         if len(qualified) == 1:
@@ -489,7 +491,7 @@ class _FunctionVerifier:
             if target is None:
                 raise PrustiError(f"cannot encode assignment to {stmt.place!r}")
             if stmt.op is not None:
-                value = BinOp(stmt.op, state.env.get(target, fresh_symbol(target)), value)
+                value = binop(stmt.op, state.env.get(target, fresh_symbol(target)), value)
             state.env[target] = value
             return True
         if isinstance(stmt, ast.ExprStmt):

@@ -9,13 +9,22 @@ Disequalities and the remaining comparison operators are normalised away:
 ``a > b`` becomes ``b - a <= -1`` for integer operands (``b - a < 0`` for
 real-sorted ones), ``a != b`` is split into a disjunction before CNF
 conversion.
+
+Coefficients and constants are *plain Python ints* whenever every input is
+integral — the common LIA case produced by refinement checking — and fall
+back to :class:`fractions.Fraction` only when a real constant or an inexact
+division enters the term.  ``int`` implements the ``numbers.Rational``
+attributes (``numerator``/``denominator``), so the two representations mix
+freely and compare/hash identically (``Fraction(1) == 1``); the simplex
+layer keeps the same convention.  :func:`numeric_path_counts` reports how
+often each representation was produced.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Tuple
+from typing import Dict, Tuple, Union
 
 from repro.logic.expr import (
     App,
@@ -30,6 +39,24 @@ from repro.logic.expr import (
 )
 from repro.logic.sorts import BOOL, INT, REAL, Sort
 
+#: A rational scalar on the mixed int/Fraction fast path.
+Rational = Union[int, Fraction]
+
+_INT_ATOMS = 0
+_FRACTION_ATOMS = 0
+
+
+def numeric_path_counts() -> Dict[str, int]:
+    """How many normalised atoms stayed on the int fast path vs. fell back."""
+    from repro.smt import simplex
+
+    return {
+        "int_atoms": _INT_ATOMS,
+        "fraction_atoms": _FRACTION_ATOMS,
+        "int_divisions": simplex.INT_DIVISIONS,
+        "fraction_divisions": simplex.FRACTION_DIVISIONS,
+    }
+
 
 class AtomError(Exception):
     """Raised when an expression cannot be normalised into a theory atom."""
@@ -39,39 +66,39 @@ class AtomError(Exception):
 class LinTerm:
     """A linear term ``coeffs . vars + const`` with rational coefficients."""
 
-    coeffs: Tuple[Tuple[str, Fraction], ...]
-    const: Fraction
+    coeffs: Tuple[Tuple[str, Rational], ...]
+    const: Rational
 
     @staticmethod
-    def constant(value: Fraction) -> "LinTerm":
+    def constant(value: Rational) -> "LinTerm":
         return LinTerm((), value)
 
     @staticmethod
     def variable(name: str) -> "LinTerm":
-        return LinTerm(((name, Fraction(1)),), Fraction(0))
+        return LinTerm(((name, 1),), 0)
 
-    def scale(self, factor: Fraction) -> "LinTerm":
+    def scale(self, factor: Rational) -> "LinTerm":
         if factor == 0:
-            return LinTerm.constant(Fraction(0))
+            return LinTerm((), 0)
         return LinTerm(
             tuple((name, coeff * factor) for name, coeff in self.coeffs),
             self.const * factor,
         )
 
     def add(self, other: "LinTerm") -> "LinTerm":
-        acc: Dict[str, Fraction] = {}
+        acc: Dict[str, Rational] = {}
         for name, coeff in self.coeffs + other.coeffs:
-            acc[name] = acc.get(name, Fraction(0)) + coeff
+            acc[name] = acc.get(name, 0) + coeff
         coeffs = tuple(sorted((n, c) for n, c in acc.items() if c != 0))
         return LinTerm(coeffs, self.const + other.const)
 
     def sub(self, other: "LinTerm") -> "LinTerm":
-        return self.add(other.scale(Fraction(-1)))
+        return self.add(other.scale(-1))
 
     def is_constant(self) -> bool:
         return not self.coeffs
 
-    def coeff_map(self) -> Dict[str, Fraction]:
+    def coeff_map(self) -> Dict[str, Rational]:
         return dict(self.coeffs)
 
 
@@ -103,9 +130,9 @@ def linearize(expr: Expr, sorts: Dict[str, Sort]) -> LinTerm:
     specifications (and produces a clear diagnostic).
     """
     if isinstance(expr, IntConst):
-        return LinTerm.constant(Fraction(expr.value))
+        return LinTerm((), expr.value)
     if isinstance(expr, RealConst):
-        return LinTerm.constant(Fraction(expr.value))
+        return LinTerm((), Fraction(expr.value))
     if isinstance(expr, Var):
         return LinTerm.variable(expr.name)
     if isinstance(expr, App):
@@ -114,7 +141,7 @@ def linearize(expr: Expr, sorts: Dict[str, Sort]) -> LinTerm:
         # printed form so that syntactically identical applications alias.
         return LinTerm.variable(str(expr))
     if isinstance(expr, UnaryOp) and expr.op == "-":
-        return linearize(expr.operand, sorts).scale(Fraction(-1))
+        return linearize(expr.operand, sorts).scale(-1)
     if isinstance(expr, BinOp):
         if expr.op == "+":
             return linearize(expr.lhs, sorts).add(linearize(expr.rhs, sorts))
@@ -133,9 +160,7 @@ def linearize(expr: Expr, sorts: Dict[str, Sort]) -> LinTerm:
             rhs = linearize(expr.rhs, sorts)
             if rhs.is_constant() and rhs.const != 0 and expr.op == "/":
                 if lhs.is_constant():
-                    return LinTerm.constant(
-                        Fraction(int(lhs.const) // int(rhs.const))
-                    )
+                    return LinTerm((), int(lhs.const) // int(rhs.const))
                 # Integer division by a constant is kept as an opaque variable;
                 # sound for satisfiability only when the divisor divides
                 # evenly, so we over-approximate via a fresh variable.
@@ -150,6 +175,14 @@ def _vars_all_int(term: LinTerm, sorts: Dict[str, Sort]) -> bool:
     return all(sorts.get(name, INT) in (INT, BOOL) for name, _ in term.coeffs)
 
 
+def _count_path(term: LinTerm) -> None:
+    global _INT_ATOMS, _FRACTION_ATOMS
+    if type(term.const) is int and all(type(c) is int for _, c in term.coeffs):
+        _INT_ATOMS += 1
+    else:
+        _FRACTION_ATOMS += 1
+
+
 def normalize_comparison(op: str, lhs: Expr, rhs: Expr, sorts: Dict[str, Sort]) -> LinearAtom:
     """Normalise ``lhs <op> rhs`` into a single :class:`LinearAtom`.
 
@@ -162,23 +195,28 @@ def normalize_comparison(op: str, lhs: Expr, rhs: Expr, sorts: Dict[str, Sort]) 
         term = left.sub(right)
     elif op == "<":
         term = left.sub(right)
+        _count_path(term)
         return _strict(term, sorts)
     elif op == ">=":
         term = right.sub(left)
     elif op == ">":
         term = right.sub(left)
+        _count_path(term)
         return _strict(term, sorts)
     elif op == "=":
         term = left.sub(right)
+        _count_path(term)
         return LinearAtom(term, "=", _vars_all_int(term, sorts))
     else:
         raise AtomError(f"unsupported comparison {op!r}")
+    _count_path(term)
     return LinearAtom(term, "<=", _vars_all_int(term, sorts))
 
 
 def _strict(term: LinTerm, sorts: Dict[str, Sort]) -> LinearAtom:
     all_int = _vars_all_int(term, sorts)
-    if all_int and all(coeff.denominator == 1 for _, coeff in term.coeffs) and term.const.denominator == 1:
+    integral = all(coeff.denominator == 1 for _, coeff in term.coeffs)
+    if all_int and integral and term.const.denominator == 1:
         # t < 0 over integers is t <= -1
         tightened = LinTerm(term.coeffs, term.const + 1)
         return LinearAtom(tightened, "<=", True)

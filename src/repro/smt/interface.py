@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.logic.expr import (
+    binop,
     BinOp,
     Expr,
     Forall,
@@ -218,7 +219,7 @@ def _skolemize_goal(goal: Expr, sorts: Dict[str, Sort]) -> Expr:
                 _skolemize_goal(current.rhs, sorts),
             )
         if isinstance(current, BinOp) and current.op == "=>":
-            return BinOp("=>", current.lhs, _skolemize_goal(current.rhs, sorts))
+            return binop("=>", current.lhs, _skolemize_goal(current.rhs, sorts))
         return current
 
 

@@ -20,6 +20,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.logic.expr import (
+    binop,
+    unary,
     App,
     BinOp,
     BoolConst,
@@ -38,21 +40,8 @@ from repro.logic.subst import substitute
 
 
 def has_quantifier(expr: Expr) -> bool:
-    if isinstance(expr, Forall):
-        return True
-    if isinstance(expr, BinOp):
-        return has_quantifier(expr.lhs) or has_quantifier(expr.rhs)
-    if isinstance(expr, UnaryOp):
-        return has_quantifier(expr.operand)
-    if isinstance(expr, Ite):
-        return (
-            has_quantifier(expr.cond)
-            or has_quantifier(expr.then)
-            or has_quantifier(expr.otherwise)
-        )
-    if isinstance(expr, (App, KVar)):
-        return any(has_quantifier(arg) for arg in expr.args)
-    return False
+    """Whether a ``Forall`` occurs anywhere in ``expr`` (cached on the node)."""
+    return expr._quant
 
 
 def ground_terms(expr: Expr, sort: Sort = INT) -> Set[Expr]:
@@ -200,13 +189,13 @@ def _instantiate_once(
             return BoolConst(True)
         return and_(*instances)
     if isinstance(expr, BinOp):
-        return BinOp(
+        return binop(
             expr.op,
             _instantiate_once(expr.lhs, candidates, limit, stats),
             _instantiate_once(expr.rhs, candidates, limit, stats),
         )
     if isinstance(expr, UnaryOp):
-        return UnaryOp(expr.op, _instantiate_once(expr.operand, candidates, limit, stats))
+        return unary(expr.op, _instantiate_once(expr.operand, candidates, limit, stats))
     if isinstance(expr, Ite):
         return Ite(
             _instantiate_once(expr.cond, candidates, limit, stats),
@@ -240,13 +229,13 @@ def _drop_remaining_quantifiers(expr: Expr) -> Expr:
     if isinstance(expr, Forall):
         return BoolConst(True)
     if isinstance(expr, BinOp):
-        return BinOp(
+        return binop(
             expr.op,
             _drop_remaining_quantifiers(expr.lhs),
             _drop_remaining_quantifiers(expr.rhs),
         )
     if isinstance(expr, UnaryOp):
-        return UnaryOp(expr.op, _drop_remaining_quantifiers(expr.operand))
+        return unary(expr.op, _drop_remaining_quantifiers(expr.operand))
     if isinstance(expr, Ite):
         return Ite(
             _drop_remaining_quantifiers(expr.cond),

@@ -3,41 +3,52 @@
 This is the propositional core of the lazy SMT loop.  It implements
 conflict-driven clause learning with:
 
-* occurrence-list unit propagation (every clause containing ``-lit`` is
-  examined when ``lit`` is assigned) — simpler than two-watched literals and
-  entirely adequate for the clause databases produced by refinement type
-  checking, which are small,
+* two-watched-literal unit propagation over flat integer arrays — only the
+  clauses watching a falsified literal are examined, and backtracking never
+  touches the watch lists,
 * first-UIP conflict analysis with clause learning,
 * non-chronological backjumping,
 * an exponentially-decayed (VSIDS-style) activity heuristic with phase
-  saving, and
-* a final verification pass over all clauses before a SAT answer is
-  returned.
+  saving, served from a lazy binary heap instead of a linear scan, and
+* an optional final verification pass over all clauses before a SAT answer
+  is returned (``verify_models``; the randomized test suite turns it on).
 
 Literals are encoded as signed integers (DIMACS convention): variable ``v``
 is the positive literal ``v`` and its negation ``-v``.  Variables are
-allocated with :meth:`SatSolver.new_var` and numbered from 1.
+allocated with :meth:`SatSolver.new_var` and numbered from 1.  Internally a
+literal ``l`` indexes the watch table at ``2*l`` (positive) or ``2*(-l)+1``
+(negative).
 """
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush
 from typing import Dict, Iterable, List, Optional, Tuple
 
 
 class SatSolver:
     """Conflict-driven clause learning SAT solver."""
 
+    #: When set, every SAT answer is re-checked against the full clause
+    #: database before being returned.  Off by default: the check is O(DB)
+    #: per answer and the theory loop above re-validates models anyway.
+    verify_models = False
+
     def __init__(self) -> None:
         self._num_vars = 0
         self._clauses: List[List[int]] = []
-        self._occurrences: Dict[int, List[int]] = {}
-        self._assignment: Dict[int, bool] = {}
+        # watch lists indexed by literal code (2*v for v, 2*v+1 for -v)
+        self._watches: List[List[int]] = [[], []]
+        # per-variable arrays, indexed 1..num_vars (slot 0 unused)
+        self._assigns: List[int] = [0]  # 0 unassigned, 1 true, -1 false
+        self._reason: List[int] = [-1]  # antecedent clause index, -1 for decisions
+        self._level: List[int] = [0]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._seen: List[bool] = [False]  # scratch for _analyze, cleared after use
+        self._heap: List[Tuple[float, int]] = []
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
-        self._reason: Dict[int, Optional[int]] = {}
-        self._level: Dict[int, int] = {}
-        self._activity: Dict[int, float] = {}
-        self._phase: Dict[int, bool] = {}
         self._activity_inc = 1.0
         self._unsat = False
         self._qhead = 0
@@ -50,10 +61,15 @@ class SatSolver:
     def new_var(self) -> int:
         self._num_vars += 1
         var = self._num_vars
-        self._occurrences.setdefault(var, [])
-        self._occurrences.setdefault(-var, [])
-        self._activity[var] = 0.0
-        self._phase[var] = False
+        self._assigns.append(0)
+        self._reason.append(-1)
+        self._level.append(0)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._seen.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        heappush(self._heap, (0.0, var))
         return var
 
     @property
@@ -69,8 +85,14 @@ class SatSolver:
         """Add a clause.  Returns ``False`` if the formula became trivially unsat.
 
         Clauses may be added between :meth:`solve` calls; this is how the
-        lazy SMT loop injects theory blocking clauses.
+        lazy SMT loop injects theory blocking clauses.  Adding a clause
+        backtracks to decision level 0 (the MiniSat discipline): the clause
+        is simplified against the permanent level-0 assignment — satisfied
+        clauses are dropped, falsified literals removed — so the watch
+        invariant holds without replaying the search from nothing.
         """
+        if self._unsat:
+            return False
         lits = sorted(set(literals), key=abs)
         if any(-lit in lits for lit in lits):
             return True  # tautology, never useful
@@ -80,29 +102,47 @@ class SatSolver:
         if not lits:
             self._unsat = True
             return False
-        self._attach(lits)
+        self._backtrack(0)
+        assigns = self._assigns
+        simplified: List[int] = []
+        for lit in lits:
+            value = assigns[lit] if lit > 0 else -assigns[-lit]
+            if value > 0:
+                return True  # already satisfied by a permanent assignment
+            if value == 0:
+                simplified.append(lit)
+            # level-0 false literals are permanently vacuous: drop them
+        if not simplified:
+            self._unsat = True
+            return False
+        index = len(self._clauses)
+        self._clauses.append(simplified)
+        if len(simplified) == 1:
+            # a permanent consequence: assign at level 0, propagate on the
+            # next solve() (the trail entry is queued behind _qhead)
+            self._assign(simplified[0], index)
+        else:
+            self._watches[self._windex(simplified[0])].append(index)
+            self._watches[self._windex(simplified[1])].append(index)
         return True
 
-    def _attach(self, lits: List[int]) -> int:
-        index = len(self._clauses)
-        self._clauses.append(lits)
-        for lit in lits:
-            self._occurrences[lit].append(index)
-        return index
+    @staticmethod
+    def _windex(lit: int) -> int:
+        return (lit << 1) if lit > 0 else ((-lit << 1) | 1)
 
     # -- assignment helpers --------------------------------------------------
 
     def _value(self, lit: int) -> Optional[bool]:
-        var = abs(lit)
-        if var not in self._assignment:
+        value = self._assigns[lit] if lit > 0 else -self._assigns[-lit]
+        if value == 0:
             return None
-        value = self._assignment[var]
-        return value if lit > 0 else not value
+        return value > 0
 
-    def _assign(self, lit: int, reason: Optional[int]) -> None:
-        var = abs(lit)
-        self._assignment[var] = lit > 0
-        self._phase[var] = lit > 0
+    def _assign(self, lit: int, reason: int) -> None:
+        var = lit if lit > 0 else -lit
+        positive = lit > 0
+        self._assigns[var] = 1 if positive else -1
+        self._phase[var] = positive
         self._reason[var] = reason
         self._level[var] = len(self._trail_lim)
         self._trail.append(lit)
@@ -112,122 +152,180 @@ class SatSolver:
 
     # -- propagation ---------------------------------------------------------
 
-    def _propagate(self) -> Optional[int]:
-        """Exhaustive unit propagation.
+    def _propagate(self) -> int:
+        """Exhaustive unit propagation over the watched literals.
 
-        Returns the index of a conflicting clause, or ``None`` if the current
+        Returns the index of a conflicting clause, or ``-1`` if the current
         partial assignment is propagation-consistent.
         """
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
+        assigns = self._assigns
+        clauses = self._clauses
+        watches = self._watches
+        trail = self._trail
+        phase = self._phase
+        reason = self._reason
+        level = self._level
+        current_level = len(self._trail_lim)
+        propagations = 0
+        while self._qhead < len(trail):
+            lit = trail[self._qhead]
             self._qhead += 1
-            for clause_index in self._occurrences[-lit]:
-                clause = self._clauses[clause_index]
-                unassigned: Optional[int] = None
-                satisfied = False
-                more_than_one = False
-                for candidate in clause:
-                    value = self._value(candidate)
-                    if value is True:
-                        satisfied = True
-                        break
-                    if value is None:
-                        if unassigned is None:
-                            unassigned = candidate
-                        else:
-                            more_than_one = True
-                            break
-                if satisfied or more_than_one:
+            neg = -lit
+            widx = (neg << 1) if neg > 0 else ((-neg << 1) | 1)
+            watch_list = watches[widx]
+            kept: List[int] = []
+            conflict = -1
+            i = 0
+            total = len(watch_list)
+            while i < total:
+                ci = watch_list[i]
+                i += 1
+                clause = clauses[ci]
+                # normalise so the falsified watcher sits at position 1
+                if clause[0] == neg:
+                    clause[0] = clause[1]
+                    clause[1] = neg
+                first = clause[0]
+                fv = assigns[first] if first > 0 else -assigns[-first]
+                if fv > 0:
+                    kept.append(ci)
                     continue
-                if unassigned is None:
-                    return clause_index
-                self._assign(unassigned, clause_index)
-                self.num_propagations += 1
-        return None
+                swapped = False
+                for k in range(2, len(clause)):
+                    cand = clause[k]
+                    cv = assigns[cand] if cand > 0 else -assigns[-cand]
+                    if cv >= 0:  # not falsified: new watcher
+                        clause[1] = cand
+                        clause[k] = neg
+                        watches[(cand << 1) if cand > 0 else ((-cand << 1) | 1)].append(ci)
+                        swapped = True
+                        break
+                if swapped:
+                    continue
+                kept.append(ci)
+                if fv < 0:
+                    # every literal false: conflict; keep remaining watchers
+                    kept.extend(watch_list[i:])
+                    conflict = ci
+                    break
+                # inlined _assign (the hottest call site in the solver)
+                if first > 0:
+                    assigns[first] = 1
+                    phase[first] = True
+                    reason[first] = ci
+                    level[first] = current_level
+                else:
+                    var = -first
+                    assigns[var] = -1
+                    phase[var] = False
+                    reason[var] = ci
+                    level[var] = current_level
+                trail.append(first)
+                propagations += 1
+            watches[widx] = kept
+            if conflict >= 0:
+                self.num_propagations += propagations
+                return conflict
+        self.num_propagations += propagations
+        return -1
 
     # -- conflict analysis ---------------------------------------------------
 
     def _bump(self, var: int) -> None:
-        self._activity[var] = self._activity.get(var, 0.0) + self._activity_inc
-        if self._activity[var] > 1e100:
-            for key in self._activity:
-                self._activity[key] *= 1e-100
+        activity = self._activity
+        activity[var] += self._activity_inc
+        if activity[var] > 1e100:
+            for index in range(1, self._num_vars + 1):
+                activity[index] *= 1e-100
             self._activity_inc *= 1e-100
+            self._rebuild_heap()
+        elif self._assigns[var] == 0:
+            heappush(self._heap, (-activity[var], var))
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [
+            (-self._activity[var], var)
+            for var in range(1, self._num_vars + 1)
+            if self._assigns[var] == 0
+        ]
+        heapify(self._heap)
 
     def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
         """First-UIP conflict analysis: learned clause and backjump level."""
-        seen: Dict[int, bool] = {}
+        seen = self._seen  # persistent scratch: cleared via `touched` below
+        touched: List[int] = []
         learned: List[int] = []
         counter = 0
         clause = list(self._clauses[conflict_index])
         trail_index = len(self._trail) - 1
         current_level = self._decision_level()
-        resolve_lit: Optional[int] = None
+        level = self._level
+        resolve_lit = 0
 
         while True:
             for lit in clause:
-                var = abs(lit)
-                if seen.get(var) or self._level.get(var, 0) == 0:
+                var = lit if lit > 0 else -lit
+                if seen[var] or level[var] == 0:
                     continue
                 seen[var] = True
+                touched.append(var)
                 self._bump(var)
-                if self._level[var] == current_level:
+                if level[var] == current_level:
                     counter += 1
                 else:
                     learned.append(lit)
             while True:
                 resolve_lit = self._trail[trail_index]
                 trail_index -= 1
-                if seen.get(abs(resolve_lit)):
+                if seen[resolve_lit if resolve_lit > 0 else -resolve_lit]:
                     break
             counter -= 1
             if counter == 0:
                 break
-            reason_index = self._reason[abs(resolve_lit)]
-            assert reason_index is not None, "decision literal reached before UIP"
+            reason_index = self._reason[resolve_lit if resolve_lit > 0 else -resolve_lit]
+            assert reason_index >= 0, "decision literal reached before UIP"
             clause = [l for l in self._clauses[reason_index] if l != resolve_lit]
 
-        assert resolve_lit is not None
+        for var in touched:
+            seen[var] = False
         learned.insert(0, -resolve_lit)
         if len(learned) == 1:
             return learned, 0
-        backjump = max(self._level[abs(l)] for l in learned[1:])
-        return learned, backjump
+        # place a literal of the backjump level second: it is the companion
+        # watcher of the asserting literal, keeping the watch invariant.
+        best = 1
+        for position in range(2, len(learned)):
+            if level[abs(learned[position])] > level[abs(learned[best])]:
+                best = position
+        learned[1], learned[best] = learned[best], learned[1]
+        return learned, level[abs(learned[1])]
 
-    def _backtrack(self, level: int) -> None:
-        if self._decision_level() <= level:
+    def _backtrack(self, target: int) -> None:
+        if self._decision_level() <= target:
             return
-        limit = self._trail_lim[level]
+        limit = self._trail_lim[target]
+        assigns = self._assigns
+        activity = self._activity
+        heap = self._heap
         for lit in self._trail[limit:]:
-            var = abs(lit)
-            del self._assignment[var]
-            self._reason.pop(var, None)
-            self._level.pop(var, None)
+            var = lit if lit > 0 else -lit
+            assigns[var] = 0
+            heappush(heap, (-activity[var], var))
         del self._trail[limit:]
-        del self._trail_lim[level:]
+        del self._trail_lim[target:]
         self._qhead = min(self._qhead, len(self._trail))
 
     # -- search --------------------------------------------------------------
 
     def _pick_branch_var(self) -> Optional[int]:
-        best_var = None
-        best_activity = -1.0
-        for var in range(1, self._num_vars + 1):
-            if var in self._assignment:
-                continue
-            activity = self._activity.get(var, 0.0)
-            if activity > best_activity:
-                best_activity = activity
-                best_var = var
-        return best_var
-
-    def _reset_search_state(self) -> None:
-        self._assignment.clear()
-        self._trail.clear()
-        self._trail_lim.clear()
-        self._reason.clear()
-        self._level.clear()
-        self._qhead = 0
+        assigns = self._assigns
+        activity = self._activity
+        heap = self._heap
+        while heap:
+            negact, var = heappop(heap)
+            if assigns[var] == 0 and -negact == activity[var]:
+                return var
+        return None
 
     def _model_satisfies_all(self) -> bool:
         for clause in self._clauses:
@@ -247,7 +345,8 @@ class SatSolver:
         there would leak into learned clauses and poison later ``solve`` calls
         made under different assumptions — the incremental SMT backend relies
         on every learned clause being a consequence of the clause database
-        alone.
+        alone.  By the same argument any conflict at level 0 refutes the
+        clause database itself, so it latches the solver permanently unsat.
         """
         if self._unsat:
             return None
@@ -255,23 +354,32 @@ class SatSolver:
         for lit in assumption_list:
             if not 1 <= abs(lit) <= self._num_vars:
                 raise ValueError(f"assumption {lit} refers to an unallocated variable")
-        self._reset_search_state()
+        # Retract the previous call's decisions but keep the permanent
+        # level-0 trail: those assignments are consequences of the clause
+        # database alone, so re-deriving them on every call would only
+        # replay identical propagations.
+        self._backtrack(0)
 
         while True:
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict >= 0:
                 self.num_conflicts += 1
                 if self._decision_level() == 0:
+                    self._unsat = True
                     return None
                 learned, backjump_level = self._analyze(conflict)
                 self._backtrack(backjump_level)
-                index = self._attach(learned)
+                index = len(self._clauses)
+                self._clauses.append(learned)
+                if len(learned) >= 2:
+                    self._watches[self._windex(learned[0])].append(index)
+                    self._watches[self._windex(learned[1])].append(index)
                 self._assign(learned[0], index)
                 self._activity_inc *= 1.05
                 continue
             # Re-establish any assumption lost to backjumping before making a
             # free decision; a falsified assumption means unsat-under-assumptions.
-            pending_assumption = None
+            pending_assumption = 0
             for lit in assumption_list:
                 value = self._value(lit)
                 if value is False:
@@ -279,15 +387,21 @@ class SatSolver:
                 if value is None:
                     pending_assumption = lit
                     break
-            if pending_assumption is not None:
+            if pending_assumption:
                 self._trail_lim.append(len(self._trail))
-                self._assign(pending_assumption, None)
+                self._assign(pending_assumption, -1)
                 continue
             branch_var = self._pick_branch_var()
             if branch_var is None:
-                assert self._model_satisfies_all(), "internal error: bogus SAT model"
-                return dict(self._assignment)
+                if self.verify_models:
+                    assert self._model_satisfies_all(), "internal error: bogus SAT model"
+                assigns = self._assigns
+                return {
+                    var: assigns[var] > 0
+                    for var in range(1, self._num_vars + 1)
+                    if assigns[var] != 0
+                }
             self.num_decisions += 1
             self._trail_lim.append(len(self._trail))
-            preferred = self._phase.get(branch_var, False)
-            self._assign(branch_var if preferred else -branch_var, None)
+            preferred = self._phase[branch_var]
+            self._assign(branch_var if preferred else -branch_var, -1)

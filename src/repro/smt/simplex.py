@@ -5,6 +5,13 @@ linear-arithmetic solver for DPLL(T)", CAV 2006) over exact rationals, with
 symbolic infinitesimals (``a + b*delta``) so that strict inequalities are
 handled precisely.
 
+Numbers are plain Python ints wherever the inputs are integral, falling back
+to :class:`fractions.Fraction` only when a division does not come out even
+(see :func:`exact_div`) or a rational constant enters the tableau.  The
+constraints produced by refinement checking have almost exclusively ±1
+coefficients, so the hot path is pure machine-int arithmetic — an order of
+magnitude cheaper than ``Fraction``'s normalising operators.
+
 The entry point is :func:`check_constraints`: given a conjunction of linear
 constraints it either returns a rational model or an *explanation* — a subset
 of the input constraint indices that is already infeasible — which the lazy
@@ -15,15 +22,57 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+Rational = Union[int, Fraction]
+
+INT_DIVISIONS = 0
+FRACTION_DIVISIONS = 0
 
 
-@dataclass(frozen=True)
+def exact_div(a: Rational, b: Rational) -> Rational:
+    """Exact rational division that stays on the int fast path when it can.
+
+    ``int / int`` would produce a float; instead divide with ``divmod`` and
+    only build a :class:`Fraction` when the division is inexact.  Fractions
+    that come out integral are normalised back to ``int`` so one inexact step
+    does not poison every later operation.
+    """
+    global INT_DIVISIONS, FRACTION_DIVISIONS
+    if type(a) is int and type(b) is int:
+        quotient, remainder = divmod(a, b)
+        if remainder == 0:
+            INT_DIVISIONS += 1
+            return quotient
+        FRACTION_DIVISIONS += 1
+        return Fraction(a, b)
+    result = Fraction(a) / b
+    if result.denominator == 1:
+        INT_DIVISIONS += 1
+        return result.numerator
+    FRACTION_DIVISIONS += 1
+    return result
+
+
 class DeltaRational:
     """A rational number plus an infinitesimal component: ``real + eps * delta``."""
 
-    real: Fraction
-    eps: Fraction = Fraction(0)
+    __slots__ = ("real", "eps")
+
+    def __init__(self, real: Rational, eps: Rational = 0) -> None:
+        self.real = real
+        self.eps = eps
+
+    def __repr__(self) -> str:
+        return f"DeltaRational({self.real!r}, {self.eps!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeltaRational):
+            return NotImplemented
+        return self.real == other.real and self.eps == other.eps
+
+    def __hash__(self) -> int:
+        return hash((self.real, self.eps))
 
     def __add__(self, other: "DeltaRational") -> "DeltaRational":
         return DeltaRational(self.real + other.real, self.eps + other.eps)
@@ -31,32 +80,32 @@ class DeltaRational:
     def __sub__(self, other: "DeltaRational") -> "DeltaRational":
         return DeltaRational(self.real - other.real, self.eps - other.eps)
 
-    def scale(self, factor: Fraction) -> "DeltaRational":
+    def scale(self, factor: Rational) -> "DeltaRational":
         return DeltaRational(self.real * factor, self.eps * factor)
 
     def __lt__(self, other: "DeltaRational") -> bool:
-        return (self.real, self.eps) < (other.real, other.eps)
+        return self.real < other.real or (self.real == other.real and self.eps < other.eps)
 
     def __le__(self, other: "DeltaRational") -> bool:
-        return (self.real, self.eps) <= (other.real, other.eps)
+        return self.real < other.real or (self.real == other.real and self.eps <= other.eps)
 
     def __gt__(self, other: "DeltaRational") -> bool:
-        return (self.real, self.eps) > (other.real, other.eps)
+        return self.real > other.real or (self.real == other.real and self.eps > other.eps)
 
     def __ge__(self, other: "DeltaRational") -> bool:
-        return (self.real, self.eps) >= (other.real, other.eps)
+        return self.real > other.real or (self.real == other.real and self.eps >= other.eps)
 
 
-ZERO = DeltaRational(Fraction(0))
+ZERO = DeltaRational(0)
 
 
 @dataclass
 class Constraint:
     """A linear constraint ``coeffs . x  <op>  bound`` with op in {<=, <, =, >=, >}."""
 
-    coeffs: Dict[str, Fraction]
+    coeffs: Dict[str, Rational]
     op: str
-    bound: Fraction
+    bound: Rational
 
     def __post_init__(self) -> None:
         if self.op not in ("<=", "<", "=", ">=", ">"):
@@ -66,7 +115,7 @@ class Constraint:
 @dataclass
 class SimplexResult:
     satisfiable: bool
-    model: Optional[Dict[str, Fraction]] = None
+    model: Optional[Dict[str, Rational]] = None
     conflict: Optional[Set[int]] = None  # indices into the input constraints
 
 
@@ -83,7 +132,7 @@ class Simplex:
 
     def __init__(self) -> None:
         # tableau: basic var -> {nonbasic var: coefficient}
-        self._rows: Dict[str, Dict[str, Fraction]] = {}
+        self._rows: Dict[str, Dict[str, Rational]] = {}
         self._basic: Set[str] = set()
         self._nonbasic: Set[str] = set()
         self._lower: Dict[str, _Bound] = {}
@@ -105,8 +154,7 @@ class Simplex:
         coeffs = {name: coeff for name, coeff in constraint.coeffs.items() if coeff != 0}
         if not coeffs:
             # ground constraint: 0 <op> bound
-            value = Fraction(0)
-            if _ground_holds(constraint.op, value, constraint.bound):
+            if _ground_holds(constraint.op, 0, constraint.bound):
                 return None
             return {origin}
 
@@ -119,41 +167,40 @@ class Simplex:
         slack = self._fresh_slack()
         for name in coeffs:
             self._ensure_var(name)
-        row = {}
+        row: Dict[str, Rational] = {}
         for name, coeff in coeffs.items():
             if name in self._basic:
                 # substitute the definition of a basic variable
                 for inner, inner_coeff in self._rows[name].items():
-                    row[inner] = row.get(inner, Fraction(0)) + coeff * inner_coeff
+                    row[inner] = row.get(inner, 0) + coeff * inner_coeff
             else:
-                row[name] = row.get(name, Fraction(0)) + coeff
+                row[name] = row.get(name, 0) + coeff
         row = {name: coeff for name, coeff in row.items() if coeff != 0}
         self._rows[slack] = row
         self._basic.add(slack)
         self._values[slack] = self._row_value(slack)
-        return self._assert_scaled_bound(slack, Fraction(1), constraint, origin)
+        return self._assert_scaled_bound(slack, 1, constraint, origin)
 
     def _fresh_slack(self) -> str:
         self._slack_count += 1
         return f"__slack{self._slack_count}"
 
     def _assert_scaled_bound(
-        self, name: str, coeff: Fraction, constraint: Constraint, origin: int
+        self, name: str, coeff: Rational, constraint: Constraint, origin: int
     ) -> Optional[Set[int]]:
         """Assert ``coeff * name <op> bound`` as bounds on ``name``."""
         op = constraint.op
-        bound = Fraction(constraint.bound)
         if coeff < 0:
             op = _flip(op)
-        limit = bound / coeff
+        limit = exact_div(constraint.bound, coeff)
         conflicts: Set[int] = set()
         if op in ("<=", "<", "="):
-            value = DeltaRational(limit, Fraction(-1) if op == "<" else Fraction(0))
+            value = DeltaRational(limit, -1 if op == "<" else 0)
             conflict = self._assert_upper(name, value, origin)
             if conflict:
                 conflicts |= conflict
         if op in (">=", ">", "="):
-            value = DeltaRational(limit, Fraction(1) if op == ">" else Fraction(0))
+            value = DeltaRational(limit, 1 if op == ">" else 0)
             conflict = self._assert_lower(name, value, origin)
             if conflict:
                 conflicts |= conflict
@@ -186,18 +233,28 @@ class Simplex:
     # -- value maintenance ---------------------------------------------------
 
     def _row_value(self, basic: str) -> DeltaRational:
-        total = ZERO
+        real: Rational = 0
+        eps: Rational = 0
+        values = self._values
         for name, coeff in self._rows[basic].items():
-            total = total + self._values[name].scale(coeff)
-        return total
+            value = values[name]
+            real += value.real * coeff
+            eps += value.eps * coeff
+        return DeltaRational(real, eps)
 
     def _update_nonbasic(self, name: str, value: DeltaRational) -> None:
         delta = value - self._values[name]
         self._values[name] = value
+        delta_real = delta.real
+        delta_eps = delta.eps
+        values = self._values
         for basic, row in self._rows.items():
             coeff = row.get(name)
             if coeff:
-                self._values[basic] = self._values[basic] + delta.scale(coeff)
+                old = values[basic]
+                values[basic] = DeltaRational(
+                    old.real + delta_real * coeff, old.eps + delta_eps * coeff
+                )
 
     # -- pivoting ------------------------------------------------------------
 
@@ -206,18 +263,20 @@ class Simplex:
         row = self._rows.pop(basic)
         coeff = row[nonbasic]
         # nonbasic = (basic - sum_{j != nonbasic} a_j x_j) / coeff
-        new_row: Dict[str, Fraction] = {basic: Fraction(1) / coeff}
+        new_row: Dict[str, Rational] = {basic: exact_div(1, coeff)}
         for name, a in row.items():
             if name != nonbasic:
-                new_row[name] = -a / coeff
+                new_row[name] = exact_div(-a, coeff)
         # substitute into all other rows
         for other, other_row in self._rows.items():
             a = other_row.pop(nonbasic, None)
             if a:
                 for name, b in new_row.items():
-                    other_row[name] = other_row.get(name, Fraction(0)) + a * b
-                    if other_row[name] == 0:
-                        del other_row[name]
+                    updated = other_row.get(name, 0) + a * b
+                    if updated == 0:
+                        other_row.pop(name, None)
+                    else:
+                        other_row[name] = updated
         self._rows[nonbasic] = {k: v for k, v in new_row.items() if v != 0}
         self._basic.remove(basic)
         self._basic.add(nonbasic)
@@ -252,7 +311,7 @@ class Simplex:
                 return basic, False
         return None
 
-    def _find_pivot(self, row: Dict[str, Fraction], need_increase: bool) -> Optional[str]:
+    def _find_pivot(self, row: Dict[str, Rational], need_increase: bool) -> Optional[str]:
         for name in sorted(row):
             coeff = row[name]
             if need_increase:
@@ -277,15 +336,22 @@ class Simplex:
 
     def _pivot_and_update(self, basic: str, nonbasic: str, target: DeltaRational) -> None:
         coeff = self._rows[basic][nonbasic]
-        delta = (target - self._values[basic]).scale(Fraction(1) / coeff)
+        diff = target - self._values[basic]
+        delta = DeltaRational(exact_div(diff.real, coeff), exact_div(diff.eps, coeff))
         self._values[basic] = target
         self._values[nonbasic] = self._values[nonbasic] + delta
+        delta_real = delta.real
+        delta_eps = delta.eps
+        values = self._values
         for other, row in self._rows.items():
             if other == basic:
                 continue
             a = row.get(nonbasic)
             if a:
-                self._values[other] = self._values[other] + delta.scale(a)
+                old = values[other]
+                values[other] = DeltaRational(
+                    old.real + delta_real * a, old.eps + delta_eps * a
+                )
         self._pivot(basic, nonbasic)
 
     def _explain(self, basic: str, need_increase: bool) -> Set[int]:
@@ -308,7 +374,7 @@ class Simplex:
         explanation.discard(-1)
         return explanation
 
-    def _extract_model(self) -> Dict[str, Fraction]:
+    def _extract_model(self) -> Dict[str, Rational]:
         """Concretise delta-rationals into plain rationals.
 
         Any positive rational value small enough works for delta; we compute
@@ -327,29 +393,29 @@ def _concrete_delta(
     values: Dict[str, DeltaRational],
     lowers: Dict[str, _Bound],
     uppers: Dict[str, _Bound],
-) -> Fraction:
-    delta = Fraction(1)
+) -> Rational:
+    delta: Rational = 1
     for name, value in values.items():
         lower = lowers.get(name)
         if lower is not None:
             gap_real = value.real - lower.value.real
             gap_eps = value.eps - lower.value.eps
             if gap_eps < 0 and gap_real > 0:
-                delta = min(delta, gap_real / (-gap_eps))
+                delta = min(delta, exact_div(gap_real, -gap_eps))
         upper = uppers.get(name)
         if upper is not None:
             gap_real = upper.value.real - value.real
             gap_eps = upper.value.eps - value.eps
             if gap_eps < 0 and gap_real > 0:
-                delta = min(delta, gap_real / (-gap_eps))
-    return delta / 2 if delta > 0 else Fraction(1, 2)
+                delta = min(delta, exact_div(gap_real, -gap_eps))
+    return exact_div(delta, 2) if delta > 0 else Fraction(1, 2)
 
 
 def _flip(op: str) -> str:
     return {"<=": ">=", "<": ">", ">=": "<=", ">": "<", "=": "="}[op]
 
 
-def _ground_holds(op: str, value: Fraction, bound: Fraction) -> bool:
+def _ground_holds(op: str, value: Rational, bound: Rational) -> bool:
     if op == "<=":
         return value <= bound
     if op == "<":

@@ -20,6 +20,8 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.logic.expr import (
+    binop,
+    unary,
     App,
     BinOp,
     BoolConst,
@@ -57,7 +59,7 @@ class SmtError(Exception):
 
 def _split_eq(lhs: Expr, rhs: Expr) -> Expr:
     """Numeric equality as a conjunction of inequalities (equality-atom free)."""
-    return and_(BinOp("<=", lhs, rhs), BinOp(">=", lhs, rhs))
+    return and_(binop("<=", lhs, rhs), binop(">=", lhs, rhs))
 
 
 @dataclass
@@ -125,7 +127,7 @@ class _Preprocessor:
             if expr.op in ("&&", "||", "=>", "<=>"):
                 lhs = self.rewrite_bool(expr.lhs)
                 rhs = self.rewrite_bool(expr.rhs)
-                return BinOp(expr.op, lhs, rhs)
+                return binop(expr.op, lhs, rhs)
             if expr.op in CMP_OPS:
                 return self._rewrite_comparison(expr)
         raise SmtError(f"cannot interpret {expr} as a formula")
@@ -137,17 +139,17 @@ class _Preprocessor:
             lhs = self.rewrite_bool(expr.lhs)
             rhs = self.rewrite_bool(expr.rhs)
             if expr.op == "=":
-                return BinOp("<=>", lhs, rhs)
+                return binop("<=>", lhs, rhs)
             if expr.op == "!=":
-                return not_(BinOp("<=>", lhs, rhs))
+                return not_(binop("<=>", lhs, rhs))
             raise SmtError(f"ordering comparison on booleans: {expr}")
         lhs = self.rewrite_term(expr.lhs)
         rhs = self.rewrite_term(expr.rhs)
         if expr.op == "=":
-            return and_(BinOp("<=", lhs, rhs), BinOp(">=", lhs, rhs))
+            return and_(binop("<=", lhs, rhs), binop(">=", lhs, rhs))
         if expr.op == "!=":
-            return or_(BinOp("<", lhs, rhs), BinOp(">", lhs, rhs))
-        return BinOp(expr.op, lhs, rhs)
+            return or_(binop("<", lhs, rhs), binop(">", lhs, rhs))
+        return binop(expr.op, lhs, rhs)
 
     # -- term layer -------------------------------------------------------------
 
@@ -159,9 +161,9 @@ class _Preprocessor:
         if isinstance(expr, App):
             return self._name_app(expr)
         if isinstance(expr, UnaryOp) and expr.op == "-":
-            return UnaryOp("-", self.rewrite_term(expr.operand))
+            return unary("-", self.rewrite_term(expr.operand))
         if isinstance(expr, BinOp):
-            return BinOp(expr.op, self.rewrite_term(expr.lhs), self.rewrite_term(expr.rhs))
+            return binop(expr.op, self.rewrite_term(expr.lhs), self.rewrite_term(expr.rhs))
         if isinstance(expr, Ite):
             cond = self.rewrite_bool(expr.cond)
             then = self.rewrite_term(expr.then)
@@ -249,7 +251,7 @@ def ackermann_axioms(
                 continue
             args_equal = and_(*[_split_eq(x, y) for x, y in zip(app_a.args, app_b.args)])
             if app_a.sort == BOOL:
-                axioms.append(implies(args_equal, BinOp("<=>", var_a, var_b)))
+                axioms.append(implies(args_equal, binop("<=>", var_a, var_b)))
             else:
                 axioms.append(implies(args_equal, _split_eq(var_a, var_b)))
     return axioms
@@ -271,6 +273,10 @@ class _Atomizer:
     bool_var_of_name: Dict[str, int] = field(default_factory=dict)
     touched: Optional[Set[int]] = None
     _atom_cache: Dict[LinearAtom, int] = field(default_factory=dict)
+    # Interned comparison expression -> SAT variable.  Checked before the
+    # (semantic) LinearAtom cache: the expression lookup is an O(1) identity
+    # hash and skips re-linearisation of repeated atoms entirely.
+    _expr_cache: Dict[Expr, int] = field(default_factory=dict)
 
     def skeleton(self, expr: Expr):
         if isinstance(expr, BoolConst):
@@ -304,36 +310,68 @@ class _Atomizer:
         return var
 
     def _atom_var(self, expr: BinOp) -> int:
-        atom = normalize_comparison(expr.op, expr.lhs, expr.rhs, self.sorts)
-        var = self._atom_cache.get(atom)
+        var = self._expr_cache.get(expr)
         if var is None:
-            var = self.solver.new_var()
-            self._atom_cache[atom] = var
-            self.atom_of_var[var] = atom
+            atom = normalize_comparison(expr.op, expr.lhs, expr.rhs, self.sorts)
+            var = self._atom_cache.get(atom)
+            if var is None:
+                var = self.solver.new_var()
+                self._atom_cache[atom] = var
+                self.atom_of_var[var] = atom
+            self._expr_cache[expr] = var
         if self.touched is not None:
             self.touched.add(var)
         return var
 
 
+_ATOM_MEMO_LIMIT = 100_000
+
+
 def _negate_atom(atom: LinearAtom) -> LinearAtom:
-    """Negation of ``term <= 0`` / ``term < 0`` as a linear atom."""
-    negated_term = atom.term.scale(Fraction(-1))
+    """Negation of ``term <= 0`` / ``term < 0`` as a linear atom (memoised)."""
+    cached = _NEGATED_ATOMS.get(atom)
+    if cached is not None:
+        return cached
+    negated_term = atom.term.scale(-1)
     if atom.op == "<=":
         # not (t <= 0)  <=>  t > 0  <=>  -t < 0
         if atom.all_int:
             from repro.smt.atoms import LinTerm
 
             tightened = LinTerm(negated_term.coeffs, negated_term.const + 1)
-            return LinearAtom(tightened, "<=", True)
-        return LinearAtom(negated_term, "<", atom.all_int)
-    if atom.op == "<":
+            negated = LinearAtom(tightened, "<=", True)
+        else:
+            negated = LinearAtom(negated_term, "<", atom.all_int)
+    elif atom.op == "<":
         # not (t < 0)  <=>  t >= 0  <=>  -t <= 0
-        return LinearAtom(negated_term, "<=", atom.all_int)
-    raise SmtError(f"cannot negate equality atom {atom} (should have been eliminated)")
+        negated = LinearAtom(negated_term, "<=", atom.all_int)
+    else:
+        raise SmtError(f"cannot negate equality atom {atom} (should have been eliminated)")
+    if len(_NEGATED_ATOMS) >= _ATOM_MEMO_LIMIT:
+        _NEGATED_ATOMS.clear()
+    _NEGATED_ATOMS[atom] = negated
+    return negated
+
+
+_NEGATED_ATOMS: Dict[LinearAtom, LinearAtom] = {}
+
+
+def _atom_constraint(atom: LinearAtom) -> Constraint:
+    """Memoised :class:`Constraint` view of an atom (atoms are immutable)."""
+    cached = _ATOM_CONSTRAINTS.get(atom)
+    if cached is None:
+        cached = Constraint(atom.term.coeff_map(), atom.op, -atom.term.const)
+        if len(_ATOM_CONSTRAINTS) >= _ATOM_MEMO_LIMIT:
+            _ATOM_CONSTRAINTS.clear()
+        _ATOM_CONSTRAINTS[atom] = cached
+    return cached
+
+
+_ATOM_CONSTRAINTS: Dict[LinearAtom, Constraint] = {}
 
 
 def _atom_to_constraint(atom: LinearAtom) -> Constraint:
-    return Constraint(atom.term.coeff_map(), atom.op, -atom.term.const)
+    return _atom_constraint(atom)
 
 
 def run_theory_loop(

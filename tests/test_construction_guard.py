@@ -1,0 +1,41 @@
+"""Guard against bypassing the interning smart constructors.
+
+``BinOp(...)`` / ``UnaryOp(...)`` class calls outside ``repro.logic`` skip
+the operator-validating smart constructors (``binop``/``unary``/``and_``/...)
+and re-introduce the construction idiom the hash-consing refactor removed.
+The classes themselves still intern (construction cannot break identity
+equality), but routing through the smart constructors keeps validation and
+any future normalisation in one place — so new code must use them.
+"""
+
+import os
+import re
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src", "repro")
+
+#: The interning layer itself may call the node classes directly.
+ALLOWED_PREFIX = os.path.join(SRC_ROOT, "logic") + os.sep
+
+_CONSTRUCTION = re.compile(r"\b(BinOp|UnaryOp)\(")
+
+
+def test_no_direct_binop_construction_outside_logic():
+    offenders = []
+    for dirpath, _, filenames in os.walk(SRC_ROOT):
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            if path.startswith(ALLOWED_PREFIX):
+                continue
+            with open(path, "r", encoding="utf-8") as handle:
+                for lineno, line in enumerate(handle, 1):
+                    stripped = line.split("#", 1)[0]
+                    if _CONSTRUCTION.search(stripped):
+                        relative = os.path.relpath(path, SRC_ROOT)
+                        offenders.append(f"{relative}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "direct BinOp(...)/UnaryOp(...) construction outside repro.logic; "
+        "use repro.logic.binop/unary (or and_/or_/eq/... smart constructors):\n"
+        + "\n".join(offenders)
+    )

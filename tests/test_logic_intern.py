@@ -1,0 +1,321 @@
+"""Property tests for the hash-consing (interning) expression layer.
+
+Random expression trees are generated with a seeded RNG (no external
+dependencies) and the interned behaviour is checked against reference
+implementations of the PR-2 semantics: structural equality, recursive
+free-variable collection, and naive recursive substitution.
+"""
+
+import pickle
+import random
+from typing import Dict, FrozenSet, Set
+
+import pytest
+
+from repro.logic import (
+    BOOL,
+    INT,
+    App,
+    BinOp,
+    BoolConst,
+    Expr,
+    Forall,
+    IntConst,
+    Ite,
+    KVar,
+    UnaryOp,
+    Var,
+    free_vars,
+    kvars_of,
+    simplify,
+    substitute,
+    term_cache_stats,
+)
+from repro.smt.quant import has_quantifier
+
+NAMES = ["x", "y", "z", "n", "v", "i"]
+CMP = ["=", "!=", "<", "<=", ">", ">="]
+BOOLOPS = ["&&", "||", "=>", "<=>"]
+ARITH = ["+", "-", "*"]
+
+
+def random_int_expr(rng: random.Random, depth: int) -> Expr:
+    if depth <= 0 or rng.random() < 0.3:
+        if rng.random() < 0.5:
+            return Var(rng.choice(NAMES))
+        return IntConst(rng.randint(-3, 3))
+    if rng.random() < 0.15:
+        return UnaryOp("-", random_int_expr(rng, depth - 1))
+    if rng.random() < 0.1:
+        return Ite(
+            random_bool_expr(rng, depth - 1),
+            random_int_expr(rng, depth - 1),
+            random_int_expr(rng, depth - 1),
+        )
+    if rng.random() < 0.1:
+        return App("len", (random_int_expr(rng, depth - 1),), INT)
+    return BinOp(
+        rng.choice(ARITH),
+        random_int_expr(rng, depth - 1),
+        random_int_expr(rng, depth - 1),
+    )
+
+
+def random_bool_expr(rng: random.Random, depth: int) -> Expr:
+    if depth <= 0 or rng.random() < 0.2:
+        if rng.random() < 0.2:
+            return BoolConst(rng.random() < 0.5)
+        return BinOp(rng.choice(CMP), random_int_expr(rng, 1), random_int_expr(rng, 1))
+    roll = rng.random()
+    if roll < 0.15:
+        return UnaryOp("!", random_bool_expr(rng, depth - 1))
+    if roll < 0.25:
+        return KVar(f"k{rng.randint(0, 2)}", (random_int_expr(rng, depth - 1),))
+    if roll < 0.35:
+        binder = rng.choice(NAMES)
+        return Forall(((binder, INT),), random_bool_expr(rng, depth - 1))
+    return BinOp(
+        rng.choice(BOOLOPS),
+        random_bool_expr(rng, depth - 1),
+        random_bool_expr(rng, depth - 1),
+    )
+
+
+# -- reference (PR-2 dataclass-era) implementations --------------------------
+
+
+def reference_free_vars(expr: Expr, bound: FrozenSet[str] = frozenset()) -> Set[str]:
+    if isinstance(expr, Var):
+        return set() if expr.name in bound else {expr.name}
+    if isinstance(expr, (IntConst, BoolConst)):
+        return set()
+    if isinstance(expr, BinOp):
+        return reference_free_vars(expr.lhs, bound) | reference_free_vars(expr.rhs, bound)
+    if isinstance(expr, UnaryOp):
+        return reference_free_vars(expr.operand, bound)
+    if isinstance(expr, Ite):
+        return (
+            reference_free_vars(expr.cond, bound)
+            | reference_free_vars(expr.then, bound)
+            | reference_free_vars(expr.otherwise, bound)
+        )
+    if isinstance(expr, (App, KVar)):
+        out: Set[str] = set()
+        for arg in expr.args:
+            out |= reference_free_vars(arg, bound)
+        return out
+    if isinstance(expr, Forall):
+        inner = bound | {name for name, _ in expr.binders}
+        return reference_free_vars(expr.body, inner)
+    raise TypeError(expr)
+
+
+def reference_substitute(expr: Expr, mapping: Dict[str, Expr]) -> Expr:
+    if isinstance(expr, Var):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, (IntConst, BoolConst)):
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            reference_substitute(expr.lhs, mapping),
+            reference_substitute(expr.rhs, mapping),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, reference_substitute(expr.operand, mapping))
+    if isinstance(expr, Ite):
+        return Ite(
+            reference_substitute(expr.cond, mapping),
+            reference_substitute(expr.then, mapping),
+            reference_substitute(expr.otherwise, mapping),
+        )
+    if isinstance(expr, App):
+        return App(expr.func, tuple(reference_substitute(a, mapping) for a in expr.args), expr.sort)
+    if isinstance(expr, KVar):
+        return KVar(expr.name, tuple(reference_substitute(a, mapping) for a in expr.args))
+    if isinstance(expr, Forall):
+        bound = {name for name, _ in expr.binders}
+        inner = {k: v for k, v in mapping.items() if k not in bound}
+        if not inner:
+            return expr
+        return Forall(expr.binders, reference_substitute(expr.body, inner))
+    raise TypeError(expr)
+
+
+def reference_has_quantifier(expr: Expr) -> bool:
+    if isinstance(expr, Forall):
+        return True
+    if isinstance(expr, BinOp):
+        return reference_has_quantifier(expr.lhs) or reference_has_quantifier(expr.rhs)
+    if isinstance(expr, UnaryOp):
+        return reference_has_quantifier(expr.operand)
+    if isinstance(expr, Ite):
+        return any(
+            reference_has_quantifier(e) for e in (expr.cond, expr.then, expr.otherwise)
+        )
+    if isinstance(expr, (App, KVar)):
+        return any(reference_has_quantifier(a) for a in expr.args)
+    return False
+
+
+def rebuild(expr: Expr) -> Expr:
+    """Reconstruct an equal tree bottom-up through fresh constructor calls."""
+    if isinstance(expr, Var):
+        return Var(str(expr.name), expr.sort)
+    if isinstance(expr, IntConst):
+        return IntConst(int(expr.value))
+    if isinstance(expr, BoolConst):
+        return BoolConst(bool(expr.value))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, rebuild(expr.lhs), rebuild(expr.rhs))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, rebuild(expr.operand))
+    if isinstance(expr, Ite):
+        return Ite(rebuild(expr.cond), rebuild(expr.then), rebuild(expr.otherwise))
+    if isinstance(expr, App):
+        return App(expr.func, tuple(rebuild(a) for a in expr.args), expr.sort)
+    if isinstance(expr, KVar):
+        return KVar(expr.name, tuple(rebuild(a) for a in expr.args))
+    if isinstance(expr, Forall):
+        return Forall(expr.binders, rebuild(expr.body))
+    raise TypeError(expr)
+
+
+class TestInterning:
+    def test_reconstruction_is_identity(self):
+        rng = random.Random(1234)
+        for _ in range(200):
+            expr = random_bool_expr(rng, 4)
+            clone = rebuild(expr)
+            assert clone is expr
+            assert hash(clone) == hash(expr)
+            assert clone == expr
+
+    def test_distinct_structures_unequal(self):
+        assert Var("x") != Var("y")
+        assert Var("x", INT) != Var("x", BOOL)
+        assert BinOp("+", Var("x"), Var("y")) != BinOp("+", Var("y"), Var("x"))
+        assert IntConst(1) != BoolConst(True)
+
+    def test_structural_equality_in_containers(self):
+        rng = random.Random(99)
+        exprs = [random_bool_expr(rng, 3) for _ in range(50)]
+        table = {expr: index for index, expr in enumerate(exprs)}
+        for index, expr in enumerate(exprs):
+            assert table[rebuild(expr)] == table[expr]
+
+    def test_pickle_roundtrip_reinterns(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            expr = random_bool_expr(rng, 4)
+            clone = pickle.loads(pickle.dumps(expr))
+            assert clone is expr
+
+    def test_bool_int_const_normalisation(self):
+        assert IntConst(True) is IntConst(1)
+        assert IntConst(True).value == 1
+        assert BoolConst(1) is BoolConst(True)
+
+    def test_invalid_operators_still_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("^^", Var("x"), Var("y"))
+        with pytest.raises(ValueError):
+            UnaryOp("~", Var("x"))
+
+    def test_clear_preserves_pinned_constant_folding(self):
+        from repro.logic import FALSE, TRUE, add, and_, clear_term_caches, mul, not_
+
+        clear_term_caches()
+        try:
+            x = Var("x")
+            assert add(x, 0) is x
+            assert mul(IntConst(1), x) is x
+            assert simplify(mul(x, IntConst(0))) == IntConst(0)
+            assert and_(TRUE, BoolConst(True)) is TRUE
+            assert not_(BoolConst(False)) is TRUE
+            assert BoolConst(False) is FALSE
+        finally:
+            clear_term_caches()
+
+    def test_intern_stats_exposed(self):
+        stats = term_cache_stats()
+        for key in ("intern_table_size", "subst_cache_hits", "simplify_cache_misses"):
+            assert key in stats
+        assert stats["intern_table_size"] > 0
+
+
+class TestCachedQueries:
+    def test_free_vars_matches_reference(self):
+        rng = random.Random(4321)
+        for _ in range(300):
+            expr = random_bool_expr(rng, 4)
+            assert free_vars(expr) == frozenset(reference_free_vars(expr))
+
+    def test_kvars_of_matches_reference(self):
+        rng = random.Random(555)
+
+        def reference_kvars(expr: Expr) -> Set[str]:
+            acc: Set[str] = set()
+            stack = [expr]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, KVar):
+                    acc.add(node.name)
+                    stack.extend(node.args)
+                elif isinstance(node, BinOp):
+                    stack.extend((node.lhs, node.rhs))
+                elif isinstance(node, UnaryOp):
+                    stack.append(node.operand)
+                elif isinstance(node, Ite):
+                    stack.extend((node.cond, node.then, node.otherwise))
+                elif isinstance(node, App):
+                    stack.extend(node.args)
+                elif isinstance(node, Forall):
+                    stack.append(node.body)
+            return acc
+
+        for _ in range(300):
+            expr = random_bool_expr(rng, 4)
+            assert kvars_of(expr) == frozenset(reference_kvars(expr))
+
+    def test_has_quantifier_matches_reference(self):
+        rng = random.Random(777)
+        for _ in range(300):
+            expr = random_bool_expr(rng, 4)
+            assert has_quantifier(expr) == reference_has_quantifier(expr)
+
+
+class TestMemoisedSubstitute:
+    def test_agrees_with_reference(self):
+        rng = random.Random(2024)
+        for _ in range(300):
+            expr = random_bool_expr(rng, 4)
+            mapping = {
+                name: random_int_expr(rng, 2)
+                for name in rng.sample(NAMES, rng.randint(0, len(NAMES)))
+            }
+            assert substitute(expr, mapping) is reference_substitute(expr, mapping)
+
+    def test_disjoint_domain_returns_same_object(self):
+        expr = BinOp("<", Var("x"), Var("y"))
+        assert substitute(expr, {"q": IntConst(1)}) is expr
+        assert substitute(expr, {}) is expr
+
+    def test_repeated_substitution_hits_cache(self):
+        expr = BinOp("<", Var("x"), BinOp("+", Var("y"), IntConst(1)))
+        mapping = {"x": IntConst(5)}
+        first = substitute(expr, mapping)
+        before = term_cache_stats()["subst_cache_hits"]
+        second = substitute(expr, mapping)
+        assert second is first
+        assert term_cache_stats()["subst_cache_hits"] == before + 1
+
+
+class TestMemoisedSimplify:
+    def test_simplify_idempotent_and_stable(self):
+        rng = random.Random(31337)
+        for _ in range(200):
+            expr = random_bool_expr(rng, 4)
+            once = simplify(expr)
+            assert simplify(expr) is once
+            assert simplify(once) is once

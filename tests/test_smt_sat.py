@@ -8,6 +8,14 @@ import pytest
 from repro.smt.sat import SatSolver
 
 
+@pytest.fixture(autouse=True)
+def _verify_models():
+    """Every SAT answer in this suite is re-checked against the clause DB."""
+    SatSolver.verify_models = True
+    yield
+    SatSolver.verify_models = False
+
+
 def brute_force_sat(num_vars, clauses):
     for bits in itertools.product([False, True], repeat=num_vars):
         assignment = {i + 1: bits[i] for i in range(num_vars)}

@@ -1,0 +1,24 @@
+"""Fast differential gate: naive and worklist strategies agree post-refactor.
+
+The full Table-1 differential lives in ``benchmarks/test_fixpoint_incremental``;
+this tier-1 test runs the same comparison on the two cheapest programs so a
+divergence introduced by the interning/fast-path refactor is caught by the
+default ``pytest`` run, not only by the benchmark lane.
+"""
+
+import pytest
+
+from repro.bench.fixpoint_bench import (
+    collect_function_constraints,
+    solve_constraints,
+    table1_programs,
+)
+
+
+@pytest.mark.parametrize("name", ["dotprod", "wave"])
+def test_naive_and_worklist_verdicts_agree(name):
+    batch = collect_function_constraints(table1_programs([name])[0])
+    assert batch
+    naive = solve_constraints(batch, "naive")
+    worklist = solve_constraints(batch, "incremental")
+    assert naive.results == worklist.results
