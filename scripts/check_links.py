@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Markdown link checker for the docs lane.
+
+Scans the given markdown files (default: README.md, ROADMAP.md and
+everything under docs/) for inline links and images, and verifies that
+every *relative* target exists in the repository.  External (http/https)
+links are not fetched — CI must not depend on the network — and pure
+in-page anchors (``#section``) are skipped.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def default_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def _label(path: Path) -> str:
+    """Repo-relative display name when possible, the path as given otherwise."""
+    try:
+        return str(path.resolve().relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            continue  # in-page anchor
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            line = text[: match.start()].count("\n") + 1
+            errors.append(f"{_label(path)}:{line}: broken link {target!r}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(arg) for arg in argv] if argv else default_files()
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = ", ".join(_label(f) for f in files)
+    if errors:
+        print(f"link check FAILED ({len(errors)} broken) over: {checked}", file=sys.stderr)
+        return 1
+    print(f"link check ok over: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

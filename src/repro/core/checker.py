@@ -49,10 +49,12 @@ from repro.logic.subst import substitute
 from repro.fixpoint.constraint import (
     Constraint,
     KVarDecl,
+    attach_span,
     c_conj,
     c_forall,
     c_pred,
 )
+from repro.lang.span import Span
 from repro.logic.expr import KVar
 from repro.mir.ir import (
     AggregateRv,
@@ -144,6 +146,9 @@ class Checker:
         self._join_templates: Dict[int, Dict[str, RType]] = {}
         self._join_states: Dict[int, RefinementState] = {}
         self._mutated_locals = self._compute_mutated_locals()
+        # Span of the MIR statement/terminator currently being checked;
+        # stamped onto every constraint leaf emitted while it is current.
+        self._current_span: Optional[Span] = None
 
     # ------------------------------------------------------------------ setup
 
@@ -159,6 +164,22 @@ class Checker:
                 mutated.add(terminator.destination.local)
         return mutated
 
+    @staticmethod
+    def _hint_for(name: str, fallback: str) -> str:
+        """Binder-name hint for a local/place named ``name``.
+
+        Counterexample display maps a binder ``stem%N`` back to the source
+        local whose name *equals* the stem, so source-derived hints must
+        preserve the name exactly (including a conventional leading
+        underscore, ``_x`` and ``x`` being distinct locals).  Compiler
+        temporaries keep a dunder prefix, which the model layer filters out,
+        so they can never be mistaken for a user variable.
+        """
+        base = name.split("@", 1)[0]
+        if base and not base.startswith("__"):
+            return base
+        return f"__{fallback}"
+
     def fresh_kvar(self, params: Sequence[Tuple[str, Sort]]) -> KVar:
         name = f"k{next(self._kvar_counter)}_{self.body.name.replace(':', '_')}"
         decl = KVarDecl(name, tuple(params))
@@ -169,7 +190,7 @@ class Checker:
 
     def emit(self, state: RefinementState, constraint: Constraint) -> None:
         """Wrap a constraint in the state's binders and hypotheses and record it."""
-        wrapped = constraint
+        wrapped = attach_span(constraint, self._current_span)
         hypotheses = and_(*state.hypotheses) if state.hypotheses else TRUE
         if state.binders:
             # innermost binder gets the hypotheses; outer binders just scope
@@ -447,8 +468,11 @@ class Checker:
                 target_base = base_of(target_ty) if target_ty is not None else None
                 if target_base is None:
                     target_base = BTInt()
+                # Hint with the pointed-to place's name so counterexamples
+                # can report the value under its source-level name.
+                hint = self._hint_for(rtype.target, "jv")
                 binders = tuple(
-                    (fresh_name("jv"), sort) for sort in target_base.index_sorts()
+                    (fresh_name(hint), sort) for sort in target_base.index_sorts()
                 )
                 shapes[local] = (target_base, binders)
                 weakened[local] = rtype.target
@@ -458,7 +482,8 @@ class Checker:
             base = base_of(rtype)
             if base is None or not base.index_sorts():
                 continue
-            binders = tuple((fresh_name("tv"), sort) for sort in base.index_sorts())
+            hint = self._hint_for(local, "tv")
+            binders = tuple((fresh_name(hint), sort) for sort in base.index_sorts())
             shapes[local] = (base, binders)
 
         all_binders: Tuple[Tuple[str, Sort], ...] = tuple(
@@ -546,8 +571,13 @@ class Checker:
 
     def check_block(self, block: Block, state: RefinementState) -> Optional[RefinementState]:
         for statement in block.statements:
+            if statement.span is not None:
+                self._current_span = statement.span
             self.check_statement(state, statement)
         terminator = block.terminator
+        terminator_span = getattr(terminator, "span", None)
+        if terminator_span is not None:
+            self._current_span = terminator_span
         if isinstance(terminator, ReturnTerm):
             self.check_return(state, terminator)
             return None
@@ -577,9 +607,13 @@ class Checker:
     def assign_place(self, state: RefinementState, place: Place, value: RType, tag: str) -> None:
         if place.is_local:
             if isinstance(value, (RPtr, RRef)):
-                state.env[place.local] = self._open_shared_ref(state, value, hint=place.local.strip("_") or "r")
+                state.env[place.local] = self._open_shared_ref(
+                    state, value, hint=self._hint_for(place.local, "r")
+                )
             else:
-                state.env[place.local] = self.unpack(state, value, hint=place.local.strip("_") or "x")
+                state.env[place.local] = self.unpack(
+                    state, value, hint=self._hint_for(place.local, "x")
+                )
             return
         # Resolve the prefix place (everything but the last projection).
         prefix = Place(place.local, place.projections[:-1])
@@ -971,7 +1005,7 @@ class Checker:
             actual = actual_types[position]
             if isinstance(actual, RPtr):
                 state.env[actual.target] = self.unpack(
-                    state, instantiate(new_type), hint=actual.target.strip("_") or "s"
+                    state, instantiate(new_type), hint=self._hint_for(actual.target, "s")
                 )
             else:
                 self.emit(
@@ -1058,7 +1092,9 @@ class Checker:
                 # Strong pointer coerced to &mut T: the borrow weakens the
                 # pointed-to place to exactly T (T-bsmut), so no separate
                 # preservation obligation arises.
-                state.env[actual.target] = self.unpack(state, formal.inner, hint=actual.target)
+                state.env[actual.target] = self.unpack(
+                    state, formal.inner, hint=self._hint_for(actual.target, "p")
+                )
                 return
             # Preservation: after the call the location still has the callee's
             # formal type, which must continue to satisfy the reference's

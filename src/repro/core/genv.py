@@ -9,10 +9,12 @@ syntactically unifiable index positions, which the elaborator enforces).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.lang import ast
+from repro.lang.span import Span
 from repro.lang.specs import (
     BindIndex,
     FluxSigAst,
@@ -67,6 +69,10 @@ class FluxSignature:
     #: Constraints on refinement parameters from ``B[@n]{v: pred}`` argument
     #: types: assumed when checking the function body, proved at call sites.
     requires: Tuple[Expr, ...] = ()
+    #: Span of the ``#[flux::sig]`` attribute this signature was elaborated
+    #: from (``None`` for default/built-in signatures); diagnostics point
+    #: their secondary label here.
+    span: Optional["Span"] = dataclasses.field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         params = ", ".join(
@@ -255,6 +261,7 @@ class GlobalEnv:
             signature = self.elaborate_signature(
                 fn.name, sig_ast, generics=fn.generics, rust_params=fn.params, trusted=trusted
             )
+            signature = dataclasses.replace(signature, span=sig_attr.span)
         else:
             signature = self.default_signature(fn, trusted)
         self.signatures[fn.name] = signature

@@ -23,8 +23,9 @@ from repro.mir.typeinfer import ProgramTypes, infer_types
 from repro.fixpoint import FixpointSolver
 from repro.fixpoint.constraint import c_conj
 from repro.core.checker import Checker
-from repro.core.errors import Diagnostic, FluxError
+from repro.core.errors import Counterexample, Diagnostic, FluxError
 from repro.core.genv import GlobalEnv
+from repro.diagnostics.counterexample import counterexample_from_model
 from repro.smt import SmtContext, use_context
 
 
@@ -197,16 +198,31 @@ def _verify_function_in_context(
     try:
         body = lower_function(fn)
         infer_types(body, rust_context)
-        checker = Checker(body, genv, genv.signature(name))
+        signature = genv.signature(name)
+        checker = Checker(body, genv, signature)
         output = checker.check()
         solver = FixpointSolver()
         for decl in output.kvar_decls.values():
             solver.declare(decl)
         fixpoint_result = solver.solve(c_conj(*output.constraints))
-        diagnostics = [
-            Diagnostic(function=name, tag=error.tag or "unknown obligation")
-            for error in fixpoint_result.errors
-        ]
+        source_names = set(body.local_types) | set(signature.param_names)
+        param_names = {pname for pname, _ in signature.refinement_params}
+        diagnostics = []
+        for error in fixpoint_result.errors:
+            counterexample: Optional[Counterexample] = None
+            if error.model:
+                counterexample = counterexample_from_model(
+                    error.model, error.constraint.binders, source_names, param_names
+                )
+            diagnostics.append(
+                Diagnostic(
+                    function=name,
+                    tag=error.tag or "unknown obligation",
+                    span=error.span,
+                    sig_span=signature.span,
+                    counterexample=counterexample,
+                )
+            )
         return FunctionResult(
             name=name,
             ok=not diagnostics,

@@ -193,6 +193,20 @@ def fresh_name(hint: str = "a") -> str:
     return f"{hint}%{next(_FRESH)}"
 
 
+def reset_fresh_names() -> None:
+    """Restart the fresh-name counter.
+
+    Tests only: binder names feed the solver's variable ordering, so
+    resetting before a verification makes its diagnostics (in particular the
+    golden-file counterexample valuations) independent of whatever ran
+    earlier in the process.  Never call this mid-verification — uniqueness
+    of fresh names within one checker run depends on the counter not
+    rewinding.
+    """
+    global _FRESH
+    _FRESH = itertools.count(1)
+
+
 def exists_of(base: BaseTy, pred_builder=None, hint: str = "v") -> RExists:
     """Build ``{v. B[v] | p}`` with fresh binder names."""
     sorts = base.index_sorts()

@@ -1,0 +1,31 @@
+"""Counterexample-carrying, span-tracked diagnostics.
+
+This package turns raw verification failures into something a person can
+act on:
+
+* :mod:`repro.diagnostics.counterexample` — maps the SMT model of a failed
+  obligation (solver-level binder names, rational values) back to
+  source-level variables and integer/boolean values, and provides the
+  model-soundness check used by the tests;
+* :mod:`repro.diagnostics.render` — renders a :class:`repro.core.errors.
+  Diagnostic` as a rustc-style caret snippet with the counterexample
+  valuation attached.
+
+See ``docs/diagnostics.md`` for the user guide.
+"""
+
+from repro.lang.span import Span, merge_spans
+from repro.diagnostics.counterexample import (
+    counterexample_from_model,
+    model_refutes,
+)
+from repro.diagnostics.render import render_diagnostic, render_result
+
+__all__ = [
+    "Span",
+    "merge_spans",
+    "counterexample_from_model",
+    "model_refutes",
+    "render_diagnostic",
+    "render_result",
+]

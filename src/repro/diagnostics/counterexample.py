@@ -1,0 +1,123 @@
+"""From SMT models back to source-level counterexamples.
+
+A failed obligation is a clause ``binders; hypotheses |- goal`` whose
+refutation (``hypotheses ∧ ¬goal``) the solver found satisfiable.  The
+satisfying assignment speaks the checker's internal language: binders are
+fresh names like ``lo%17`` (the unpacking of local ``lo``), ``n`` (an
+``@n`` refinement parameter of the signature) or ``jv%3`` (a synthetic
+join-template index).  This module maps that assignment back through the
+naming discipline to the source level:
+
+* a binder ``x%k`` whose stem ``x`` names a function parameter or MIR
+  local displays as ``x`` — when several generations of the same local are
+  in scope (loop iterations, re-assignments), the *innermost* binder wins,
+  matching the program point of the failing obligation;
+* an ``@n`` refinement parameter keeps its name;
+* purely internal binders (synthetic hints, ``__``-prefixed preprocessing
+  variables) are dropped from the display but kept in the raw model.
+
+Values are rounded through the solver's branch-and-bound, so integer-sorted
+variables always display as integers and boolean-sorted ones as
+``true``/``false``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import Counterexample
+from repro.logic.expr import BoolConst, Expr, IntConst, RealConst, Var, and_, eq, not_
+from repro.logic.sorts import BOOL, INT, Sort
+
+__all__ = ["counterexample_from_model", "model_refutes"]
+
+
+def _display_value(value: object, sort: Sort) -> object:
+    """An integer, boolean or (rarely) decimal-string view of a model value."""
+    if sort == BOOL:
+        return bool(int(value))
+    fraction = Fraction(value)
+    if fraction.denominator == 1:
+        return int(fraction)
+    return str(fraction)
+
+
+def counterexample_from_model(
+    model: Mapping[str, object],
+    binders: Sequence[Tuple[str, Sort]],
+    source_names: Iterable[str],
+    refinement_params: Iterable[str],
+) -> Optional[Counterexample]:
+    """Map a solver model onto source-level variables.
+
+    ``binders`` is the failed clause's binder list in scope order (outermost
+    first); ``source_names`` the names that mean something to the user (MIR
+    locals and function parameters); ``refinement_params`` the ``@n``
+    parameters of the enclosing signature.  Returns ``None`` when nothing in
+    the model survives the mapping.
+    """
+    known = set(source_names)
+    params = set(refinement_params)
+
+    values: Dict[str, object] = {}
+    order: Dict[str, int] = {}
+    for position, (binder, sort) in enumerate(binders):
+        if binder.startswith("__") or binder not in model:
+            continue
+        stem = binder.split("%", 1)[0]
+        if binder in params:
+            display = binder
+        elif stem in params or stem in known:
+            display = stem
+        else:
+            continue  # synthetic join/template/condition binder
+        if display.startswith("__"):
+            continue  # compiler temporaries carry no meaning for the user
+        # Innermost generation wins, but the first generation fixes the
+        # position so the output reads in declaration order.
+        order.setdefault(display, position)
+        values[display] = _display_value(model[binder], sort)
+
+    if not values:
+        return None
+    bindings = tuple(
+        (name, values[name]) for name in sorted(values, key=lambda n: order[n])
+    )
+    raw = tuple(sorted((name, str(value)) for name, value in model.items()))
+    return Counterexample(bindings=bindings, raw=raw)
+
+
+def model_refutes(
+    hypotheses: Sequence[Expr],
+    goal: Expr,
+    model: Mapping[str, object],
+    sorts: Mapping[str, Sort],
+) -> bool:
+    """Does ``model`` genuinely falsify ``hypotheses |= goal``?
+
+    The check pins every modelled variable to its value and asks the solver
+    whether ``hypotheses ∧ ¬goal`` stays satisfiable — i.e. whether the
+    valuation extends to a full refutation.  This is the model-soundness
+    oracle the test suite runs over every reported counterexample; it goes
+    through the solver (rather than a hand-rolled evaluator) so
+    uninterpreted applications and preprocessing variables are handled by
+    the same semantics that produced the model.
+    """
+    from repro.smt import is_satisfiable
+
+    pins = []
+    for name, value in model.items():
+        if name.startswith("__"):
+            continue
+        sort = sorts.get(name, INT)
+        if sort == BOOL:
+            pins.append(eq(Var(name, BOOL), BoolConst(bool(int(value)))))
+            continue
+        fraction = Fraction(value)
+        if fraction.denominator == 1:
+            pins.append(eq(Var(name, sort), IntConst(int(fraction))))
+        else:
+            pins.append(eq(Var(name, sort), RealConst(fraction)))
+    query = and_(*hypotheses, not_(goal), *pins)
+    return is_satisfiable(query, dict(sorts))

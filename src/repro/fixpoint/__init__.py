@@ -15,6 +15,7 @@ from repro.fixpoint.constraint import (
     FlatConstraint,
     Head,
     KVarDecl,
+    attach_span,
     c_conj,
     c_forall,
     c_implies,
@@ -43,6 +44,7 @@ __all__ = [
     "FlatConstraint",
     "Head",
     "KVarDecl",
+    "attach_span",
     "c_conj",
     "c_forall",
     "c_implies",

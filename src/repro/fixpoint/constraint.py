@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.lang.span import Span
 from repro.logic.expr import Expr, KVar, TRUE
 from repro.logic.sorts import Sort
 
@@ -42,10 +43,16 @@ class KVarDecl:
 
 @dataclass(frozen=True)
 class Pred:
-    """Leaf obligation: prove ``expr`` (a concrete predicate or a κ application)."""
+    """Leaf obligation: prove ``expr`` (a concrete predicate or a κ application).
+
+    ``span`` is the source region the obligation blames — the surface
+    expression whose checking produced it.  Like every span it is
+    provenance only and excluded from equality.
+    """
 
     expr: Expr
     tag: str = ""
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -74,8 +81,36 @@ class ImplCstr:
 Constraint = Union[Pred, Conj, ForallCstr, ImplCstr]
 
 
-def c_pred(expr: Expr, tag: str = "") -> Constraint:
-    return Pred(expr, tag)
+def c_pred(expr: Expr, tag: str = "", span: Optional[Span] = None) -> Constraint:
+    return Pred(expr, tag, span)
+
+
+def attach_span(constraint: Constraint, span: Optional[Span]) -> Constraint:
+    """Stamp ``span`` onto every ``Pred`` leaf that does not carry one yet.
+
+    The checker calls this at constraint-emission time: the subtyping rules
+    build their obligation trees without source knowledge, and the checker
+    knows which MIR statement (and so which surface expression) it is
+    processing.
+    """
+    if span is None:
+        return constraint
+    if isinstance(constraint, Pred):
+        if constraint.span is not None:
+            return constraint
+        return Pred(constraint.expr, constraint.tag, span)
+    if isinstance(constraint, Conj):
+        return Conj(tuple(attach_span(part, span) for part in constraint.parts))
+    if isinstance(constraint, ForallCstr):
+        return ForallCstr(
+            constraint.var,
+            constraint.sort,
+            constraint.hypothesis,
+            attach_span(constraint.body, span),
+        )
+    if isinstance(constraint, ImplCstr):
+        return ImplCstr(constraint.hypothesis, attach_span(constraint.body, span))
+    raise ConstraintError(f"unknown constraint node {constraint!r}")
 
 
 def c_conj(*parts: Constraint) -> Constraint:
@@ -124,12 +159,13 @@ class Head:
 
 @dataclass
 class FlatConstraint:
-    """A clause ``binders; hypotheses |- head`` with a provenance tag."""
+    """A clause ``binders; hypotheses |- head`` with a provenance tag and span."""
 
     binders: List[Tuple[str, Sort]] = field(default_factory=list)
     hypotheses: List[Expr] = field(default_factory=list)
     head: Head = field(default_factory=lambda: Head(TRUE))
     tag: str = ""
+    span: Optional[Span] = None
 
     @property
     def sort_env(self) -> Dict[str, Sort]:
@@ -162,6 +198,7 @@ def _flatten(
                 hypotheses=list(hypotheses),
                 head=Head(constraint.expr),
                 tag=constraint.tag,
+                span=constraint.span,
             )
         )
         return

@@ -60,7 +60,13 @@ from repro.logic.expr import (
 from repro.logic.simplify import simplify
 from repro.logic.sorts import Sort
 from repro.logic.subst import kvars_of, substitute
-from repro.smt import IncrementalSolver, SmtError, current_context, is_valid
+from repro.smt import (
+    IncrementalSolver,
+    SmtError,
+    current_context,
+    is_valid,
+    validity_answer,
+)
 from repro.smt.quant import has_quantifier
 from repro.fixpoint.constraint import (
     Constraint,
@@ -95,15 +101,29 @@ class FixpointError:
     the weakest viable assignment (a type error), or
     :data:`BUDGET_EXHAUSTED` for a constraint still scheduled for weakening
     when ``max_iterations`` ran out (an incomplete run, not a refutation).
+
+    For :data:`INVALID` errors the solver additionally records the
+    *counterexample context*: the κ-solution-substituted ``hypotheses`` and
+    ``goal`` of the failed validity query, and — when the DPLL(T) stack
+    could extract one — the satisfying assignment ``model`` of the
+    refutation, a concrete valuation of the clause's binders under which
+    every hypothesis holds and the goal is false.
     """
 
     constraint: FlatConstraint
     kind: str = INVALID
     detail: str = ""
+    hypotheses: Tuple[Expr, ...] = ()
+    goal: Optional[Expr] = None
+    model: Optional[Dict[str, object]] = None
 
     @property
     def tag(self) -> str:
         return self.constraint.tag
+
+    @property
+    def span(self):
+        return self.constraint.span
 
     def __str__(self) -> str:
         if self.kind == BUDGET_EXHAUSTED:
@@ -192,7 +212,30 @@ def apply_solution(expr: Expr, solution: Solution, decls: Dict[str, KVarDecl]) -
 
 @dataclass
 class FixpointSolver:
-    """Solver instance; create one per verification task."""
+    """Solver instance; create one per verification task.
+
+    Declare every κ variable, then hand ``solve`` the constraint tree the
+    checker produced.  A constraint with only concrete heads needs no
+    declarations:
+
+    >>> from repro.fixpoint.constraint import c_forall, c_pred
+    >>> from repro.logic.expr import Var, ge
+    >>> from repro.logic.sorts import INT
+    >>> solver = FixpointSolver()
+    >>> valid = c_forall("x", INT, ge(Var("x"), 1), c_pred(ge(Var("x"), 0)))
+    >>> solver.solve(valid).ok
+    True
+
+    A failing obligation comes back as a :class:`FixpointError` carrying the
+    clause's provenance tag and a concrete counterexample model:
+
+    >>> broken = c_forall("x", INT, ge(Var("x"), 0), c_pred(ge(Var("x"), 1), tag="demo"))
+    >>> result = FixpointSolver().solve(broken)
+    >>> [error.tag for error in result.errors]
+    ['demo']
+    >>> int(result.errors[0].model["x"])
+    0
+    """
 
     kvar_decls: Dict[str, KVarDecl] = field(default_factory=dict)
     qualifiers: Sequence[Qualifier] = field(default_factory=default_qualifiers)
@@ -239,8 +282,27 @@ class FixpointSolver:
                 goal = apply_solution(clause.head.expr, solution, self.kvar_decls)
                 stats.queries += 1
                 stats.from_scratch += 1
-                if not is_valid(hypotheses, goal, sorts):
-                    errors.append(FixpointError(clause))
+                answer = validity_answer(hypotheses, goal, sorts)
+                if not answer.is_unsat:
+                    # One query serves both the verdict and the model — the
+                    # raw material of the counterexample shown to the user.
+                    model = dict(answer.model) if answer.is_sat and answer.model is not None else None
+                    if model is not None:
+                        # Binders absent from the model are don't-cares (they
+                        # were simplified away or their atoms were never
+                        # assigned), so any value — pick 0/false — extends the
+                        # refutation.  This keeps counterexamples concrete
+                        # even for tautologically false obligations.
+                        for binder_name, _ in clause.binders:
+                            model.setdefault(binder_name, 0)
+                    errors.append(
+                        FixpointError(
+                            clause,
+                            hypotheses=tuple(hypotheses),
+                            goal=goal,
+                            model=model,
+                        )
+                    )
 
         return FixpointResult(
             solution=solution,

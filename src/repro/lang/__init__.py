@@ -12,6 +12,7 @@ Prusti-style ``requires``/``ensures``/``body_invariant!`` annotations.
 from repro.lang.lexer import LexError, Token, tokenize
 from repro.lang.parser import ParseError, parse_program
 from repro.lang.ast import Program
+from repro.lang.span import Span, merge_spans
 
 __all__ = [
     "LexError",
@@ -20,4 +21,6 @@ __all__ = [
     "ParseError",
     "parse_program",
     "Program",
+    "Span",
+    "merge_spans",
 ]

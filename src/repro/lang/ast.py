@@ -11,6 +11,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.lang.span import Span
+
+
+def span_field():
+    """A source-span slot: provenance only, excluded from equality/repr.
+
+    The service result cache fingerprints ASTs through ``repr`` and tests
+    compare nodes structurally; spans must never participate in either.
+    """
+    return field(default=None, compare=False, repr=False)
+
 
 # ---------------------------------------------------------------------------
 # Types (plain Rust types, before refinement)
@@ -66,27 +77,32 @@ class Expr:
 @dataclass(frozen=True)
 class IntLit(Expr):
     value: int
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
 class FloatLit(Expr):
     value: float
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
 class BoolLit(Expr):
     value: bool
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
 class VarExpr(Expr):
     name: str
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
 class UnaryExpr(Expr):
     op: str  # "-" or "!"
     operand: Expr
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
@@ -94,6 +110,7 @@ class BinaryExpr(Expr):
     op: str
     lhs: Expr
     rhs: Expr
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
@@ -102,6 +119,7 @@ class CallExpr(Expr):
 
     func: str
     args: Tuple[Expr, ...]
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
@@ -109,29 +127,34 @@ class MethodCallExpr(Expr):
     receiver: Expr
     method: str
     args: Tuple[Expr, ...]
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
 class FieldExpr(Expr):
     receiver: Expr
     field: str
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
 class BorrowExpr(Expr):
     mutable: bool
     place: Expr
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
 class DerefExpr(Expr):
     place: Expr
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
 class StructLit(Expr):
     name: str
     fields: Tuple[Tuple[str, Expr], ...]
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
@@ -139,6 +162,7 @@ class IfExpr(Expr):
     cond: Expr
     then_block: "Block"
     else_block: Optional["Block"]
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
@@ -152,17 +176,20 @@ class MatchArm:
 class MatchExpr(Expr):
     scrutinee: Expr
     arms: Tuple[MatchArm, ...]
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
 class BlockExpr(Expr):
     block: "Block"
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
 class CastExpr(Expr):
     operand: Expr
     target: Type
+    span: Optional[Span] = span_field()
 
 
 # ---------------------------------------------------------------------------
@@ -181,6 +208,7 @@ class LetStmt(Stmt):
     mutable: bool
     ty: Optional[Type]
     init: Optional[Expr]
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
@@ -190,11 +218,13 @@ class AssignStmt(Stmt):
     place: Expr
     op: Optional[str]  # None for plain assignment, "+" for +=, etc.
     value: Expr
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
 class ExprStmt(Stmt):
     expr: Expr
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
@@ -202,11 +232,13 @@ class WhileStmt(Stmt):
     cond: Expr
     body: "Block"
     invariants: Tuple["RawSpec", ...] = ()
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
 class ReturnStmt(Stmt):
     value: Optional[Expr]
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
@@ -215,6 +247,7 @@ class MacroStmt(Stmt):
 
     name: str
     tokens: Tuple[str, ...]  # the raw token texts between the parentheses
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)
@@ -239,6 +272,7 @@ class RawSpec:
 
     name: str
     tokens: Tuple[str, ...]
+    span: Optional[Span] = span_field()
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from repro.lang.span import Span
+
 
 class LexError(Exception):
     """Raised on malformed input with a line/column position."""
@@ -98,6 +100,10 @@ class Token:
 
     def __repr__(self) -> str:
         return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+    @property
+    def span(self) -> Span:
+        return Span.from_token(self)
 
 
 def tokenize(source: str) -> List[Token]:
@@ -200,6 +206,11 @@ class TokenStream:
     def peek(self, offset: int = 0) -> Token:
         position = min(self._position + offset, len(self._tokens) - 1)
         return self._tokens[position]
+
+    def previous(self) -> Token:
+        """The most recently consumed token (the first token before any
+        ``next``); used by the parser to close spans."""
+        return self._tokens[max(self._position - 1, 0)]
 
     def next(self) -> Token:
         token = self.peek()

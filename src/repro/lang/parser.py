@@ -50,6 +50,7 @@ from repro.lang.ast import (
     WhileStmt,
 )
 from repro.lang.lexer import Token, TokenStream, tokenize
+from repro.lang.span import Span, merge_spans
 
 
 class ParseError(Exception):
@@ -68,6 +69,12 @@ def parse_program(source: str) -> Program:
 class _Parser:
     def __init__(self, stream: TokenStream) -> None:
         self.ts = stream
+
+    # -- spans ----------------------------------------------------------------
+
+    def _close(self, start: Token) -> Span:
+        """The span from ``start`` through the last consumed token."""
+        return start.span.merge(self.ts.previous().span)
 
     # -- items ----------------------------------------------------------------
 
@@ -100,6 +107,7 @@ class _Parser:
     def attributes(self) -> Tuple[RawSpec, ...]:
         attrs: List[RawSpec] = []
         while self.ts.at("#[") or self.ts.at("#"):
+            start = self.ts.peek()
             if self.ts.accept("#["):
                 pass
             else:
@@ -110,7 +118,7 @@ class _Parser:
             if self.ts.at("("):
                 tokens = self._balanced_tokens("(", ")")
             self.ts.expect("]")
-            attrs.append(RawSpec(name, tuple(tokens)))
+            attrs.append(RawSpec(name, tuple(tokens), span=self._close(start)))
         return tuple(attrs)
 
     def _attr_path(self) -> str:
@@ -290,6 +298,7 @@ class _Parser:
         stmts: List[Stmt] = []
         tail: Optional[Expr] = None
         while not self.ts.accept("}"):
+            start = self.ts.peek()
             if self.ts.at("let"):
                 stmts.append(self.let_stmt())
                 continue
@@ -300,7 +309,7 @@ class _Parser:
                 self.ts.expect("return")
                 value = None if self.ts.at(";") else self.expression()
                 self.ts.expect(";")
-                stmts.append(ReturnStmt(value))
+                stmts.append(ReturnStmt(value, span=self._close(start)))
                 continue
             if self.ts.at_kind("ident") and self.ts.peek(1).text == "!":
                 stmts.append(self.macro_stmt())
@@ -312,16 +321,16 @@ class _Parser:
                 value = self.expression()
                 self.ts.expect(";")
                 op = COMPOUND_ASSIGN.get(assign_token)
-                stmts.append(AssignStmt(expr, op, value))
+                stmts.append(AssignStmt(expr, op, value, span=self._close(start)))
                 continue
             if self.ts.accept(";"):
-                stmts.append(ExprStmt(expr))
+                stmts.append(ExprStmt(expr, span=expr.span))
                 continue
             if self.ts.at("}"):
                 tail = expr
                 continue
             if isinstance(expr, (IfExpr, MatchExpr, BlockExpr)):
-                stmts.append(ExprStmt(expr))
+                stmts.append(ExprStmt(expr, span=expr.span))
                 continue
             token = self.ts.peek()
             raise ParseError(
@@ -330,6 +339,7 @@ class _Parser:
         return Block(tuple(stmts), tail)
 
     def let_stmt(self) -> LetStmt:
+        start = self.ts.peek()
         self.ts.expect("let")
         mutable = bool(self.ts.accept("mut"))
         name = self.ts.expect_kind("ident").text
@@ -340,23 +350,26 @@ class _Parser:
         if self.ts.accept("="):
             init = self.expression()
         self.ts.expect(";")
-        return LetStmt(name, mutable, ty, init)
+        return LetStmt(name, mutable, ty, init, span=self._close(start))
 
     def while_stmt(self) -> WhileStmt:
+        start = self.ts.peek()
         self.ts.expect("while")
         cond = self.expression(no_struct=True)
         invariants: List[RawSpec] = []
         # body_invariant! macros written as the first statements of the loop
         # body are collected by the lowering pass, not here
         body = self.block()
-        return WhileStmt(cond, body, tuple(invariants))
+        # Blame the `while cond` head, not the body.
+        return WhileStmt(cond, body, tuple(invariants), span=merge_spans(start.span, cond.span))
 
     def macro_stmt(self) -> MacroStmt:
+        start = self.ts.peek()
         name = self.ts.expect_kind("ident").text
         self.ts.expect("!")
         tokens = self._balanced_tokens("(", ")")
         self.ts.accept(";")
-        return MacroStmt(name, tuple(tokens))
+        return MacroStmt(name, tuple(tokens), span=self._close(start))
 
     # -- expressions ------------------------------------------------------------
 
@@ -367,58 +380,69 @@ class _Parser:
         expr = self._and_expr(no_struct)
         while self.ts.at("||"):
             self.ts.next()
-            expr = BinaryExpr("||", expr, self._and_expr(no_struct))
+            rhs = self._and_expr(no_struct)
+            expr = BinaryExpr("||", expr, rhs, span=merge_spans(expr.span, rhs.span))
         return expr
 
     def _and_expr(self, no_struct: bool) -> Expr:
         expr = self._cmp_expr(no_struct)
         while self.ts.at("&&"):
             self.ts.next()
-            expr = BinaryExpr("&&", expr, self._cmp_expr(no_struct))
+            rhs = self._cmp_expr(no_struct)
+            expr = BinaryExpr("&&", expr, rhs, span=merge_spans(expr.span, rhs.span))
         return expr
 
     def _cmp_expr(self, no_struct: bool) -> Expr:
         expr = self._add_expr(no_struct)
         while self.ts.peek().text in ("==", "!=", "<", "<=", ">", ">="):
             op = self.ts.next().text
-            expr = BinaryExpr(op, expr, self._add_expr(no_struct))
+            rhs = self._add_expr(no_struct)
+            expr = BinaryExpr(op, expr, rhs, span=merge_spans(expr.span, rhs.span))
         return expr
 
     def _add_expr(self, no_struct: bool) -> Expr:
         expr = self._mul_expr(no_struct)
         while self.ts.peek().text in ("+", "-") and self.ts.peek().kind == "op":
             op = self.ts.next().text
-            expr = BinaryExpr(op, expr, self._mul_expr(no_struct))
+            rhs = self._mul_expr(no_struct)
+            expr = BinaryExpr(op, expr, rhs, span=merge_spans(expr.span, rhs.span))
         return expr
 
     def _mul_expr(self, no_struct: bool) -> Expr:
         expr = self._cast_expr(no_struct)
         while self.ts.peek().text in ("*", "/", "%") and self.ts.peek().kind == "op":
             op = self.ts.next().text
-            expr = BinaryExpr(op, expr, self._cast_expr(no_struct))
+            rhs = self._cast_expr(no_struct)
+            expr = BinaryExpr(op, expr, rhs, span=merge_spans(expr.span, rhs.span))
         return expr
 
     def _cast_expr(self, no_struct: bool) -> Expr:
         expr = self._unary_expr(no_struct)
         while self.ts.at("as"):
+            start = self.ts.peek()
             self.ts.next()
-            expr = CastExpr(expr, self.type_())
+            expr = CastExpr(expr, self.type_(), span=merge_spans(expr.span, self._close(start)))
         return expr
 
     def _unary_expr(self, no_struct: bool) -> Expr:
+        start = self.ts.peek()
         if self.ts.at("-"):
             self.ts.next()
-            return UnaryExpr("-", self._unary_expr(no_struct))
+            operand = self._unary_expr(no_struct)
+            return UnaryExpr("-", operand, span=merge_spans(start.span, operand.span))
         if self.ts.at("!"):
             self.ts.next()
-            return UnaryExpr("!", self._unary_expr(no_struct))
+            operand = self._unary_expr(no_struct)
+            return UnaryExpr("!", operand, span=merge_spans(start.span, operand.span))
         if self.ts.at("*"):
             self.ts.next()
-            return DerefExpr(self._unary_expr(no_struct))
+            place = self._unary_expr(no_struct)
+            return DerefExpr(place, span=merge_spans(start.span, place.span))
         if self.ts.at("&"):
             self.ts.next()
             mutable = bool(self.ts.accept("mut"))
-            return BorrowExpr(mutable, self._unary_expr(no_struct))
+            place = self._unary_expr(no_struct)
+            return BorrowExpr(mutable, place, span=merge_spans(start.span, place.span))
         return self._postfix_expr(no_struct)
 
     def _postfix_expr(self, no_struct: bool) -> Expr:
@@ -429,14 +453,19 @@ class _Parser:
                 if name_token.kind == "int":
                     # tuple field access, e.g. pair.0
                     self.ts.next()
-                    expr = FieldExpr(expr, name_token.text)
+                    expr = FieldExpr(
+                        expr, name_token.text, span=merge_spans(expr.span, name_token.span)
+                    )
                     continue
                 name = self.ts.expect_kind("ident").text
                 if self.ts.at("("):
                     args = self._call_args()
-                    expr = MethodCallExpr(expr, name, tuple(args))
+                    span = merge_spans(expr.span, self.ts.previous().span)
+                    expr = MethodCallExpr(expr, name, tuple(args), span=span)
                 else:
-                    expr = FieldExpr(expr, name)
+                    expr = FieldExpr(
+                        expr, name, span=merge_spans(expr.span, self.ts.previous().span)
+                    )
                 continue
             break
         return expr
@@ -453,16 +482,16 @@ class _Parser:
         token = self.ts.peek()
         if token.kind == "int":
             self.ts.next()
-            return IntLit(int(token.text))
+            return IntLit(int(token.text), span=token.span)
         if token.kind == "float":
             self.ts.next()
-            return FloatLit(float(token.text))
+            return FloatLit(float(token.text), span=token.span)
         if self.ts.at("true"):
             self.ts.next()
-            return BoolLit(True)
+            return BoolLit(True, span=token.span)
         if self.ts.at("false"):
             self.ts.next()
-            return BoolLit(False)
+            return BoolLit(False, span=token.span)
         if self.ts.at("("):
             self.ts.next()
             expr = self.expression()
@@ -479,6 +508,7 @@ class _Parser:
         raise ParseError(f"unexpected token {token.text!r} (line {token.line})")
 
     def if_expr(self, no_struct: bool) -> IfExpr:
+        start = self.ts.peek()
         self.ts.expect("if")
         cond = self.expression(no_struct=True)
         then_block = self.block()
@@ -489,9 +519,11 @@ class _Parser:
                 else_block = Block((), nested)
             else:
                 else_block = self.block()
-        return IfExpr(cond, then_block, else_block)
+        # Blame the whole `if cond` head, not the branches.
+        return IfExpr(cond, then_block, else_block, span=merge_spans(start.span, cond.span))
 
     def match_expr(self) -> MatchExpr:
+        start = self.ts.peek()
         self.ts.expect("match")
         scrutinee = self.expression(no_struct=True)
         self.ts.expect("{")
@@ -505,7 +537,9 @@ class _Parser:
                 body = Block((), self.expression())
             self.ts.accept(",")
             arms.append(MatchArm(variant, tuple(bindings), body))
-        return MatchExpr(scrutinee, tuple(arms))
+        return MatchExpr(
+            scrutinee, tuple(arms), span=merge_spans(start.span, scrutinee.span)
+        )
 
     def _pattern(self) -> Tuple[str, List[str]]:
         if self.ts.at("_"):
@@ -528,13 +562,14 @@ class _Parser:
         return variant, bindings
 
     def _path_expr(self, no_struct: bool) -> Expr:
+        start = self.ts.peek()
         parts = [self.ts.next().text]
         while self.ts.accept("::"):
             parts.append(self.ts.expect_kind("ident").text)
         path = "::".join(parts)
         if self.ts.at("("):
             args = self._call_args()
-            return CallExpr(path, tuple(args))
+            return CallExpr(path, tuple(args), span=self._close(start))
         if self.ts.at("{") and not no_struct and len(parts) == 1 and parts[0][0].isupper():
             # struct literal: Name { field: expr, ... }
             self.ts.expect("{")
@@ -544,8 +579,8 @@ class _Parser:
                 self.ts.expect(":")
                 fields.append((field_name, self.expression()))
                 self.ts.accept(",")
-            return StructLit(path, tuple(fields))
+            return StructLit(path, tuple(fields), span=self._close(start))
         if len(parts) > 1:
             # path used as a value: unit enum variant such as List::Nil
-            return CallExpr(path, ())
-        return VarExpr(path)
+            return CallExpr(path, (), span=self._close(start))
+        return VarExpr(path, span=start.span)

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.lang import ast
+from repro.lang.span import Span
 
 
 # ---------------------------------------------------------------------------
@@ -115,6 +116,7 @@ Rvalue = Union[UseRv, BinRv, UnRv, RefRv, AggregateRv]
 class AssignStatement:
     place: Place
     rvalue: Rvalue
+    span: Optional[Span] = None  # the surface expression this was lowered from
 
     def __str__(self) -> str:
         return f"{self.place} = {self.rvalue}"
@@ -128,6 +130,7 @@ class AssignStatement:
 @dataclass
 class Goto:
     target: int
+    span: Optional[Span] = None
 
 
 @dataclass
@@ -135,6 +138,7 @@ class SwitchBool:
     operand: Operand
     then_target: int
     else_target: int
+    span: Optional[Span] = None
 
 
 @dataclass
@@ -149,6 +153,7 @@ class SwitchVariant:
     place: Place
     enum_name: str
     arms: List[Tuple[str, Tuple[str, ...], int]]
+    span: Optional[Span] = None
 
 
 @dataclass
@@ -157,11 +162,13 @@ class CallTerm:
     func: str
     args: List[Operand]
     target: int
+    span: Optional[Span] = None
 
 
 @dataclass
 class ReturnTerm:
     operand: Optional[Operand]
+    span: Optional[Span] = None
 
 
 Terminator = Union[Goto, SwitchBool, SwitchVariant, CallTerm, ReturnTerm]

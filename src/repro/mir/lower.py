@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.lang import ast
+from repro.lang.span import Span
 from repro.mir.ir import (
     AggregateRv,
     AssignStatement,
@@ -67,6 +68,10 @@ class _Lowerer:
         self.body.local_types[RETURN_LOCAL] = fn_def.ret
         self._temp_counter = 0
         self._loop_stack: List[_LoopContext] = []
+        # The span of the innermost surface construct currently being
+        # lowered; stamped onto every emitted statement and terminator so
+        # the checker can blame the exact source expression.
+        self._span: Optional[Span] = None
 
     # -- block management ------------------------------------------------------
 
@@ -81,8 +86,8 @@ class _Lowerer:
         self.body.local_types.setdefault(name, None)
         return name
 
-    def emit(self, block: Block, place: Place, rvalue) -> None:
-        block.statements.append(AssignStatement(place, rvalue))
+    def emit(self, block: Block, place: Place, rvalue, span: Optional[Span] = None) -> None:
+        block.statements.append(AssignStatement(place, rvalue, span=span or self._span))
 
     # -- entry point -------------------------------------------------------------
 
@@ -92,7 +97,11 @@ class _Lowerer:
         end_block, tail = self.lower_block(self.fn_def.body, entry)
         if end_block.terminator is None:
             operand = tail if tail is not None else ConstOperand(None)
-            end_block.terminator = ReturnTerm(operand)
+            # Blame the whole tail expression when there is one; otherwise
+            # fall back to the last lowered expression.
+            tail_expr = self.fn_def.body.tail
+            span = getattr(tail_expr, "span", None) or self._span
+            end_block.terminator = ReturnTerm(operand, span=span)
         return self.body
 
     # -- statements ----------------------------------------------------------------
@@ -109,6 +118,8 @@ class _Lowerer:
         return current, tail
 
     def lower_stmt(self, stmt: ast.Stmt, current: Block) -> Block:
+        if stmt.span is not None:
+            self._span = stmt.span
         if isinstance(stmt, ast.LetStmt):
             self.body.local_types.setdefault(stmt.name, stmt.ty)
             if stmt.ty is not None and self.body.local_types.get(stmt.name) is None:
@@ -121,7 +132,7 @@ class _Lowerer:
             if stmt.op is None:
                 return self.lower_into(place, stmt.value, current)
             current, rhs = self.lower_expr(stmt.value, current)
-            self.emit(current, place, BinRv(stmt.op, PlaceOperand(place), rhs))
+            self.emit(current, place, BinRv(stmt.op, PlaceOperand(place), rhs), span=stmt.span)
             return current
         if isinstance(stmt, ast.ExprStmt):
             if isinstance(stmt.expr, ast.IfExpr):
@@ -138,7 +149,7 @@ class _Lowerer:
             operand: Operand = ConstOperand(None)
             if stmt.value is not None:
                 current, operand = self.lower_expr(stmt.value, current)
-            current.terminator = ReturnTerm(operand)
+            current.terminator = ReturnTerm(operand, span=stmt.span)
             return current
         if isinstance(stmt, ast.MacroStmt):
             # body_invariant! is re-attached to the loop head by lower_while;
@@ -150,13 +161,18 @@ class _Lowerer:
     def lower_while(self, stmt: ast.WhileStmt, current: Block) -> Block:
         head = self.new_block()
         head.is_loop_head = True
-        current.terminator = Goto(head.block_id)
+        current.terminator = Goto(head.block_id, span=stmt.span)
 
         body_entry = self.new_block()
         exit_block = self.new_block()
 
         cond_block, cond_operand = self.lower_expr(stmt.cond, head)
-        cond_block.terminator = SwitchBool(cond_operand, body_entry.block_id, exit_block.block_id)
+        cond_block.terminator = SwitchBool(
+            cond_operand,
+            body_entry.block_id,
+            exit_block.block_id,
+            span=stmt.cond.span or stmt.span,
+        )
 
         # collect body_invariant! macros written at the top of the loop body
         invariants = [
@@ -177,39 +193,44 @@ class _Lowerer:
 
     def lower_into(self, place: Place, expr: ast.Expr, current: Block) -> Block:
         """Lower ``expr`` directly into ``place`` (avoids temporaries for calls)."""
+        span = expr.span or self._span
+        if expr.span is not None:
+            self._span = expr.span
         if isinstance(expr, (ast.CallExpr, ast.MethodCallExpr)):
             return self.lower_call(expr, current, place)
         if isinstance(expr, ast.IfExpr):
             current, operand = self.lower_if(expr, current, want_value=True)
-            self.emit(current, place, UseRv(operand))
+            self.emit(current, place, UseRv(operand), span=span)
             return current
         if isinstance(expr, ast.MatchExpr):
             current, operand = self.lower_match(expr, current, want_value=True)
-            self.emit(current, place, UseRv(operand))
+            self.emit(current, place, UseRv(operand), span=span)
             return current
         if isinstance(expr, ast.BorrowExpr):
             current, target = self.lower_place_in(expr.place, current)
-            self.emit(current, place, RefRv(expr.mutable, target))
+            self.emit(current, place, RefRv(expr.mutable, target), span=span)
             return current
         if isinstance(expr, ast.StructLit):
             current, operands = self.lower_operands([value for _, value in expr.fields], current)
             names = tuple(name for name, _ in expr.fields)
-            self.emit(current, place, AggregateRv(expr.name, None, tuple(operands), names))
+            self.emit(current, place, AggregateRv(expr.name, None, tuple(operands), names), span=span)
             return current
         if isinstance(expr, ast.BinaryExpr):
             current, lhs = self.lower_expr(expr.lhs, current)
             current, rhs = self.lower_expr(expr.rhs, current)
-            self.emit(current, place, BinRv(expr.op, lhs, rhs))
+            self.emit(current, place, BinRv(expr.op, lhs, rhs), span=span)
             return current
         if isinstance(expr, ast.UnaryExpr):
             current, operand = self.lower_expr(expr.operand, current)
-            self.emit(current, place, UnRv(expr.op, operand))
+            self.emit(current, place, UnRv(expr.op, operand), span=span)
             return current
         current, operand = self.lower_expr(expr, current)
-        self.emit(current, place, UseRv(operand))
+        self.emit(current, place, UseRv(operand), span=span)
         return current
 
     def lower_expr(self, expr: ast.Expr, current: Block) -> Tuple[Block, Operand]:
+        if expr.span is not None:
+            self._span = expr.span
         if isinstance(expr, ast.IntLit):
             return current, ConstOperand(expr.value)
         if isinstance(expr, ast.FloatLit):
@@ -288,7 +309,9 @@ class _Lowerer:
         else:
             raise LoweringError(f"not a call expression: {expr!r}")
         successor = self.new_block()
-        current.terminator = CallTerm(destination, func, operands, successor.block_id)
+        current.terminator = CallTerm(
+            destination, func, operands, successor.block_id, span=expr.span or self._span
+        )
         return successor
 
     def lower_if(
@@ -298,7 +321,9 @@ class _Lowerer:
         then_block = self.new_block()
         else_block = self.new_block()
         join_block = self.new_block()
-        current.terminator = SwitchBool(cond, then_block.block_id, else_block.block_id)
+        current.terminator = SwitchBool(
+            cond, then_block.block_id, else_block.block_id, span=expr.cond.span or expr.span
+        )
 
         result_local = self.fresh_temp("if") if want_value else None
 
@@ -357,7 +382,9 @@ class _Lowerer:
                     self.emit(arm_end, Place(result_local), UseRv(value))
                 arm_end.terminator = Goto(join_block.block_id)
 
-        current.terminator = SwitchVariant(scrutinee.place, enum_name, arms)
+        current.terminator = SwitchVariant(
+            scrutinee.place, enum_name, arms, span=expr.span or self._span
+        )
         operand: Operand = (
             PlaceOperand(Place(result_local)) if result_local is not None else ConstOperand(None)
         )

@@ -11,7 +11,38 @@ call; this package is the production entry point layered on top of it:
 * :mod:`repro.service.scheduler` — callee-first scheduling onto a process
   pool with a serial fallback and deterministic output;
 * :mod:`repro.service.api` — batch jobs in, structured JSON reports out;
-* :mod:`repro.service.cli` — ``python -m repro``.
+* :mod:`repro.service.cli` — ``python -m repro`` (``--explain`` renders
+  rustc-style caret diagnostics with counterexamples).
+
+The one-call entry point is a drop-in for ``repro.core.verify_source``:
+
+>>> from repro.service import VerifySession, verify_source
+>>> session = VerifySession()          # owns SMT state + result cache
+>>> result = verify_source(
+...     "#[flux::sig(fn(x: i32{v: v > 0}) -> i32{v: v > 1})]\\n"
+...     "fn bump(x: i32) -> i32 { x + 1 }",
+...     session=session,
+... )
+>>> result.ok
+True
+>>> result.function("bump").ok
+True
+
+A failed verification carries structured diagnostics — source spans and a
+concrete counterexample valuation — instead of a bare verdict:
+
+>>> bad = verify_source(
+...     "#[flux::sig(fn(x: i32{v: v > 0}) -> i32{v: v > 2})]\\n"
+...     "fn bump(x: i32) -> i32 { x + 1 }",
+...     session=session,
+... )
+>>> bad.ok
+False
+>>> diagnostic = bad.diagnostics[0]
+>>> diagnostic.tag
+'return'
+>>> dict(diagnostic.counterexample.bindings)
+{'x': 1}
 """
 
 from repro.service.api import (

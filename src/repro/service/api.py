@@ -39,6 +39,13 @@ class VerifyJob:
 
 @dataclass
 class FunctionReport:
+    """Per-function slice of a job report (one row of the JSON output).
+
+    ``diagnostics`` holds the human-readable one-liners; ``failures`` the
+    structured records (obligation tag, source span, signature span and the
+    counterexample valuation) for tooling.
+    """
+
     name: str
     status: str  # "ok" | "error" | "trusted"
     cached: bool
@@ -51,6 +58,10 @@ class FunctionReport:
     smt_incremental_hits: int = 0
     smt_clauses_retained: int = 0
     diagnostics: List[str] = field(default_factory=list)
+    #: Structured failure records (tag, span, sig_span, counterexample) —
+    #: the machine-readable face of ``diagnostics``; see
+    #: :meth:`repro.core.errors.Diagnostic.to_dict`.
+    failures: List[Dict[str, object]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -66,11 +77,17 @@ class FunctionReport:
             "num_constraints": self.num_constraints,
             "num_kvars": self.num_kvars,
             "diagnostics": list(self.diagnostics),
+            "failures": [dict(failure) for failure in self.failures],
         }
 
 
 @dataclass
 class JobReport:
+    """Outcome of one :class:`VerifyJob`: verdict, timings, cache traffic
+    and per-function reports.  ``result`` keeps the full in-process
+    :class:`~repro.core.pipeline.VerificationResult` (not serialised) so
+    callers such as ``--explain`` can render rich diagnostics."""
+
     name: str
     ok: bool
     time: float
@@ -97,6 +114,9 @@ class JobReport:
 
 @dataclass
 class ServiceReport:
+    """A batch run's aggregate: one :class:`JobReport` per job plus the
+    session-wide SMT statistics; ``to_dict`` is the CLI's JSON shape."""
+
     jobs: List[JobReport] = field(default_factory=list)
     time: float = 0.0
     smt: Dict[str, float] = field(default_factory=dict)
@@ -217,6 +237,7 @@ def verify_job(job: VerifyJob, session: VerifySession) -> JobReport:
                 num_constraints=result.num_constraints,
                 num_kvars=result.num_kvars,
                 diagnostics=[str(diag) for diag in result.diagnostics],
+                failures=[diag.to_dict() for diag in result.diagnostics],
             )
         )
     verification.time = time.perf_counter() - started

@@ -17,6 +17,12 @@ re-verifies its callers; everything else is served from cache.
 
 Values are :class:`repro.core.FunctionResult` records; with a ``cache_dir``
 they persist as one JSON file per key and survive across processes.
+
+One provenance caveat follows from line numbers being normalised out of
+the key: a function moved around a file *without being edited* hits the
+cache, so the spans inside its (cached) diagnostics still point at the
+positions it had when the result was computed.  Editing the function —
+the only way to change its verdict — always recomputes.
 """
 
 from __future__ import annotations
@@ -36,7 +42,9 @@ from repro.lang import ast
 # Bump when the verifier changes in a way that invalidates cached verdicts.
 # 2: incremental SMT backend + worklist fixpoint scheduling (new statistics,
 #    different query accounting).
-SCHEMA_VERSION = 2
+# 3: counterexample-carrying diagnostics (spans + structured counterexamples
+#    serialised per diagnostic).
+SCHEMA_VERSION = 3
 
 _IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
@@ -143,10 +151,7 @@ def result_to_dict(result: FunctionResult) -> Dict[str, object]:
     return {
         "name": result.name,
         "ok": result.ok,
-        "diagnostics": [
-            {"function": d.function, "tag": d.tag, "message": d.message}
-            for d in result.diagnostics
-        ],
+        "diagnostics": [d.to_dict() for d in result.diagnostics],
         "num_constraints": result.num_constraints,
         "num_kvars": result.num_kvars,
         "smt_queries": result.smt_queries,
@@ -163,14 +168,7 @@ def result_from_dict(payload: Dict[str, object]) -> FunctionResult:
     return FunctionResult(
         name=str(payload["name"]),
         ok=bool(payload["ok"]),
-        diagnostics=[
-            Diagnostic(
-                function=str(d["function"]),
-                tag=str(d["tag"]),
-                message=str(d.get("message", "")),
-            )
-            for d in payload.get("diagnostics", [])
-        ],
+        diagnostics=[Diagnostic.from_dict(d) for d in payload.get("diagnostics", [])],
         num_constraints=int(payload.get("num_constraints", 0)),
         num_kvars=int(payload.get("num_kvars", 0)),
         smt_queries=int(payload.get("smt_queries", 0)),

@@ -12,7 +12,13 @@ Examples
     python -m repro program.rs
     python -m repro --jobs 4 --cache-dir .flux-cache a.rs b.rs
     python -m repro --only main,loop_body --no-cache program.rs
+    python -m repro --explain broken.rs
     echo 'fn main() {}' | python -m repro -
+
+``--explain`` switches the output to rustc-style caret snippets: each
+failed obligation points at the offending source expression, names the
+``#[flux::sig]`` clause that imposed it, and prints the concrete
+counterexample valuation the solver found (see ``docs/diagnostics.md``).
 """
 
 from __future__ import annotations
@@ -74,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a human-readable summary instead of JSON",
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print rustc-style caret snippets with counterexamples for "
+        "every failed obligation instead of JSON",
+    )
     return parser
 
 
@@ -106,7 +118,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     report = verify_jobs(jobs, session)
 
-    if args.summary:
+    if args.explain:
+        from repro.diagnostics import render_result
+
+        for job, verify in zip(report.jobs, jobs):
+            if job.error:
+                print(f"{job.name}: error: {job.error}")
+                continue
+            if job.result is None:
+                continue
+            rendered = render_result(job.result, verify.source, job.name)
+            if rendered:
+                print(rendered)
+            else:
+                print(f"{job.name}: ok ({len(job.functions)} functions)")
+    elif args.summary:
         for job in report.jobs:
             status = "ok" if job.ok else "FAILED"
             print(f"{job.name}: {status} ({job.cache_hits} cached, {job.time:.2f}s)")

@@ -58,20 +58,26 @@ from repro.smt.solver import (
 class IncrementalSolver:
     """A persistent DPLL(T) context with an assertion stack and assumptions.
 
-    Typical use by the fixpoint solver::
-
-        solver = IncrementalSolver(sorts)
-        solver.push()
-        for hypothesis in hypotheses:
-            solver.assert_expr(hypothesis)
-        for qualifier in candidates:
-            if solver.check_valid(goal_of(qualifier)):
-                ...
-        solver.pop()
-
+    Typical use by the fixpoint solver: assert one clause's hypotheses in a
+    scope, test every candidate qualifier against them, retract the scope.
     The instance survives across ``push``/``pop`` cycles; atoms, Tseitin
     variables, learned clauses and theory lemmas accumulated in one cycle
     keep serving the next.
+
+    >>> from repro.logic.expr import Var, ge, lt
+    >>> from repro.logic.sorts import INT
+    >>> solver = IncrementalSolver({"x": INT})
+    >>> solver.push()
+    >>> solver.assert_expr(ge(Var("x"), 5))
+    >>> solver.check_valid(ge(Var("x"), 0))   # x >= 5 |= x >= 0
+    True
+    >>> solver.check_valid(lt(Var("x"), 3))   # x >= 5 |/= x < 3 ...
+    False
+    >>> int(solver.get_model(lt(Var("x"), 3))["x"]) >= 5  # ... witnessed
+    True
+    >>> solver.pop()
+    >>> solver.check_valid(ge(Var("x"), 0))   # hypothesis retracted
+    False
     """
 
     def __init__(
@@ -231,6 +237,21 @@ class IncrementalSolver:
 
     def check_valid(self, goal: Expr) -> bool:
         return self.check_valid_detailed(goal).is_unsat
+
+    def get_model(self, goal: Expr) -> Optional[Dict[str, object]]:
+        """A model refuting ``asserted hypotheses |= goal``, if one exists.
+
+        Runs :meth:`check_valid_detailed` and returns the satisfying
+        assignment of the refutation (hypotheses plus negated goal) — the
+        simplex vertex rounded to integers by branch-and-bound, plus the
+        boolean skeleton's choices.  ``None`` when the goal is valid or the
+        solver answered *unknown*.  Like every check, nothing is permanently
+        asserted, so the model of one goal never constrains the next.
+        """
+        answer = self.check_valid_detailed(goal)
+        if not answer.is_sat or answer.model is None:
+            return None
+        return dict(answer.model)
 
     def _check(self, assumptions: List[int], relevant_atoms: frozenset) -> SolverAnswer:
         started = time.perf_counter()

@@ -223,16 +223,17 @@ def _skolemize_goal(goal: Expr, sorts: Dict[str, Sort]) -> Expr:
         return current
 
 
-def is_valid(
+def _refutation_query(
     hypotheses: Iterable[Expr],
     goal: Expr,
-    sorts: Optional[Dict[str, Sort]] = None,
-    quantifier_rounds: int = 2,
-) -> bool:
-    """Decide ``hypotheses |= goal``.
+    sorts: Optional[Dict[str, Sort]],
+    quantifier_rounds: int,
+) -> tuple:
+    """The satisfiability query refuting ``hypotheses |= goal``.
 
-    Returns ``True`` only when the negation is proved unsatisfiable; unknown
-    answers count as failures so verification stays sound.
+    Returns ``(query, sort_env)``; the judgement holds iff ``query`` is
+    unsatisfiable, and a satisfying assignment of ``query`` is a concrete
+    counterexample to the judgement.
     """
     sort_env: Dict[str, Sort] = dict(sorts or {})
     hypothesis_list: List[Expr] = [simplify(h) for h in hypotheses]
@@ -251,6 +252,59 @@ def is_valid(
     _CONTEXT_VAR.get().stats.quantifier_instantiations += instantiation_stats.get(
         "instantiations", 0
     )
+    return query, sort_env
 
-    answer = check_sat(query, sort_env)
-    return answer.is_unsat
+
+def validity_answer(
+    hypotheses: Iterable[Expr],
+    goal: Expr,
+    sorts: Optional[Dict[str, Sort]] = None,
+    quantifier_rounds: int = 2,
+) -> SolverAnswer:
+    """The full solver answer for ``hypotheses |= goal``.
+
+    ``UNSAT`` means the judgement is valid; ``SAT`` means it is refuted and
+    the answer's ``model`` is the concrete counterexample — the SAT
+    skeleton's boolean choices plus the simplex vertex of the arithmetic
+    conjunct, rounded through branch-and-bound to an integer point.
+    Callers that need both the verdict *and* the model (the fixpoint
+    solver's concrete-head check) should use this single entry point: it
+    builds the refutation query exactly once, so statistics are recorded
+    once and quantified goals are not re-skolemised.
+    """
+    query, sort_env = _refutation_query(hypotheses, goal, sorts, quantifier_rounds)
+    return check_sat(query, sort_env)
+
+
+def is_valid(
+    hypotheses: Iterable[Expr],
+    goal: Expr,
+    sorts: Optional[Dict[str, Sort]] = None,
+    quantifier_rounds: int = 2,
+) -> bool:
+    """Decide ``hypotheses |= goal``.
+
+    Returns ``True`` only when the negation is proved unsatisfiable; unknown
+    answers count as failures so verification stays sound.
+    """
+    return validity_answer(hypotheses, goal, sorts, quantifier_rounds).is_unsat
+
+
+def falsifying_model(
+    hypotheses: Iterable[Expr],
+    goal: Expr,
+    sorts: Optional[Dict[str, Sort]] = None,
+    quantifier_rounds: int = 2,
+) -> Optional[Dict[str, object]]:
+    """A concrete counterexample to ``hypotheses |= goal``, if one exists.
+
+    The ``get_model()`` face of the DPLL(T) stack, a convenience wrapper
+    over :func:`validity_answer`; returns ``None`` when the judgement is
+    valid (or the solver answered *unknown*).  Callers that already ran the
+    validity check should prefer :func:`validity_answer` and read verdict
+    and model off the one answer.
+    """
+    answer = validity_answer(hypotheses, goal, sorts, quantifier_rounds)
+    if not answer.is_sat or answer.model is None:
+        return None
+    return dict(answer.model)

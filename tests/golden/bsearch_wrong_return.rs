@@ -1,0 +1,23 @@
+// Broken bsearch: the signature claims the result is a *valid index*
+// (v < n), but the not-found sentinel is items.len() == n.
+#[flux::sig(fn(i32, &RVec<i32>[@n]) -> usize{v: v < n})]
+fn bsearch(target: i32, items: &RVec<i32>) -> usize {
+    let mut lo = 0;
+    let mut hi = items.len();
+    let mut result = items.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let val = *items.get(mid);
+        if val == target {
+            result = mid;
+            hi = mid;
+        } else {
+            if val < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    result
+}

@@ -1,0 +1,12 @@
+// Broken dotprod: the second vector's length is no longer tied to the
+// first's, so indexing ys with an index bounded by xs.len() is unsafe.
+#[flux::sig(fn(&RVec<f32>[@n], &RVec<f32>) -> f32)]
+fn dotprod(xs: &RVec<f32>, ys: &RVec<f32>) -> f32 {
+    let mut sum = 0.0;
+    let mut i = 0;
+    while i < xs.len() {
+        sum = sum + *xs.get(i) * *ys.get(i);
+        i += 1;
+    }
+    sum
+}

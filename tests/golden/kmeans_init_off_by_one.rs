@@ -1,0 +1,12 @@
+// Broken init_zeros: the loop pushes exactly n zeros, but the signature
+// claims n + 1 elements.
+#[flux::sig(fn(usize[@n]) -> RVec<f32>[n + 1])]
+fn init_zeros(n: usize) -> RVec<f32> {
+    let mut vec = RVec::new();
+    let mut i = 0;
+    while i < n {
+        vec.push(0.0);
+        i += 1;
+    }
+    vec
+}

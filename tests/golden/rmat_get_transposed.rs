@@ -1,0 +1,7 @@
+// Broken rmat_get: the index bounds are transposed (i < n, j < m instead
+// of i < m, j < n), so both accesses overflow on non-square matrices.
+#[flux::sig(fn(&RVec<RVec<f32>[@n]>[@m], usize{v: v < n}, usize{v: v < m}) -> f32)]
+fn rmat_get(data: &RVec<RVec<f32>>, i: usize, j: usize) -> f32 {
+    let row = data.get(i);
+    *row.get(j)
+}

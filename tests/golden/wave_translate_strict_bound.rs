@@ -1,0 +1,15 @@
+// Broken translate: the return bound is strict (v < b + s), but an offset
+// of exactly s is allowed by the precondition and yields v == b + s.
+#[flux::refined_by(base: int, size: int)]
+struct SandboxMemory {
+    #[flux::field(usize[base])]
+    base: usize,
+    #[flux::field(usize[size])]
+    size: usize,
+}
+
+#[flux::sig(fn(&SandboxMemory[@b, @s], usize{v: v <= s}) -> usize{v: b <= v && v < b + s})]
+fn translate(sbx: &SandboxMemory, offset: usize) -> usize {
+    let base = sbx.base;
+    base + offset
+}
