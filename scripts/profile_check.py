@@ -52,6 +52,28 @@ def profile_program(name: str, top: int, sort_keys: List[str], profile: bool) ->
     sections.append(json.dumps(metrics, indent=2, sort_keys=True, default=str))
     sections.append(f"wall clock: {elapsed:.3f}s" + (" (under cProfile)" if profile else ""))
 
+    dplt_keys = (
+        "batched_checks",
+        "theory_propagations",
+        "partial_checks",
+        "core_shrink_rounds",
+        "explanations",
+        "explanation_literals",
+        "avg_explanation_len",
+        "sat_time",
+        "theory_time",
+    )
+    if any(key in metrics for key in dplt_keys):
+        engine = {key: metrics[key] for key in dplt_keys if key in metrics}
+        sat_time = float(engine.get("sat_time", 0.0))
+        theory_time = float(engine.get("theory_time", 0.0))
+        solver_time = sat_time + theory_time
+        if solver_time > 0:
+            engine["sat_time_share"] = round(sat_time / solver_time, 3)
+            engine["theory_time_share"] = round(theory_time / solver_time, 3)
+        sections.append("\n== DPLL(T) engine (SAT vs simplex phase split) ==")
+        sections.append(json.dumps(engine, indent=2, sort_keys=True, default=str))
+
     sections.append("\n== term-layer caches ==")
     sections.append(json.dumps(term_cache_stats(), indent=2, sort_keys=True))
     sections.append("\n== arithmetic paths (int fast path vs Fraction fallback) ==")

@@ -54,6 +54,10 @@ class StrategyOutcome:
     assumption_checks: int = 0
     incremental_hits: int = 0
     clauses_retained: int = 0
+    batched_checks: int = 0
+    theory_propagations: int = 0
+    partial_checks: int = 0
+    core_shrink_rounds: int = 0
     # function -> (solution as printable strings, sorted error descriptions)
     results: Dict[str, Tuple[Dict[str, str], Tuple[str, ...]]] = field(
         default_factory=dict
@@ -65,6 +69,10 @@ class StrategyOutcome:
         self.assumption_checks += result.assumption_checks
         self.incremental_hits += result.incremental_hits
         self.clauses_retained += result.clauses_retained
+        self.batched_checks += result.batched_checks
+        self.theory_propagations += result.theory_propagations
+        self.partial_checks += result.partial_checks
+        self.core_shrink_rounds += result.core_shrink_rounds
         solution = {name: str(expr) for name, expr in sorted(result.solution.items())}
         errors = tuple(sorted(f"{e.kind}:{e.tag}" for e in result.errors))
         self.results[key] = (solution, errors)
@@ -119,6 +127,29 @@ def solve_constraints(
         outcome.record(f"{item.program}::{item.function}", result)
     outcome.elapsed = time.perf_counter() - started
     return outcome
+
+
+def dplt_metric_sums(functions) -> Dict[str, float]:
+    """Online-DPLL(T) engine counters summed over per-function results.
+
+    Shared by :func:`run_program_metrics` and
+    :meth:`repro.bench.suite.BenchmarkCase.run_flux` so the two reports
+    cannot diverge; ``avg_explanation_len`` is derived here from the two
+    raw sums so every consumer gets the same definition.
+    """
+    explanations = sum(fn.smt_explanations for fn in functions)
+    literals = sum(fn.smt_explanation_literals for fn in functions)
+    return {
+        "batched_checks": sum(fn.smt_batched_checks for fn in functions),
+        "theory_propagations": sum(fn.smt_theory_propagations for fn in functions),
+        "partial_checks": sum(fn.smt_partial_checks for fn in functions),
+        "core_shrink_rounds": sum(fn.smt_core_shrink_rounds for fn in functions),
+        "explanations": explanations,
+        "explanation_literals": literals,
+        "avg_explanation_len": round(literals / explanations, 3) if explanations else 0.0,
+        "sat_time": sum(fn.smt_sat_time for fn in functions),
+        "theory_time": sum(fn.smt_theory_time for fn in functions),
+    }
 
 
 _TERM_DELTA_KEYS = (
@@ -179,6 +210,7 @@ def run_program_metrics(program: BenchmarkProgram) -> Dict[str, object]:
         "incremental_hits": sum(fn.smt_incremental_hits for fn in result.functions),
         "clauses_retained": sum(fn.smt_clauses_retained for fn in result.functions),
     }
+    metrics.update(dplt_metric_sums(result.functions))
     metrics.update(side_metric_deltas(before))
     return metrics
 

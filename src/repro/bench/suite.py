@@ -29,6 +29,16 @@ class SideMetrics:
     assumption_checks: int = 0
     incremental_hits: int = 0
     clauses_retained: int = 0
+    # -- online DPLL(T) engine observability (per run) ----------------------
+    batched_checks: int = 0
+    theory_propagations: int = 0
+    partial_checks: int = 0
+    core_shrink_rounds: int = 0
+    explanations: int = 0
+    explanation_literals: int = 0
+    avg_explanation_len: float = 0.0
+    sat_time: float = 0.0
+    theory_time: float = 0.0
     # -- term-layer / arithmetic fast-path observability (per run) ----------
     intern_table_size: int = 0
     intern_hits: int = 0
@@ -87,7 +97,11 @@ class BenchmarkCase:
         """Run the Flux side; with a ``session``, go through ``repro.service``
         so repeated runs hit the per-function result cache and the metrics
         report hit/miss counts."""
-        from repro.bench.fixpoint_bench import side_metric_deltas, term_metric_snapshot
+        from repro.bench.fixpoint_bench import (
+            dplt_metric_sums,
+            side_metric_deltas,
+            term_metric_snapshot,
+        )
 
         before = term_metric_snapshot()
         started = time.perf_counter()
@@ -133,6 +147,27 @@ class BenchmarkCase:
             assumption_checks=sum(fn.smt_assumption_checks for fn in result.functions),
             incremental_hits=sum(fn.smt_incremental_hits for fn in result.functions),
             clauses_retained=sum(fn.smt_clauses_retained for fn in result.functions),
+            **dplt_metric_sums(result.functions),
+        )
+
+    def run_prusti_static(self, note: str) -> SideMetrics:
+        """Static (source-derived) Prusti metrics without running the verifier.
+
+        Used for benchmarks whose baseline verification is skipped (e.g. the
+        kmp quantifier-instantiation blowup): LOC/Spec/Annot come straight
+        from the source so Table 1's size columns stay complete, while
+        ``verified`` stays ``False`` and ``failures`` records why the run
+        was skipped.
+        """
+        return SideMetrics(
+            loc=self._code_lines(self.program.prusti_source),
+            spec_lines=self._attr_lines(
+                self.program.prusti_source, ("#[requires", "#[ensures")
+            ),
+            annot_lines=self._invariant_lines(self.program.prusti_source),
+            time=0.0,
+            verified=False,
+            failures=(f"skipped: {note}",),
         )
 
     def run_prusti(self) -> SideMetrics:

@@ -89,6 +89,20 @@ def summarize_claims(rows: Sequence[Table1Row]) -> Dict[str, float]:
         "max_annot_percent": max((row.prusti_annot_percent for row in rows), default=0.0),
         "all_flux_verified": float(all(row.flux.verified for row in rows)),
         "all_prusti_verified": float(all(row.prusti.verified for row in rows)),
+        # Programs Flux verifies that the baseline *measurably* does not —
+        # only rows where the baseline actually ran count (statically
+        # recorded SLOW_SKIP stubs have time == 0 and must not satisfy the
+        # claim by construction): the qualitative face of the §5.2 gap when
+        # the multi-minute blowup programs are quarantined out of the lane.
+        "prusti_unverified": float(
+            sum(
+                1
+                for row in rows
+                if row.flux.verified
+                and not row.prusti.verified
+                and row.prusti.time > 0
+            )
+        ),
     }
 
 

@@ -43,6 +43,14 @@ class FunctionResult:
     smt_assumption_checks: int = 0
     smt_incremental_hits: int = 0
     smt_clauses_retained: int = 0
+    smt_batched_checks: int = 0
+    smt_theory_propagations: int = 0
+    smt_partial_checks: int = 0
+    smt_core_shrink_rounds: int = 0
+    smt_explanations: int = 0
+    smt_explanation_literals: int = 0
+    smt_sat_time: float = 0.0
+    smt_theory_time: float = 0.0
     time: float = 0.0
     trusted: bool = False
 
@@ -234,6 +242,14 @@ def _verify_function_in_context(
             smt_assumption_checks=fixpoint_result.assumption_checks,
             smt_incremental_hits=fixpoint_result.incremental_hits,
             smt_clauses_retained=fixpoint_result.clauses_retained,
+            smt_batched_checks=fixpoint_result.batched_checks,
+            smt_theory_propagations=fixpoint_result.theory_propagations,
+            smt_partial_checks=fixpoint_result.partial_checks,
+            smt_core_shrink_rounds=fixpoint_result.core_shrink_rounds,
+            smt_explanations=fixpoint_result.explanations,
+            smt_explanation_literals=fixpoint_result.explanation_literals,
+            smt_sat_time=fixpoint_result.sat_time,
+            smt_theory_time=fixpoint_result.theory_time,
             time=time.perf_counter() - started,
         )
     except FluxError as error:

@@ -27,6 +27,7 @@ from repro.fixpoint.solve import (
     BUDGET_EXHAUSTED,
     DEFAULT_STRATEGY,
     INVALID,
+    SOLVER_UNKNOWN,
     FixpointError,
     FixpointResult,
     FixpointSolver,
@@ -38,6 +39,7 @@ __all__ = [
     "BUDGET_EXHAUSTED",
     "DEFAULT_STRATEGY",
     "INVALID",
+    "SOLVER_UNKNOWN",
     "FixpointError",
     "Constraint",
     "ConstraintError",

@@ -44,17 +44,24 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from fractions import Fraction
+
 from repro.logic.expr import (
     binop,
     unary,
     App,
     BinOp,
+    BoolConst,
+    CMP_OPS,
     Expr,
     Forall,
+    IntConst,
     Ite,
     KVar,
+    RealConst,
     TRUE,
     UnaryOp,
+    Var,
     and_,
 )
 from repro.logic.simplify import simplify
@@ -62,6 +69,7 @@ from repro.logic.sorts import Sort
 from repro.logic.subst import kvars_of, substitute
 from repro.smt import (
     IncrementalSolver,
+    SatResult,
     SmtError,
     current_context,
     is_valid,
@@ -87,10 +95,14 @@ one; tests and benchmarks flip this to ``"naive"`` to run the oracle loop."""
 
 BUDGET_EXHAUSTED = "budget-exhausted"
 INVALID = "invalid"
+SOLVER_UNKNOWN = "solver-unknown"
 
 _ONESHOT = object()
 """Per-clause sentinel: the clause left the incremental fragment (quantified
 hypotheses or a preprocessing error) and is checked with one-shot queries."""
+
+_WITNESS_CACHE_LIMIT = 16
+"""Counterexample models retained per clause for query-free discarding."""
 
 
 @dataclass
@@ -132,6 +144,12 @@ class FixpointError:
                 f"iteration budget exhausted before clause "
                 f"{self.constraint.describe()} converged{suffix}"
             )
+        if self.kind == SOLVER_UNKNOWN:
+            suffix = f" ({self.detail})" if self.detail else ""
+            return (
+                f"solver returned unknown on clause "
+                f"{self.constraint.describe()}{suffix}"
+            )
         return f"invalid constraint {self.constraint.describe()}"
 
 
@@ -145,6 +163,36 @@ class _RunStats:
     assumption_checks: int = 0
     contexts_built: int = 0
     clauses_retained: int = 0
+    batched_checks: int = 0
+    theory_propagations: int = 0
+    partial_checks: int = 0
+    core_shrink_rounds: int = 0
+    explanations: int = 0
+    explanation_literals: int = 0
+    sat_time: float = 0.0
+    theory_time: float = 0.0
+    # UNKNOWN solver answers observed during weakening, surfaced as
+    # structured errors instead of being silently folded into "not valid"
+    unknown_errors: List[FixpointError] = field(default_factory=list)
+
+    def absorb_context(self, solver: IncrementalSolver) -> None:
+        """Fold a retiring per-clause solver's lifetime counters in."""
+        self.clauses_retained += solver.clauses_retained
+        self.theory_propagations += solver.theory_propagations
+        self.partial_checks += solver.partial_checks
+        self.core_shrink_rounds += solver.core_shrink_rounds
+        self.explanations += solver.explanations
+        self.explanation_literals += solver.explanation_literals
+        self.sat_time += solver.sat_time
+        self.theory_time += solver.theory_time
+
+    def record_unknown(self, clause: FlatConstraint, reason: str) -> None:
+        for existing in self.unknown_errors:
+            if existing.constraint is clause and existing.detail == reason:
+                return
+        self.unknown_errors.append(
+            FixpointError(clause, kind=SOLVER_UNKNOWN, detail=reason)
+        )
 
 
 @dataclass
@@ -159,10 +207,25 @@ class FixpointResult:
     incremental_hits: int = 0
     clauses_retained: int = 0
     budget_exhausted: bool = False
+    batched_checks: int = 0
+    theory_propagations: int = 0
+    partial_checks: int = 0
+    core_shrink_rounds: int = 0
+    explanations: int = 0
+    explanation_literals: int = 0
+    sat_time: float = 0.0
+    theory_time: float = 0.0
 
     @property
     def ok(self) -> bool:
         return not self.errors
+
+    @property
+    def avg_explanation_len(self) -> float:
+        """Mean literal count of theory-conflict explanations this run."""
+        if not self.explanations:
+            return 0.0
+        return self.explanation_literals / self.explanations
 
 
 def apply_solution(expr: Expr, solution: Solution, decls: Dict[str, KVarDecl]) -> Expr:
@@ -210,6 +273,98 @@ def apply_solution(expr: Expr, solution: Solution, decls: Dict[str, KVarDecl]) -
     return expr
 
 
+class _EvalError(Exception):
+    """The expression falls outside the directly evaluable fragment."""
+
+
+def _as_bool(value) -> bool:
+    return value if isinstance(value, bool) else value != 0
+
+
+def _as_num(value):
+    if isinstance(value, bool):
+        return 1 if value else 0
+    return value
+
+
+def _eval_expr(expr: Expr, model: Dict[str, object]):
+    """Evaluate a goal under a solver model (missing variables default to 0).
+
+    Only the fragment whose semantics provably coincide with the SMT
+    solver's is handled: constants, variables, boolean connectives,
+    comparisons, ``+ - *`` and if-then-else.  Division, modulo and
+    applications are *uninterpreted* for the solver (opaque fresh
+    variables), so evaluating them arithmetically could disagree with the
+    model — they raise :class:`_EvalError` and the caller falls back to an
+    exact per-qualifier check.
+    """
+    if isinstance(expr, BoolConst):
+        return expr.value
+    if isinstance(expr, IntConst):
+        return expr.value
+    if isinstance(expr, RealConst):
+        return Fraction(expr.value)
+    if isinstance(expr, Var):
+        return model.get(expr.name, 0)
+    if isinstance(expr, UnaryOp):
+        if expr.op == "!":
+            return not _as_bool(_eval_expr(expr.operand, model))
+        if expr.op == "-":
+            return -_as_num(_eval_expr(expr.operand, model))
+        raise _EvalError(expr.op)
+    if isinstance(expr, Ite):
+        chosen = expr.then if _as_bool(_eval_expr(expr.cond, model)) else expr.otherwise
+        return _eval_expr(chosen, model)
+    if isinstance(expr, BinOp):
+        op = expr.op
+        if op == "&&":
+            return _as_bool(_eval_expr(expr.lhs, model)) and _as_bool(
+                _eval_expr(expr.rhs, model)
+            )
+        if op == "||":
+            return _as_bool(_eval_expr(expr.lhs, model)) or _as_bool(
+                _eval_expr(expr.rhs, model)
+            )
+        if op == "=>":
+            return not _as_bool(_eval_expr(expr.lhs, model)) or _as_bool(
+                _eval_expr(expr.rhs, model)
+            )
+        if op == "<=>":
+            return _as_bool(_eval_expr(expr.lhs, model)) == _as_bool(
+                _eval_expr(expr.rhs, model)
+            )
+        if op in CMP_OPS:
+            lhs = _as_num(_eval_expr(expr.lhs, model))
+            rhs = _as_num(_eval_expr(expr.rhs, model))
+            if op == "<":
+                return lhs < rhs
+            if op == "<=":
+                return lhs <= rhs
+            if op == ">":
+                return lhs > rhs
+            if op == ">=":
+                return lhs >= rhs
+            if op == "=":
+                return lhs == rhs
+            return lhs != rhs
+        if op == "+":
+            return _as_num(_eval_expr(expr.lhs, model)) + _as_num(_eval_expr(expr.rhs, model))
+        if op == "-":
+            return _as_num(_eval_expr(expr.lhs, model)) - _as_num(_eval_expr(expr.rhs, model))
+        if op == "*":
+            return _as_num(_eval_expr(expr.lhs, model)) * _as_num(_eval_expr(expr.rhs, model))
+        raise _EvalError(op)
+    raise _EvalError(type(expr).__name__)
+
+
+def _goal_refuted_by(goal: Expr, model: Dict[str, object]) -> bool:
+    """Whether ``model`` definitively falsifies ``goal`` (False when unsure)."""
+    try:
+        return _eval_expr(goal, model) is False
+    except _EvalError:
+        return False
+
+
 @dataclass
 class FixpointSolver:
     """Solver instance; create one per verification task.
@@ -241,6 +396,10 @@ class FixpointSolver:
     qualifiers: Sequence[Qualifier] = field(default_factory=default_qualifiers)
     max_iterations: int = 10000
     strategy: Optional[str] = None  # None -> module DEFAULT_STRATEGY
+    # Theory-round budget handed to each per-clause incremental solver;
+    # None keeps the IncrementalSolver default.  Tests use a tiny budget to
+    # exercise the structured solver-unknown error path.
+    max_theory_rounds: Optional[int] = None
 
     def declare(self, decl: KVarDecl) -> None:
         self.kvar_decls[decl.name] = decl
@@ -274,6 +433,7 @@ class FixpointSolver:
         }
 
         errors: List[FixpointError] = list(budget_errors)
+        errors.extend(stats.unknown_errors)
         if not budget_errors:
             # Only check concrete heads at an actual fixpoint: under a
             # half-weakened assignment a failure would not be a type error.
@@ -283,7 +443,21 @@ class FixpointSolver:
                 stats.queries += 1
                 stats.from_scratch += 1
                 answer = validity_answer(hypotheses, goal, sorts)
-                if not answer.is_unsat:
+                if answer.result is SatResult.UNKNOWN:
+                    # Not proved, but not refuted either: surface the budget
+                    # exhaustion as a structured error, never as a silent
+                    # pass (and not as a type error, since there is no
+                    # counterexample).
+                    errors.append(
+                        FixpointError(
+                            clause,
+                            kind=SOLVER_UNKNOWN,
+                            detail=answer.reason or "solver returned unknown",
+                            hypotheses=tuple(hypotheses),
+                            goal=goal,
+                        )
+                    )
+                elif not answer.is_unsat:
                     # One query serves both the verdict and the model — the
                     # raw material of the counterexample shown to the user.
                     model = dict(answer.model) if answer.is_sat and answer.model is not None else None
@@ -315,6 +489,14 @@ class FixpointSolver:
             incremental_hits=max(0, stats.assumption_checks - stats.contexts_built),
             clauses_retained=stats.clauses_retained,
             budget_exhausted=bool(budget_errors),
+            batched_checks=stats.batched_checks,
+            theory_propagations=stats.theory_propagations,
+            partial_checks=stats.partial_checks,
+            core_shrink_rounds=stats.core_shrink_rounds,
+            explanations=stats.explanations,
+            explanation_literals=stats.explanation_literals,
+            sat_time=stats.sat_time,
+            theory_time=stats.theory_time,
         )
 
     # -- weakening strategies ----------------------------------------------------
@@ -342,6 +524,11 @@ class FixpointSolver:
                 dependents.setdefault(name, []).append(index)
 
         contexts: List[object] = [None] * len(kvar_clauses)
+        # Per-clause counterexample caches: κ solutions only ever weaken, so
+        # a model that once satisfied a clause's hypotheses satisfies every
+        # later (weaker) version of them — old witnesses keep discarding
+        # qualifiers for free on every revisit.
+        witnesses: List[List[Dict[str, object]]] = [[] for _ in kvar_clauses]
         queue = deque(range(len(kvar_clauses)))
         queued = set(queue)
         budget_errors: List[FixpointError] = []
@@ -359,7 +546,7 @@ class FixpointSolver:
                 continue
             hypotheses, sorts = self._clause_hypotheses(clause, candidate)
             kept = self._surviving_qualifiers(
-                index, clause, hypotheses, sorts, current, contexts, stats
+                index, clause, hypotheses, sorts, current, contexts, witnesses, stats
             )
             if len(kept) != len(current):
                 candidate[head_name] = kept
@@ -369,7 +556,7 @@ class FixpointSolver:
                         queue.append(dependent)
         for context in contexts:
             if isinstance(context, IncrementalSolver):
-                stats.clauses_retained += context.clauses_retained
+                stats.absorb_context(context)
         return budget_errors
 
     def _weaken_naive(
@@ -417,10 +604,15 @@ class FixpointSolver:
                     goal = self._instantiate_head(qualifier, decl, clause.head.kvar)
                     stats.queries += 1
                     stats.from_scratch += 1
-                    if is_valid(hypotheses, goal, sorts):
+                    answer = validity_answer(hypotheses, goal, sorts)
+                    if answer.is_unsat:
                         kept.append(qualifier)
                     else:
                         newly_dirty.add(head_name)
+                        if answer.result is SatResult.UNKNOWN:
+                            stats.record_unknown(
+                                clause, answer.reason or "solver returned unknown"
+                            )
                 candidate[head_name] = kept
             dirty = newly_dirty
             first_round = False
@@ -451,6 +643,7 @@ class FixpointSolver:
         sorts: Dict[str, Sort],
         current: List[Expr],
         contexts: List[object],
+        witnesses: List[List[Dict[str, object]]],
         stats: _RunStats,
     ) -> List[Expr]:
         """Qualifiers of ``current`` implied by the clause's hypotheses."""
@@ -469,9 +662,12 @@ class FixpointSolver:
                 stats.from_scratch,
                 stats.assumption_checks,
                 stats.contexts_built,
+                stats.batched_checks,
             )
             try:
-                return self._filter_incremental(index, hypotheses, sorts, goals, contexts, stats)
+                return self._filter_incremental(
+                    index, clause, hypotheses, sorts, goals, contexts, witnesses, stats
+                )
             except SmtError:
                 # Outside the incremental fragment (non-linear after
                 # substitution, sort clash, ...): permanently demote this
@@ -482,41 +678,59 @@ class FixpointSolver:
                 # stay counted since the final summation no longer sees it.
                 demoted = contexts[index]
                 if isinstance(demoted, IncrementalSolver):
-                    stats.clauses_retained += demoted.clauses_retained
+                    stats.absorb_context(demoted)
                 contexts[index] = _ONESHOT
                 (
                     stats.queries,
                     stats.from_scratch,
                     stats.assumption_checks,
                     stats.contexts_built,
+                    stats.batched_checks,
                 ) = before
         kept: List[Expr] = []
         for qualifier, goal in goals:
             stats.queries += 1
             stats.from_scratch += 1
-            if is_valid(hypotheses, goal, sorts):
+            answer = validity_answer(hypotheses, goal, sorts)
+            if answer.is_unsat:
                 kept.append(qualifier)
+            elif answer.result is SatResult.UNKNOWN:
+                stats.record_unknown(clause, answer.reason or "solver returned unknown")
         return kept
+
+    def _build_context(self, sorts: Dict[str, Sort]) -> IncrementalSolver:
+        if self.max_theory_rounds is None:
+            return IncrementalSolver(dict(sorts))
+        return IncrementalSolver(dict(sorts), max_theory_rounds=self.max_theory_rounds)
 
     def _filter_incremental(
         self,
         index: int,
+        clause: FlatConstraint,
         hypotheses: List[Expr],
         sorts: Dict[str, Sort],
         goals: List[Tuple[Expr, Expr]],
         contexts: List[object],
+        witnesses: List[List[Dict[str, object]]],
         stats: _RunStats,
     ) -> List[Expr]:
-        """One clause visit on the incremental backend.
+        """One clause visit on the incremental backend, core-batched.
 
-        Hypotheses are asserted once in a fresh ``push`` scope; every
-        candidate qualifier is then tested under an assumption literal
-        against the same asserted state.  The per-clause solver (atom table,
-        CNF, learned clauses) persists across visits.
+        Hypotheses are asserted once in a fresh ``push`` scope.  Instead of
+        one assumption check per candidate qualifier, the *conjunction* of
+        all pending candidates is tested in a single ``check_sat_assuming``
+        call: an UNSAT answer proves every candidate implied at once, while
+        a SAT answer's model is a concrete witness that refutes — and hence
+        discards — every candidate it falsifies.  Iterating on the
+        survivors converges in a handful of queries where the per-qualifier
+        loop needed one each, and the final UNSAT certificate makes the kept
+        set bit-identical to the one-at-a-time oracle.  Undecidable corners
+        (models outside the evaluable fragment, unknown answers) fall back
+        to exact per-qualifier checks.
         """
         solver = contexts[index]
         if not isinstance(solver, IncrementalSolver):
-            solver = IncrementalSolver(dict(sorts))
+            solver = self._build_context(sorts)
             contexts[index] = solver
             stats.contexts_built += 1
             stats.from_scratch += 1
@@ -531,21 +745,94 @@ class FixpointSolver:
         # reason.
         survived: Dict[int, bool] = {}
         quantified: List[int] = []
+        pending: List[int] = []
+        for position, (_, goal) in enumerate(goals):
+            if has_quantifier(goal):
+                quantified.append(position)
+            else:
+                pending.append(position)
         incremental_records: List[Tuple[object, float]] = []
+
+        def checked(goal: Expr):
+            started = time.perf_counter()
+            answer = solver.check_valid_detailed(goal)
+            incremental_records.append((answer, time.perf_counter() - started))
+            return answer
+
+        def check_individually(positions: List[int]) -> None:
+            for position in positions:
+                stats.queries += 1
+                stats.assumption_checks += 1
+                answer = checked(goals[position][1])
+                survived[position] = answer.is_unsat
+                if answer.result is SatResult.UNKNOWN:
+                    stats.record_unknown(
+                        clause, answer.reason or "solver returned unknown"
+                    )
+
+        # Cached counterexamples discard for free before any query is made:
+        # each was a genuine model of this clause's (then stronger)
+        # hypotheses, so anything it falsifies is still not implied.
+        cache = witnesses[index]
+        for model in cache:
+            falsified = [
+                position
+                for position in pending
+                if _goal_refuted_by(goals[position][1], model)
+            ]
+            if falsified:
+                for position in falsified:
+                    survived[position] = False
+                dropped = set(falsified)
+                pending = [p for p in pending if p not in dropped]
+
         solver.push()
         try:
             for hypothesis in hypotheses:
                 solver.assert_expr(simplify(hypothesis))
-            for position, (_, goal) in enumerate(goals):
-                if has_quantifier(goal):
-                    quantified.append(position)
-                    continue
+            while pending:
+                if len(pending) == 1:
+                    check_individually(pending)
+                    break
                 stats.queries += 1
                 stats.assumption_checks += 1
+                stats.batched_checks += 1
                 started = time.perf_counter()
-                answer = solver.check_valid_detailed(goal)
+                answer = solver.refute_any([goals[p][1] for p in pending])
                 incremental_records.append((answer, time.perf_counter() - started))
-                survived[position] = answer.is_unsat
+                if answer.is_unsat:
+                    for position in pending:
+                        survived[position] = True
+                    break
+                if not answer.is_sat or answer.model is None:
+                    if answer.result is SatResult.UNKNOWN:
+                        stats.record_unknown(
+                            clause, answer.reason or "solver returned unknown"
+                        )
+                    check_individually(pending)
+                    break
+                # Evaluate against the *full* model: goals routinely mention
+                # internal (__-prefixed) binders that the user-facing model
+                # hides, and a default value for a constrained variable
+                # would mis-evaluate the goal.
+                model = answer.full_model or answer.model
+                falsified = [
+                    position
+                    for position in pending
+                    if _goal_refuted_by(goals[position][1], model)
+                ]
+                if not falsified:
+                    # The witness falsifies only goals outside the evaluable
+                    # fragment; decide the remainder exactly, one by one.
+                    check_individually(pending)
+                    break
+                if len(cache) >= _WITNESS_CACHE_LIMIT:
+                    cache.pop(0)
+                cache.append(model)
+                for position in falsified:
+                    survived[position] = False
+                dropped = set(falsified)
+                pending = [p for p in pending if p not in dropped]
         finally:
             solver.pop()
         if incremental_records:
@@ -557,7 +844,10 @@ class FixpointSolver:
             _, goal = goals[position]
             stats.queries += 1
             stats.from_scratch += 1
-            survived[position] = is_valid(hypotheses, goal, sorts)
+            answer = validity_answer(hypotheses, goal, sorts)
+            survived[position] = answer.is_unsat
+            if answer.result is SatResult.UNKNOWN:
+                stats.record_unknown(clause, answer.reason or "solver returned unknown")
         return [
             qualifier
             for position, (qualifier, _) in enumerate(goals)

@@ -126,6 +126,65 @@ def free_vars(expr: Expr) -> FrozenSet[str]:
     return expr._free
 
 
+def free_var_sorts(expr: Expr) -> Dict[str, "Sort"]:
+    """Sorts recorded on the free-variable *occurrences* of ``expr``.
+
+    Callers that received no explicit sort environment (e.g. the
+    Prusti-style baseline handing raw obligations to ``is_valid``) rely on
+    this to recover that a fresh symbol was minted bool-sorted; defaulting
+    every free variable to ``int`` mis-sorts those and makes the solver
+    reject the query.  The first occurrence of a name wins, which matches
+    how the expression was built (one ``Var`` per fresh symbol).
+    """
+    sorts: Dict[str, "Sort"] = {}
+    _collect_var_sorts(expr, frozenset(), sorts, set())
+    return sorts
+
+
+def _collect_var_sorts(
+    expr: Expr,
+    bound: FrozenSet[str],
+    sorts: Dict[str, "Sort"],
+    seen: set,
+) -> None:
+    free = expr._free
+    if not free or (bound and free <= bound):
+        return
+    # Interned expressions are DAGs with heavy subterm sharing; without the
+    # visited set a shared subtree would be walked once per occurrence
+    # (exponentially, in the worst case).  The key includes the bound set:
+    # the same node can sit both under a binder and outside it.
+    key = (id(expr), bound)
+    if key in seen:
+        return
+    seen.add(key)
+    if isinstance(expr, Var):
+        if expr.name not in bound:
+            sorts.setdefault(expr.name, expr.sort)
+        return
+    if isinstance(expr, BinOp):
+        _collect_var_sorts(expr.lhs, bound, sorts, seen)
+        _collect_var_sorts(expr.rhs, bound, sorts, seen)
+        return
+    if isinstance(expr, UnaryOp):
+        _collect_var_sorts(expr.operand, bound, sorts, seen)
+        return
+    if isinstance(expr, Ite):
+        _collect_var_sorts(expr.cond, bound, sorts, seen)
+        _collect_var_sorts(expr.then, bound, sorts, seen)
+        _collect_var_sorts(expr.otherwise, bound, sorts, seen)
+        return
+    if isinstance(expr, (App, KVar)):
+        for arg in expr.args:
+            _collect_var_sorts(arg, bound, sorts, seen)
+        return
+    if isinstance(expr, Forall):
+        _collect_var_sorts(
+            expr.body, bound | {name for name, _ in expr.binders}, sorts, seen
+        )
+        return
+
+
 def kvars_of(expr: Expr) -> FrozenSet[str]:
     """Names of the κ (Horn) variables occurring in ``expr`` (cached)."""
     return expr._kvars

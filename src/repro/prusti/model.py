@@ -20,8 +20,8 @@ from repro.logic.sorts import INT
 _COUNTER = itertools.count(1)
 
 
-def fresh_symbol(hint: str) -> Var:
-    return Var(f"{hint}#{next(_COUNTER)}", INT)
+def fresh_symbol(hint: str, sort=INT) -> Var:
+    return Var(f"{hint}#{next(_COUNTER)}", sort)
 
 
 def seq_len(seq: Expr) -> Expr:

@@ -37,6 +37,8 @@ from repro.logic.expr import (
     IntConst,
     TRUE,
     UnaryOp,
+    CMP_OPS,
+    Ite,
     Var,
     and_,
     eq,
@@ -62,6 +64,34 @@ from repro.prusti.model import (
 
 class PrustiError(Exception):
     """Raised for constructs the baseline cannot encode."""
+
+
+def _bool_valued(expr: Optional[Expr]) -> bool:
+    """Syntactic check that a symbolic value is boolean-sorted."""
+    if isinstance(expr, BoolConst):
+        return True
+    if isinstance(expr, Var):
+        return expr.sort == BOOL
+    if isinstance(expr, UnaryOp):
+        return expr.op == "!"
+    if isinstance(expr, BinOp):
+        return expr.op in CMP_OPS or expr.op in ("&&", "||", "=>", "<=>")
+    if isinstance(expr, Ite):
+        return _bool_valued(expr.then)
+    return False
+
+
+def _joined_sort(then_value: Optional[Expr], else_value: Optional[Expr]):
+    """Sort for the fresh symbol joining two branch values.
+
+    A join of boolean branch results must itself be bool-sorted: the joined
+    symbol flows into boolean positions (e.g. an ``if`` expression used as a
+    condition), and an int-sorted stand-in makes the SMT layer reject the
+    obligation outright.
+    """
+    if _bool_valued(then_value) or _bool_valued(else_value):
+        return BOOL
+    return INT
 
 
 @dataclass
@@ -444,7 +474,7 @@ class _FunctionVerifier:
             if then_v == else_v:
                 merged_env[name] = then_v
             else:
-                joined = fresh_symbol(name)
+                joined = fresh_symbol(name, _joined_sort(then_v, else_v))
                 if then_v is not None:
                     state.assume(implies(condition, eq(joined, then_v)))
                 if else_v is not None:
@@ -458,7 +488,7 @@ class _FunctionVerifier:
             state.assume(implies(not_(condition), fact))
         if then_value is None and else_value is None:
             return fresh_symbol("unit")
-        joined_value = fresh_symbol("ifval")
+        joined_value = fresh_symbol("ifval", _joined_sort(then_value, else_value))
         if then_value is not None:
             state.assume(implies(condition, eq(joined_value, then_value)))
         if else_value is not None:

@@ -57,6 +57,14 @@ class FunctionReport:
     smt_assumption_checks: int = 0
     smt_incremental_hits: int = 0
     smt_clauses_retained: int = 0
+    smt_batched_checks: int = 0
+    smt_theory_propagations: int = 0
+    smt_partial_checks: int = 0
+    smt_core_shrink_rounds: int = 0
+    smt_explanations: int = 0
+    smt_explanation_literals: int = 0
+    smt_sat_time: float = 0.0
+    smt_theory_time: float = 0.0
     diagnostics: List[str] = field(default_factory=list)
     #: Structured failure records (tag, span, sig_span, counterexample) —
     #: the machine-readable face of ``diagnostics``; see
@@ -74,6 +82,14 @@ class FunctionReport:
             "smt_assumption_checks": self.smt_assumption_checks,
             "smt_incremental_hits": self.smt_incremental_hits,
             "smt_clauses_retained": self.smt_clauses_retained,
+            "smt_batched_checks": self.smt_batched_checks,
+            "smt_theory_propagations": self.smt_theory_propagations,
+            "smt_partial_checks": self.smt_partial_checks,
+            "smt_core_shrink_rounds": self.smt_core_shrink_rounds,
+            "smt_explanations": self.smt_explanations,
+            "smt_explanation_literals": self.smt_explanation_literals,
+            "smt_sat_time": round(self.smt_sat_time, 6),
+            "smt_theory_time": round(self.smt_theory_time, 6),
             "num_constraints": self.num_constraints,
             "num_kvars": self.num_kvars,
             "diagnostics": list(self.diagnostics),
@@ -234,6 +250,14 @@ def verify_job(job: VerifyJob, session: VerifySession) -> JobReport:
                 smt_assumption_checks=result.smt_assumption_checks,
                 smt_incremental_hits=result.smt_incremental_hits,
                 smt_clauses_retained=result.smt_clauses_retained,
+                smt_batched_checks=result.smt_batched_checks,
+                smt_theory_propagations=result.smt_theory_propagations,
+                smt_partial_checks=result.smt_partial_checks,
+                smt_core_shrink_rounds=result.smt_core_shrink_rounds,
+                smt_explanations=result.smt_explanations,
+                smt_explanation_literals=result.smt_explanation_literals,
+                smt_sat_time=result.smt_sat_time,
+                smt_theory_time=result.smt_theory_time,
                 num_constraints=result.num_constraints,
                 num_kvars=result.num_kvars,
                 diagnostics=[str(diag) for diag in result.diagnostics],

@@ -44,7 +44,9 @@ from repro.lang import ast
 #    different query accounting).
 # 3: counterexample-carrying diagnostics (spans + structured counterexamples
 #    serialised per diagnostic).
-SCHEMA_VERSION = 3
+# 4: online DPLL(T) engine + core-batched qualifier weakening (new theory
+#    statistics, different query accounting).
+SCHEMA_VERSION = 4
 
 _IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
@@ -159,6 +161,14 @@ def result_to_dict(result: FunctionResult) -> Dict[str, object]:
         "smt_assumption_checks": result.smt_assumption_checks,
         "smt_incremental_hits": result.smt_incremental_hits,
         "smt_clauses_retained": result.smt_clauses_retained,
+        "smt_batched_checks": result.smt_batched_checks,
+        "smt_theory_propagations": result.smt_theory_propagations,
+        "smt_partial_checks": result.smt_partial_checks,
+        "smt_core_shrink_rounds": result.smt_core_shrink_rounds,
+        "smt_explanations": result.smt_explanations,
+        "smt_explanation_literals": result.smt_explanation_literals,
+        "smt_sat_time": result.smt_sat_time,
+        "smt_theory_time": result.smt_theory_time,
         "time": result.time,
         "trusted": result.trusted,
     }
@@ -176,6 +186,14 @@ def result_from_dict(payload: Dict[str, object]) -> FunctionResult:
         smt_assumption_checks=int(payload.get("smt_assumption_checks", 0)),
         smt_incremental_hits=int(payload.get("smt_incremental_hits", 0)),
         smt_clauses_retained=int(payload.get("smt_clauses_retained", 0)),
+        smt_batched_checks=int(payload.get("smt_batched_checks", 0)),
+        smt_theory_propagations=int(payload.get("smt_theory_propagations", 0)),
+        smt_partial_checks=int(payload.get("smt_partial_checks", 0)),
+        smt_core_shrink_rounds=int(payload.get("smt_core_shrink_rounds", 0)),
+        smt_explanations=int(payload.get("smt_explanations", 0)),
+        smt_explanation_literals=int(payload.get("smt_explanation_literals", 0)),
+        smt_sat_time=float(payload.get("smt_sat_time", 0.0)),
+        smt_theory_time=float(payload.get("smt_theory_time", 0.0)),
         time=float(payload.get("time", 0.0)),
         trusted=bool(payload.get("trusted", False)),
     )

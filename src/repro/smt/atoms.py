@@ -121,6 +121,52 @@ class LinearAtom:
         return f"{' + '.join(parts)} {self.op} 0"
 
 
+_ATOM_MEMO_LIMIT = 100_000
+
+
+def negate_atom(atom: LinearAtom) -> LinearAtom:
+    """Negation of ``term <= 0`` / ``term < 0`` as a linear atom (memoised)."""
+    cached = _NEGATED_ATOMS.get(atom)
+    if cached is not None:
+        return cached
+    negated_term = atom.term.scale(-1)
+    if atom.op == "<=":
+        # not (t <= 0)  <=>  t > 0  <=>  -t < 0
+        if atom.all_int:
+            tightened = LinTerm(negated_term.coeffs, negated_term.const + 1)
+            negated = LinearAtom(tightened, "<=", True)
+        else:
+            negated = LinearAtom(negated_term, "<", atom.all_int)
+    elif atom.op == "<":
+        # not (t < 0)  <=>  t >= 0  <=>  -t <= 0
+        negated = LinearAtom(negated_term, "<=", atom.all_int)
+    else:
+        raise AtomError(f"cannot negate equality atom {atom} (should have been eliminated)")
+    if len(_NEGATED_ATOMS) >= _ATOM_MEMO_LIMIT:
+        _NEGATED_ATOMS.clear()
+    _NEGATED_ATOMS[atom] = negated
+    return negated
+
+
+_NEGATED_ATOMS: Dict[LinearAtom, LinearAtom] = {}
+
+
+def atom_constraint(atom: LinearAtom):
+    """Memoised :class:`repro.smt.simplex.Constraint` view of an atom."""
+    cached = _ATOM_CONSTRAINTS.get(atom)
+    if cached is None:
+        from repro.smt.simplex import Constraint
+
+        cached = Constraint(atom.term.coeff_map(), atom.op, -atom.term.const)
+        if len(_ATOM_CONSTRAINTS) >= _ATOM_MEMO_LIMIT:
+            _ATOM_CONSTRAINTS.clear()
+        _ATOM_CONSTRAINTS[atom] = cached
+    return cached
+
+
+_ATOM_CONSTRAINTS: Dict[LinearAtom, object] = {}
+
+
 def linearize(expr: Expr, sorts: Dict[str, Sort]) -> LinTerm:
     """Convert a numeric expression into a linear term.
 

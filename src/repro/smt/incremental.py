@@ -41,7 +41,7 @@ from typing import Dict, Iterable, List, Optional, Set
 from repro.logic.expr import Expr, TRUE, not_
 from repro.logic.simplify import simplify
 from repro.logic.sorts import BOOL, INT, Sort
-from repro.logic.subst import free_vars
+from repro.logic.subst import free_var_sorts, free_vars
 from repro.smt import cnf
 from repro.smt.atoms import AtomError
 from repro.smt.result import SolverAnswer
@@ -53,6 +53,7 @@ from repro.smt.solver import (
     ackermann_axioms,
     run_theory_loop,
 )
+from repro.smt.theory import TheorySolver
 
 
 class IncrementalSolver:
@@ -84,15 +85,23 @@ class IncrementalSolver:
         self,
         sorts: Optional[Dict[str, Sort]] = None,
         max_theory_rounds: int = 5000,
+        engine: Optional[str] = None,
     ) -> None:
         self.sorts: Dict[str, Sort] = dict(sorts or {})
         self.max_theory_rounds = max_theory_rounds
+        self.engine = engine  # None -> repro.smt.solver.DEFAULT_ENGINE
         self._sat = SatSolver()
         self._pre = _Preprocessor(sorts=self.sorts)
         self._atomizer = _Atomizer(solver=self._sat, sorts=self.sorts)
+        # One persistent theory solver serves every check: its tableau,
+        # slack rows and atom->bound conversions carry over, so a later
+        # check only re-asserts bounds (O(changed rows), no rebuilds).
+        self._theory = TheorySolver(self._atomizer.atom_of_var)
         self._frames: List[int] = []  # selector variable per open scope
         self._ackermann_done = 0  # apps already covered by emitted axioms
         self._root_cache: Dict[Expr, int] = {}  # expr -> Tseitin root literal
+        # goal-root subset -> selector guarding its joint-refutation clause
+        self._refutation_selectors: Dict[frozenset, int] = {}
         # Theory-atom bookkeeping: the theory loop only sends the simplex the
         # atoms of formulas actually in force (global assertions, open
         # scopes, the goal under test), not every atom the solver has ever
@@ -107,6 +116,13 @@ class IncrementalSolver:
         self.clauses_retained = 0
         self.theory_rounds = 0
         self.total_time = 0.0
+        self.theory_propagations = 0
+        self.partial_checks = 0
+        self.core_shrink_rounds = 0
+        self.explanations = 0
+        self.explanation_literals = 0
+        self.sat_time = 0.0
+        self.theory_time = 0.0
 
     # -- assertion stack -----------------------------------------------------
 
@@ -165,6 +181,8 @@ class IncrementalSolver:
             return cached
         if sys.getrecursionlimit() < 100000:
             sys.setrecursionlimit(100000)
+        for name, sort in free_var_sorts(expr).items():
+            self.sorts.setdefault(name, sort)
         for name in free_vars(expr):
             self.sorts.setdefault(name, INT)
         try:
@@ -238,6 +256,32 @@ class IncrementalSolver:
     def check_valid(self, goal: Expr) -> bool:
         return self.check_valid_detailed(goal).is_unsat
 
+    def refute_any(self, goals: Iterable[Expr]) -> SolverAnswer:
+        """Decide ``asserted hypotheses |= goal_i`` for *all* goals at once.
+
+        ``UNSAT`` certifies every goal implied.  A ``SAT`` answer's model is
+        a concrete state satisfying the hypotheses and falsifying at least
+        one goal — callers evaluate each goal against it to learn *which*
+        (typically many at a time).  The encoding reuses the memoised root
+        literal of every goal and adds one selector-guarded clause
+        ``sel -> (!g_1 | ... | !g_n)`` per distinct goal subset, so repeat
+        queries over shrinking candidate sets cost a dictionary lookup plus
+        a warm search — the engine under unsat-core-batched qualifier
+        weakening.
+        """
+        roots: List[int] = []
+        atoms: Set[int] = set()
+        for goal in goals:
+            roots.append(self.literal_for(goal))
+            atoms |= self._expr_atoms.get(goal, frozenset())
+        key = frozenset(roots)
+        selector = self._refutation_selectors.get(key)
+        if selector is None:
+            selector = self._sat.new_var()
+            self._sat.add_clause([-selector] + [-root for root in roots])
+            self._refutation_selectors[key] = selector
+        return self.check_sat_assuming([selector], atoms)
+
     def get_model(self, goal: Expr) -> Optional[Dict[str, object]]:
         """A model refuting ``asserted hypotheses |= goal``, if one exists.
 
@@ -271,11 +315,21 @@ class IncrementalSolver:
                 self.max_theory_rounds,
                 assumptions=list(self._frames) + assumptions,
                 active_atoms=active_atoms,
+                theory=self._theory,
+                engine=self.engine,
             )
         finally:
             self.clauses_retained += self._sat.num_clauses - clauses_before
             self.total_time += time.perf_counter() - started
-        self.theory_rounds += int(answer.stats.get("theory_rounds", 0))
+        stats = answer.stats
+        self.theory_rounds += int(stats.get("theory_rounds", 0))
+        self.theory_propagations += int(stats.get("theory_propagations", 0))
+        self.partial_checks += int(stats.get("partial_checks", 0))
+        self.core_shrink_rounds += int(stats.get("core_shrink_rounds", 0))
+        self.explanations += int(stats.get("explanations", 0))
+        self.explanation_literals += int(stats.get("explanation_literals", 0))
+        self.sat_time += float(stats.get("sat_time", 0.0))
+        self.theory_time += float(stats.get("theory_time", 0.0))
         return answer
 
     # -- introspection ---------------------------------------------------------
@@ -287,4 +341,11 @@ class IncrementalSolver:
             "clauses_retained": self.clauses_retained,
             "theory_rounds": self.theory_rounds,
             "total_time": self.total_time,
+            "theory_propagations": self.theory_propagations,
+            "partial_checks": self.partial_checks,
+            "core_shrink_rounds": self.core_shrink_rounds,
+            "explanations": self.explanations,
+            "explanation_literals": self.explanation_literals,
+            "sat_time": self.sat_time,
+            "theory_time": self.theory_time,
         }

@@ -30,6 +30,12 @@ class SolverAnswer:
     model: Optional[Dict[str, Fraction]] = None
     reason: str = ""
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Like ``model`` but *including* internal (``__``-prefixed) variables —
+    #: preprocessor-introduced if-then-else/skolem names and checker temps.
+    #: Model-based qualifier discarding evaluates goals that mention those
+    #: names, so it must see their true values; user-facing counterexamples
+    #: keep reading the filtered ``model``.
+    full_model: Optional[Dict[str, Fraction]] = None
 
     @property
     def is_sat(self) -> bool:

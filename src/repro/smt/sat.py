@@ -1,6 +1,6 @@
-"""A CDCL SAT solver.
+"""A CDCL SAT solver with an online theory hook (DPLL(T)).
 
-This is the propositional core of the lazy SMT loop.  It implements
+This is the propositional core of the SMT stack.  It implements
 conflict-driven clause learning with:
 
 * two-watched-literal unit propagation over flat integer arrays — only the
@@ -9,7 +9,13 @@ conflict-driven clause learning with:
 * first-UIP conflict analysis with clause learning,
 * non-chronological backjumping,
 * an exponentially-decayed (VSIDS-style) activity heuristic with phase
-  saving, served from a lazy binary heap instead of a linear scan, and
+  saving, served from a lazy binary heap instead of a linear scan,
+* an optional *theory solver* (:meth:`SatSolver.attach_theory`): newly
+  assigned literals are asserted into the theory as the trail grows, theory
+  conflicts at partial assignments become learned clauses, theory-implied
+  literals are enqueued as propagations with reason clauses, a cheap theory
+  check runs before every decision, and a complete theory check gates every
+  SAT answer, and
 * an optional final verification pass over all clauses before a SAT answer
   is returned (``verify_models``; the randomized test suite turns it on).
 
@@ -52,9 +58,34 @@ class SatSolver:
         self._activity_inc = 1.0
         self._unsat = False
         self._qhead = 0
+        self._theory = None
+        self._theory_vars = None  # theory-atom variables (shared mapping)
+        self._theory_head = 0  # trail entries already asserted into the theory
         self.num_conflicts = 0
         self.num_decisions = 0
         self.num_propagations = 0
+        self.num_theory_propagations = 0
+
+    # -- theory hook ---------------------------------------------------------
+
+    def attach_theory(self, theory) -> None:
+        """Install a theory solver for online DPLL(T) search.
+
+        ``theory`` follows the :class:`repro.smt.theory.TheorySolver`
+        protocol: ``assert_literal``/``shrink_to_trail`` mirror the trail,
+        ``drain_propagations`` yields implied literals with reasons,
+        ``partial_check`` runs before every decision and ``final_check``
+        gates SAT answers.  The caller is responsible for arming the theory
+        (``begin_check``) before each :meth:`solve`.
+        """
+        self._theory = theory
+        self._theory_vars = theory.watched_vars()
+        self._theory_head = 0
+
+    def detach_theory(self) -> None:
+        self._theory = None
+        self._theory_vars = None
+        self._theory_head = 0
 
     # -- problem construction ------------------------------------------------
 
@@ -314,6 +345,107 @@ class SatSolver:
         del self._trail[limit:]
         del self._trail_lim[target:]
         self._qhead = min(self._qhead, len(self._trail))
+        if self._theory is not None and self._theory_head > len(self._trail):
+            self._theory.shrink_to_trail(len(self._trail))
+            self._theory_head = len(self._trail)
+
+    # -- theory integration ----------------------------------------------------
+
+    def _install_clause(self, literals: List[int]) -> int:
+        """Add a theory lemma to the clause database mid-search.
+
+        Unlike :meth:`add_clause` this never backtracks: the two watch slots
+        are chosen as the best candidates under the *current* assignment
+        (unassigned literals first, then highest assignment level), which
+        keeps the watch invariant for conflict clauses (all literals false)
+        and propagation reasons (exactly the implied literal unassigned).
+        """
+        lits: List[int] = []
+        seen = set()
+        for lit in literals:
+            if lit not in seen:
+                seen.add(lit)
+                lits.append(lit)
+        index = len(self._clauses)
+        if len(lits) >= 2:
+            lits.sort(key=self._watch_rank, reverse=True)
+            self._watches[self._windex(lits[0])].append(index)
+            self._watches[self._windex(lits[1])].append(index)
+        self._clauses.append(lits)
+        return index
+
+    def _watch_rank(self, lit: int) -> int:
+        var = lit if lit > 0 else -lit
+        if self._assigns[var] == 0:
+            return 1 << 60
+        return self._level[var]
+
+    def _theory_propagate(self) -> int:
+        """Assert new trail literals into the theory; apply its propagations.
+
+        Returns a conflicting clause index, or ``-1`` when the theory agrees
+        with the current partial assignment.  Theory-implied literals are
+        assigned here with freshly installed reason clauses, so conflict
+        analysis can resolve across them like any boolean propagation.
+        """
+        theory = self._theory
+        atom_vars = self._theory_vars
+        trail = self._trail
+        while self._theory_head < len(trail):
+            position = self._theory_head
+            lit = trail[position]
+            self._theory_head += 1
+            # Most trail literals are Tseitin/selector variables the theory
+            # has never heard of; filter here to spare a call per literal.
+            if (lit if lit > 0 else -lit) not in atom_vars:
+                continue
+            explanation = theory.assert_literal(lit, position)
+            if explanation is not None:
+                return self._install_clause([-l for l in explanation])
+            if not theory.propagation_queue:
+                continue
+            for implied, reason in theory.drain_propagations():
+                value = self._value(implied)
+                if value is True:
+                    continue
+                clause = [implied] + [-r for r in reason if r != implied]
+                index = self._install_clause(clause)
+                if value is False:
+                    return index
+                self.num_theory_propagations += 1
+                self._assign(implied, index)
+        return -1
+
+    def _resolve_conflict(self, conflict_index: int) -> bool:
+        """Learn from a conflicting clause; ``False`` latches permanent unsat.
+
+        Theory lemmas can be falsified below the current decision level (the
+        offending bounds may all predate the latest decisions), so the
+        search first backtracks to the clause's highest literal level — at
+        which point first-UIP analysis applies unchanged.
+        """
+        self.num_conflicts += 1
+        level = self._level
+        top = 0
+        for lit in self._clauses[conflict_index]:
+            lit_level = level[lit if lit > 0 else -lit]
+            if lit_level > top:
+                top = lit_level
+        if top == 0:
+            self._unsat = True
+            return False
+        if top < self._decision_level():
+            self._backtrack(top)
+        learned, backjump_level = self._analyze(conflict_index)
+        self._backtrack(backjump_level)
+        index = len(self._clauses)
+        self._clauses.append(learned)
+        if len(learned) >= 2:
+            self._watches[self._windex(learned[0])].append(index)
+            self._watches[self._windex(learned[1])].append(index)
+        self._assign(learned[0], index)
+        self._activity_inc *= 1.05
+        return True
 
     # -- search --------------------------------------------------------------
 
@@ -359,24 +491,28 @@ class SatSolver:
         # database alone, so re-deriving them on every call would only
         # replay identical propagations.
         self._backtrack(0)
+        theory = self._theory
 
         while True:
             conflict = self._propagate()
+            if conflict < 0 and theory is not None:
+                conflict = self._theory_propagate()
+                if conflict < 0 and self._qhead < len(self._trail):
+                    continue  # theory-implied literals await boolean propagation
             if conflict >= 0:
-                self.num_conflicts += 1
-                if self._decision_level() == 0:
-                    self._unsat = True
+                if not self._resolve_conflict(conflict):
                     return None
-                learned, backjump_level = self._analyze(conflict)
-                self._backtrack(backjump_level)
-                index = len(self._clauses)
-                self._clauses.append(learned)
-                if len(learned) >= 2:
-                    self._watches[self._windex(learned[0])].append(index)
-                    self._watches[self._windex(learned[1])].append(index)
-                self._assign(learned[0], index)
-                self._activity_inc *= 1.05
                 continue
+            if theory is not None:
+                # Theory consistency of the *partial* assignment, once per
+                # decision level: conflicts surface here as learned clauses
+                # long before the propositional model is complete.
+                explanation = theory.partial_check()
+                if explanation is not None:
+                    conflict = self._install_clause([-lit for lit in explanation])
+                    if not self._resolve_conflict(conflict):
+                        return None
+                    continue
             # Re-establish any assumption lost to backjumping before making a
             # free decision; a falsified assumption means unsat-under-assumptions.
             pending_assumption = 0
@@ -393,6 +529,15 @@ class SatSolver:
                 continue
             branch_var = self._pick_branch_var()
             if branch_var is None:
+                if theory is not None:
+                    # Complete theory check (integer branch-and-bound): the
+                    # only place integrality is decided.
+                    explanation = theory.final_check()
+                    if explanation is not None:
+                        conflict = self._install_clause([-lit for lit in explanation])
+                        if not self._resolve_conflict(conflict):
+                            return None
+                        continue
                 if self.verify_models:
                     assert self._model_satisfies_all(), "internal error: bogus SAT model"
                 assigns = self._assigns

@@ -20,6 +20,8 @@ SMT loop turns into a small blocking clause.
 
 from __future__ import annotations
 
+import math
+import sys
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
@@ -213,9 +215,13 @@ class Simplex:
         lower = self._lower.get(name)
         if lower is not None and value < lower.value:
             return {origin, lower.origin}
+        self._record_bound_change(name, True, current)
         self._upper[name] = _Bound(value, origin)
-        if name in self._nonbasic and self._values[name] > value:
-            self._update_nonbasic(name, value)
+        if name in self._nonbasic:
+            if self._values[name] > value:
+                self._update_nonbasic(name, value)
+        else:
+            self._bound_tightened_on_basic(name)
         return None
 
     def _assert_lower(self, name: str, value: DeltaRational, origin: int) -> Optional[Set[int]]:
@@ -225,10 +231,22 @@ class Simplex:
         upper = self._upper.get(name)
         if upper is not None and value > upper.value:
             return {origin, upper.origin}
+        self._record_bound_change(name, False, current)
         self._lower[name] = _Bound(value, origin)
-        if name in self._nonbasic and self._values[name] < value:
-            self._update_nonbasic(name, value)
+        if name in self._nonbasic:
+            if self._values[name] < value:
+                self._update_nonbasic(name, value)
+        else:
+            self._bound_tightened_on_basic(name)
         return None
+
+    def _record_bound_change(
+        self, name: str, is_upper: bool, previous: Optional[_Bound]
+    ) -> None:
+        """Hook for subclasses that trail bound changes (no-op here)."""
+
+    def _bound_tightened_on_basic(self, name: str) -> None:
+        """Hook: a basic variable's bound tightened (no-op here)."""
 
     # -- value maintenance ---------------------------------------------------
 
@@ -371,7 +389,10 @@ class Simplex:
                 bound = self._lower.get(name)
             if bound is not None:
                 explanation.add(bound.origin)
-        explanation.discard(-1)
+        # Note: every element is a caller-supplied origin tag — constraint
+        # indices (>= 0) offline, signed SAT literals online.  Nothing here
+        # may be filtered out: -1 is variable 1's negative literal, not a
+        # sentinel, and dropping it would certify an over-strong core.
         return explanation
 
     def _extract_model(self) -> Dict[str, Rational]:
@@ -435,3 +456,329 @@ def check_constraints(constraints: Sequence[Constraint]) -> SimplexResult:
         if conflict:
             return SimplexResult(False, conflict=conflict)
     return simplex.check()
+
+
+#: Origin tag for bounds asserted internally (branch-and-bound cuts).  Real
+#: origins are SAT literals, which are never 0; an explanation containing
+#: :data:`INTERNAL_ORIGIN` depends on a branching cut and cannot be certified
+#: as a core over the asserted atoms alone.
+INTERNAL_ORIGIN = 0
+
+
+class BacktrackableSimplex(Simplex):
+    """A :class:`Simplex` whose bound assertions can be retracted.
+
+    The Dutertre–de Moura split between *definitions* and *assertions* makes
+    this cheap: tableau rows (slack-variable definitions) are permanent and
+    shared by every check, while asserting an atom only tightens a bound on
+    one variable.  Each tightening pushes an undo record — ``(var, which
+    side, previous bound)`` — onto a trail; :meth:`undo_to` pops back to a
+    :meth:`mark`, so retracting an atom is O(bounds changed), never a tableau
+    rebuild.  Pivots need no undo: they preserve the row system's solution
+    set, and variable values stay row-consistent across retraction because
+    bounds only ever *loosen* on the way back.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        # (var, is_upper, previous bound or None) — LIFO undo records
+        self._trail: List[Tuple[str, bool, Optional[_Bound]]] = []
+        # canonical coefficient tuple -> slack variable defining that term
+        self._term_slacks: Dict[Tuple[Tuple[str, Rational], ...], str] = {}
+        #: (var, is_upper) bound tightenings since the caller last drained
+        #: this list; the theory layer scans them for implied atoms.
+        self.tightened: List[Tuple[str, bool]] = []
+        # Basic variables whose value or bounds changed since they were last
+        # verified in-bounds.  Feasibility checks scan only this set, so a
+        # check after k bound assertions costs O(rows touched by those k
+        # assertions), not O(all rows) — the point of being backtrackable.
+        self._dirty: Set[str] = set()
+
+    # -- trail ---------------------------------------------------------------
+
+    def mark(self) -> int:
+        return len(self._trail)
+
+    def undo_to(self, mark: int) -> None:
+        trail = self._trail
+        while len(trail) > mark:
+            name, is_upper, previous = trail.pop()
+            bounds = self._upper if is_upper else self._lower
+            if previous is None:
+                del bounds[name]
+            else:
+                bounds[name] = previous
+
+    # -- definitions (permanent) ---------------------------------------------
+
+    def term_var(self, coeffs: Dict[str, Rational]) -> str:
+        """The variable standing for ``sum coeffs . x`` (memoised).
+
+        A unit single-variable term is the variable itself; anything else
+        gets a slack variable with a permanent row.  Rows are definitions,
+        not assertions, so they are never retracted.
+        """
+        if len(coeffs) == 1:
+            (name, coeff), = coeffs.items()
+            if coeff == 1:
+                self._ensure_var(name)
+                return name
+        key = tuple(sorted(coeffs.items()))
+        slack = self._term_slacks.get(key)
+        if slack is not None:
+            return slack
+        slack = self._fresh_slack()
+        for name in coeffs:
+            self._ensure_var(name)
+        row: Dict[str, Rational] = {}
+        for name, coeff in coeffs.items():
+            if name in self._basic:
+                for inner, inner_coeff in self._rows[name].items():
+                    row[inner] = row.get(inner, 0) + coeff * inner_coeff
+            else:
+                row[name] = row.get(name, 0) + coeff
+        self._rows[slack] = {name: coeff for name, coeff in row.items() if coeff != 0}
+        self._basic.add(slack)
+        self._values[slack] = self._row_value(slack)
+        self._term_slacks[key] = slack
+        return slack
+
+    # -- bound assertion (retractable) ---------------------------------------
+    # The comparison/conflict logic lives in the base class; these hooks add
+    # the trail record, the propagation event and the dirty mark.
+
+    def _record_bound_change(
+        self, name: str, is_upper: bool, previous: Optional[_Bound]
+    ) -> None:
+        self._trail.append((name, is_upper, previous))
+        self.tightened.append((name, is_upper))
+
+    def _bound_tightened_on_basic(self, name: str) -> None:
+        self._dirty.add(name)
+
+    def assert_bound(
+        self, name: str, is_upper: bool, value: DeltaRational, origin: int
+    ) -> Optional[Set[int]]:
+        """Tighten one bound; returns a conflict explanation or ``None``."""
+        if is_upper:
+            return self._assert_upper(name, value, origin)
+        return self._assert_lower(name, value, origin)
+
+    def upper_bound(self, name: str) -> Optional[_Bound]:
+        return self._upper.get(name)
+
+    def lower_bound(self, name: str) -> Optional[_Bound]:
+        return self._lower.get(name)
+
+    # -- dirty-set value maintenance -----------------------------------------
+
+    def _update_nonbasic(self, name: str, value: DeltaRational) -> None:
+        delta = value - self._values[name]
+        self._values[name] = value
+        delta_real = delta.real
+        delta_eps = delta.eps
+        values = self._values
+        dirty = self._dirty
+        for basic, row in self._rows.items():
+            coeff = row.get(name)
+            if coeff:
+                old = values[basic]
+                values[basic] = DeltaRational(
+                    old.real + delta_real * coeff, old.eps + delta_eps * coeff
+                )
+                dirty.add(basic)
+
+    def _pivot_and_update(self, basic: str, nonbasic: str, target: DeltaRational) -> None:
+        coeff = self._rows[basic][nonbasic]
+        diff = target - self._values[basic]
+        delta = DeltaRational(exact_div(diff.real, coeff), exact_div(diff.eps, coeff))
+        self._values[basic] = target
+        self._values[nonbasic] = self._values[nonbasic] + delta
+        delta_real = delta.real
+        delta_eps = delta.eps
+        values = self._values
+        dirty = self._dirty
+        for other, row in self._rows.items():
+            if other == basic:
+                continue
+            a = row.get(nonbasic)
+            if a:
+                old = values[other]
+                values[other] = DeltaRational(
+                    old.real + delta_real * a, old.eps + delta_eps * a
+                )
+                dirty.add(other)
+        self._pivot(basic, nonbasic)
+        # the entering variable's shifted value may violate its own bounds
+        dirty.add(nonbasic)
+        dirty.discard(basic)
+
+    # -- checking ------------------------------------------------------------
+
+    def feasible(self) -> Optional[Set[int]]:
+        """Incremental rational feasibility from the current state.
+
+        Only dirty basics are examined: a basic variable can newly violate a
+        bound only when that bound tightened or its value moved, and both
+        events mark it dirty.  Within the dirty set the smallest variable is
+        selected first, preserving Bland's rule (and hence termination) of
+        the full scan.  Returns ``None`` when feasible or a conflict
+        explanation — bound origins — when not.
+        """
+        dirty = self._dirty
+        values = self._values
+        while dirty:
+            violated: Optional[Tuple[str, bool]] = None
+            for name in sorted(dirty):
+                if name not in self._basic:
+                    dirty.discard(name)
+                    continue
+                value = values[name]
+                lower = self._lower.get(name)
+                if lower is not None and value < lower.value:
+                    violated = (name, True)
+                    break
+                upper = self._upper.get(name)
+                if upper is not None and value > upper.value:
+                    violated = (name, False)
+                    break
+                dirty.discard(name)
+            if violated is None:
+                return None
+            basic, need_increase = violated
+            row = self._rows[basic]
+            pivot_var = self._find_pivot(row, need_increase)
+            if pivot_var is None:
+                return self._explain(basic, need_increase)
+            target = (
+                self._lower[basic].value if need_increase else self._upper[basic].value
+            )
+            self._pivot_and_update(basic, pivot_var, target)
+        return None
+
+    def restricted_delta(self) -> Rational:
+        """A concrete value for the infinitesimal, from bounded variables only.
+
+        Only variables carrying a bound constrain how large delta may be;
+        on a persistent tableau this skips the (stale) majority."""
+        delta: Rational = 1
+        values = self._values
+        for name, bound in self._lower.items():
+            value = values[name]
+            gap_real = value.real - bound.value.real
+            gap_eps = value.eps - bound.value.eps
+            if gap_eps < 0 and gap_real > 0:
+                delta = min(delta, exact_div(gap_real, -gap_eps))
+        for name, bound in self._upper.items():
+            value = values[name]
+            gap_real = bound.value.real - value.real
+            gap_eps = bound.value.eps - value.eps
+            if gap_eps < 0 and gap_real > 0:
+                delta = min(delta, exact_div(gap_real, -gap_eps))
+        return exact_div(delta, 2) if delta > 0 else Fraction(1, 2)
+
+    def restricted_model(self, names) -> Dict[str, Rational]:
+        """Concretised values of ``names`` (variables the caller cares about)."""
+        delta = self.restricted_delta()
+        values = self._values
+        model: Dict[str, Rational] = {}
+        for name in names:
+            value = values.get(name)
+            if value is not None:
+                model[name] = value.real + value.eps * delta
+        return model
+
+    def check_integer(
+        self,
+        int_vars: Set[str],
+        max_nodes: int = 2000,
+        model_names=None,
+    ) -> Tuple[str, Optional[Set[int]], Optional[Dict[str, Rational]], int]:
+        """Branch-and-bound for integer feasibility on the live tableau.
+
+        Returns ``(status, explanation, model, nodes)`` with status ``"sat"``
+        (model over ``model_names`` populated, integer variables integral),
+        ``"unsat"`` (explanation populated when certifiable over the
+        asserted-atom origins alone, ``None`` when every refutation leans on
+        a branching cut), or ``"unknown"`` (node budget exhausted).  Branch
+        bounds are asserted through the ordinary trail with
+        :data:`INTERNAL_ORIGIN` and fully retracted before returning, so the
+        caller's bound state is untouched.
+        """
+        if sys.getrecursionlimit() < 100000:
+            sys.setrecursionlimit(100000)
+        nodes = 0
+        root_mark = self.mark()
+        ordered_int_vars = sorted(int_vars)
+
+        def search() -> Tuple[str, Optional[Set[int]], Optional[Dict[str, Rational]]]:
+            nonlocal nodes
+            if nodes >= max_nodes:
+                return "unknown", None, None
+            nodes += 1
+            conflict = self.feasible()
+            if conflict is not None:
+                if INTERNAL_ORIGIN not in conflict:
+                    # rationally infeasible over asserted atoms alone: this
+                    # core refutes the whole query, branching or not
+                    return "unsat", conflict, None
+                return "unsat", None, None
+            delta = self.restricted_delta()
+            values = self._values
+            fractional: Optional[Tuple[str, Rational]] = None
+            for name in ordered_int_vars:
+                value = values.get(name)
+                if value is None:
+                    continue
+                concrete = value.real + value.eps * delta
+                if concrete.denominator != 1:
+                    fractional = (name, concrete)
+                    break
+            if fractional is None:
+                names = (
+                    model_names
+                    if model_names is not None
+                    else [n for n in values if not n.startswith("__slack")]
+                )
+                model = {
+                    name: values[name].real + values[name].eps * delta
+                    for name in names
+                    if name in values
+                }
+                return "sat", None, round_model_integers(model, int_vars)
+            name, value = fractional
+            for is_upper, bound in (
+                (True, DeltaRational(math.floor(value))),
+                (False, DeltaRational(math.ceil(value))),
+            ):
+                branch_mark = self.mark()
+                conflict = self.assert_bound(name, is_upper, bound, INTERNAL_ORIGIN)
+                if conflict is None:
+                    status, explanation, found = search()
+                    if status == "sat" or status == "unknown":
+                        self.undo_to(branch_mark)
+                        return status, None, found
+                    if explanation is not None and INTERNAL_ORIGIN not in explanation:
+                        self.undo_to(branch_mark)
+                        return "unsat", explanation, None
+                elif INTERNAL_ORIGIN not in conflict:
+                    self.undo_to(branch_mark)
+                    return "unsat", conflict, None
+                self.undo_to(branch_mark)
+            return "unsat", None, None
+
+        try:
+            status, explanation, model = search()
+        finally:
+            self.undo_to(root_mark)
+        return status, explanation, model, nodes
+
+
+def round_model_integers(
+    model: Dict[str, Rational], int_vars: Set[str]
+) -> Dict[str, Rational]:
+    """Normalise integer-sorted values to plain ``int`` (shared with lia)."""
+    return {
+        name: int(value) if name in int_vars else value
+        for name, value in model.items()
+    }

@@ -44,9 +44,15 @@ from repro.logic.expr import (
 )
 from repro.logic.simplify import simplify
 from repro.logic.sorts import BOOL, INT, REAL, Sort
-from repro.logic.subst import free_vars
+from repro.logic.subst import free_var_sorts, free_vars
 from repro.smt import cnf
-from repro.smt.atoms import AtomError, LinearAtom, normalize_comparison
+from repro.smt.atoms import (
+    AtomError,
+    LinearAtom,
+    atom_constraint,
+    negate_atom,
+    normalize_comparison,
+)
 from repro.smt.lia import check_lia
 from repro.smt.result import SatResult, SolverAnswer
 from repro.smt.sat import SatSolver
@@ -324,54 +330,35 @@ class _Atomizer:
         return var
 
 
-_ATOM_MEMO_LIMIT = 100_000
-
-
 def _negate_atom(atom: LinearAtom) -> LinearAtom:
-    """Negation of ``term <= 0`` / ``term < 0`` as a linear atom (memoised)."""
-    cached = _NEGATED_ATOMS.get(atom)
-    if cached is not None:
-        return cached
-    negated_term = atom.term.scale(-1)
-    if atom.op == "<=":
-        # not (t <= 0)  <=>  t > 0  <=>  -t < 0
-        if atom.all_int:
-            from repro.smt.atoms import LinTerm
-
-            tightened = LinTerm(negated_term.coeffs, negated_term.const + 1)
-            negated = LinearAtom(tightened, "<=", True)
-        else:
-            negated = LinearAtom(negated_term, "<", atom.all_int)
-    elif atom.op == "<":
-        # not (t < 0)  <=>  t >= 0  <=>  -t <= 0
-        negated = LinearAtom(negated_term, "<=", atom.all_int)
-    else:
-        raise SmtError(f"cannot negate equality atom {atom} (should have been eliminated)")
-    if len(_NEGATED_ATOMS) >= _ATOM_MEMO_LIMIT:
-        _NEGATED_ATOMS.clear()
-    _NEGATED_ATOMS[atom] = negated
-    return negated
-
-
-_NEGATED_ATOMS: Dict[LinearAtom, LinearAtom] = {}
-
-
-def _atom_constraint(atom: LinearAtom) -> Constraint:
-    """Memoised :class:`Constraint` view of an atom (atoms are immutable)."""
-    cached = _ATOM_CONSTRAINTS.get(atom)
-    if cached is None:
-        cached = Constraint(atom.term.coeff_map(), atom.op, -atom.term.const)
-        if len(_ATOM_CONSTRAINTS) >= _ATOM_MEMO_LIMIT:
-            _ATOM_CONSTRAINTS.clear()
-        _ATOM_CONSTRAINTS[atom] = cached
-    return cached
-
-
-_ATOM_CONSTRAINTS: Dict[LinearAtom, Constraint] = {}
+    """Atom negation, with fragment violations reported as :class:`SmtError`."""
+    try:
+        return negate_atom(atom)
+    except AtomError as error:
+        raise SmtError(str(error)) from error
 
 
 def _atom_to_constraint(atom: LinearAtom) -> Constraint:
-    return _atom_constraint(atom)
+    return atom_constraint(atom)
+
+
+DEFAULT_ENGINE = "online"
+"""SAT↔theory integration used when callers do not pick one explicitly.
+
+``"online"`` is the DPLL(T) engine: the theory solver lives inside the CDCL
+search (partial-assignment checks, theory propagation, minimized conflict
+explanations).  ``"offline"`` is the historical lazy loop — enumerate a
+complete propositional model, check the full atom set, add one blocking
+clause, repeat — kept as the differential-testing oracle.
+"""
+
+_ONLINE_STAT_KEYS = (
+    "theory_propagations",
+    "partial_checks",
+    "core_shrink_rounds",
+    "explanations",
+    "explanation_literals",
+)
 
 
 def run_theory_loop(
@@ -381,18 +368,96 @@ def run_theory_loop(
     max_theory_rounds: int,
     assumptions: Sequence[int] = (),
     active_atoms: Optional[Set[int]] = None,
+    theory: Optional["TheorySolver"] = None,
+    engine: Optional[str] = None,
 ) -> SolverAnswer:
-    """The lazy DPLL(T) refinement loop.
+    """Run one satisfiability check through the SAT↔theory interface.
 
-    Shared by the one-shot pipeline and :class:`repro.smt.IncrementalSolver`:
-    propositional models come from ``sat`` (under ``assumptions``), assigned
-    atoms are checked for LIA-consistency, and conflicts return as blocking
-    clauses.  ``active_atoms``, when given, restricts the theory check to
-    that subset of atom variables — the incremental backend passes the atoms
-    of the formulas currently in force so retired state never reaches the
-    simplex.  Blocking clauses are theory lemmas (independent of the
-    assumptions), so adding them permanently is sound.
+    Shared by the one-shot pipeline and :class:`repro.smt.IncrementalSolver`.
+    ``active_atoms``, when given, restricts theory reasoning to that subset
+    of atom variables — the incremental backend passes the atoms of the
+    formulas currently in force so retired state never reaches the simplex.
+    ``theory`` lets the incremental backend keep one persistent
+    :class:`~repro.smt.theory.TheorySolver` (tableau, slack rows, bound
+    conversions) across checks.  Learned clauses and theory lemmas are
+    consequences of the clause database alone (assumptions live on their own
+    decision levels), so retaining them permanently is sound.
     """
+    chosen = engine or DEFAULT_ENGINE
+    if chosen == "online":
+        return _run_online(
+            sat, atomizer, int_vars, max_theory_rounds, assumptions, active_atoms, theory
+        )
+    if chosen == "offline":
+        return _run_offline(
+            sat, atomizer, int_vars, max_theory_rounds, assumptions, active_atoms
+        )
+    raise SmtError(f"unknown SMT engine {chosen!r}")
+
+
+def _run_online(
+    sat: SatSolver,
+    atomizer: _Atomizer,
+    int_vars: Set[str],
+    max_theory_rounds: int,
+    assumptions: Sequence[int],
+    active_atoms: Optional[Set[int]],
+    theory: Optional["TheorySolver"],
+) -> SolverAnswer:
+    """Online DPLL(T): one CDCL search with the theory solver inside it."""
+    import time
+
+    from repro.smt.theory import TheorySolver, TheoryUnknown
+
+    if theory is None:
+        theory = TheorySolver(atomizer.atom_of_var)
+    stats: Dict[str, float] = {}
+    before = theory.stats_snapshot()
+    theory.begin_check(active_atoms, int_vars, max_theory_rounds)
+    sat.attach_theory(theory)
+    started = time.perf_counter()
+    unknown_reason: Optional[str] = None
+    assignment: Optional[Dict[int, bool]] = None
+    try:
+        assignment = sat.solve(assumptions)
+    except TheoryUnknown as exc:
+        unknown_reason = str(exc)
+    except AtomError as error:
+        raise SmtError(str(error)) from error
+    finally:
+        sat.detach_theory()
+        total = time.perf_counter() - started
+        after = theory.stats_snapshot()
+        for key in _ONLINE_STAT_KEYS:
+            stats[key] = int(after[key] - before[key])
+        theory_time = after["theory_time"] - before["theory_time"]
+        stats["theory_time"] = theory_time
+        stats["sat_time"] = max(0.0, total - theory_time)
+        stats["theory_rounds"] = int(
+            after["final_checks"] - before["final_checks"] + stats["explanations"]
+        )
+        stats["sat_conflicts"] = sat.num_conflicts
+    if unknown_reason is not None:
+        return SolverAnswer(SatResult.UNKNOWN, reason=unknown_reason, stats=stats)
+    if assignment is None:
+        return SolverAnswer(SatResult.UNSAT, stats=stats)
+    if sat.verify_models:
+        assert theory.verify_model(), "internal error: theory model violates asserted atoms"
+    model, full = _model_from_assignment(assignment, atomizer, theory.model())
+    return SolverAnswer(SatResult.SAT, model=model, stats=stats, full_model=full)
+
+
+def _run_offline(
+    sat: SatSolver,
+    atomizer: _Atomizer,
+    int_vars: Set[str],
+    max_theory_rounds: int,
+    assumptions: Sequence[int],
+    active_atoms: Optional[Set[int]],
+) -> SolverAnswer:
+    """The historical lazy loop: complete models, full-set checks, blocking
+    clauses.  Kept verbatim as the oracle the online engine is differentially
+    tested against."""
     stats = {"theory_rounds": 0, "sat_conflicts": 0}
     # The atom table is fixed for the duration of the loop (blocking clauses
     # only reuse existing variables), so the relevant items are computed once.
@@ -422,13 +487,21 @@ def run_theory_loop(
             constraint_literal.append(var if value else -var)
 
         if not constraints:
-            model = _model_from_assignment(assignment, atomizer, {})
-            return SolverAnswer(SatResult.SAT, model=model, stats=stats)
+            model, full = _model_from_assignment(assignment, atomizer, {})
+            return SolverAnswer(SatResult.SAT, model=model, stats=stats, full_model=full)
 
         lia_result = check_lia(constraints, int_vars)
         if lia_result.status == "sat":
-            model = _model_from_assignment(assignment, atomizer, lia_result.model or {})
-            return SolverAnswer(SatResult.SAT, model=model, stats=stats)
+            theory_model = lia_result.model or {}
+            if sat.verify_models:
+                from repro.smt.theory import constraint_satisfied
+
+                assert all(
+                    constraint_satisfied(constraint, theory_model)
+                    for constraint in constraints
+                ), "internal error: LIA model violates chosen constraints"
+            model, full = _model_from_assignment(assignment, atomizer, theory_model)
+            return SolverAnswer(SatResult.SAT, model=model, stats=stats, full_model=full)
         if lia_result.status == "unknown":
             return SolverAnswer(
                 SatResult.UNKNOWN, reason="integer branch-and-bound budget exhausted", stats=stats
@@ -447,6 +520,7 @@ def solve_formula(
     expr: Expr,
     sorts: Optional[Dict[str, Sort]] = None,
     max_theory_rounds: int = 5000,
+    engine: Optional[str] = None,
 ) -> SolverAnswer:
     """Check satisfiability of a quantifier-free formula."""
     import sys
@@ -456,6 +530,11 @@ def solve_formula(
         # recursive preprocessing passes need head-room.
         sys.setrecursionlimit(100000)
     sort_env: Dict[str, Sort] = dict(sorts or {})
+    # Sorts recorded on the variable occurrences beat the INT default: the
+    # baseline hands over obligations with bool-sorted fresh symbols and no
+    # explicit environment.
+    for name, sort in free_var_sorts(expr).items():
+        sort_env.setdefault(name, sort)
     for name in free_vars(expr):
         sort_env.setdefault(name, INT)
 
@@ -479,19 +558,18 @@ def solve_formula(
     cnf.add_formula(sat, skeleton)
 
     int_vars = {name for name, sort in sort_env.items() if sort in (INT, BOOL)}
-    return run_theory_loop(sat, atomizer, int_vars, max_theory_rounds)
+    return run_theory_loop(sat, atomizer, int_vars, max_theory_rounds, engine=engine)
 
 
 def _model_from_assignment(
     assignment: Dict[int, bool],
     atomizer: _Atomizer,
     theory_model: Dict[str, Fraction],
-) -> Dict[str, Fraction]:
-    model: Dict[str, Fraction] = {}
-    for name, value in theory_model.items():
-        if not name.startswith("__"):
-            model[name] = value
+) -> Tuple[Dict[str, Fraction], Dict[str, Fraction]]:
+    """Returns ``(model, full_model)``: the user-facing model without
+    internal ``__``-prefixed names, and the complete valuation."""
+    full: Dict[str, Fraction] = dict(theory_model)
     for name, var in atomizer.bool_var_of_name.items():
-        if not name.startswith("__"):
-            model[name] = Fraction(1 if assignment.get(var, False) else 0)
-    return model
+        full[name] = Fraction(1 if assignment.get(var, False) else 0)
+    model = {name: value for name, value in full.items() if not name.startswith("__")}
+    return model, full

@@ -4,6 +4,7 @@ import pytest
 
 from repro.fixpoint import (
     BUDGET_EXHAUSTED,
+    SOLVER_UNKNOWN,
     FixpointSolver,
     KVarDecl,
     apply_solution,
@@ -318,3 +319,50 @@ class TestIterationBudget:
             c_forall("v", INT, KVar("k", (v,)), c_pred(ge(v, 0), tag="goal"))
         )
         assert not result.budget_exhausted
+
+
+class TestTheoryRoundBudget:
+    """Regression: SMT ``UNKNOWN`` answers (theory-round budget exhaustion)
+    must surface as structured :data:`SOLVER_UNKNOWN` errors with the clause
+    tag — never be silently folded into "qualifier not implied"."""
+
+    @staticmethod
+    def _branchy_constraint():
+        # Two slack-row refutations per validity check, so a one-round
+        # theory budget is guaranteed to run out mid-search.
+        x, y, z, v = Var("x"), Var("y"), Var("z"), Var("v")
+        hypothesis = and_(
+            implies(TRUE, and_(le(x, 2), le(y, 2))),
+            and_(le(z, 2), not_(and_(lt(add(x, y), 10), lt(add(x, z), 10)))),
+        )
+        return c_forall(
+            "x", INT,
+            hypothesis,
+            c_forall("v", INT, eq(v, x), c_pred(KVar("k", (v, x)), tag="tiny-budget")),
+        )
+
+    def test_tiny_round_budget_surfaces_structured_error(self):
+        for strategy in ("incremental", "naive"):
+            solver = FixpointSolver(strategy=strategy, max_theory_rounds=1)
+            solver.declare(KVarDecl("k", (("v", INT), ("x", INT))))
+            if strategy == "naive":
+                # The naive oracle goes through the one-shot interface whose
+                # budget is module-default; only the incremental path honours
+                # max_theory_rounds, so naive serves as the control here.
+                result = solver.solve(self._branchy_constraint())
+                assert result.ok
+                continue
+            result = solver.solve(self._branchy_constraint())
+            assert not result.ok
+            unknowns = [e for e in result.errors if e.kind == SOLVER_UNKNOWN]
+            assert unknowns, f"expected solver-unknown errors, got {result.errors}"
+            assert unknowns[0].tag == "tiny-budget"
+            assert "budget" in unknowns[0].detail
+            assert "unknown" in str(unknowns[0])
+
+    def test_default_budget_decides_the_same_clause(self):
+        solver = FixpointSolver()
+        solver.declare(KVarDecl("k", (("v", INT), ("x", INT))))
+        result = solver.solve(self._branchy_constraint())
+        assert result.ok
+        assert not any(e.kind == SOLVER_UNKNOWN for e in result.errors)
