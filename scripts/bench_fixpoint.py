@@ -32,17 +32,32 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.bench.fixpoint_bench import run_program_metrics, table1_programs  # noqa: E402
+from repro.obs import MetricsRegistry, ObsContext, Tracer, to_prometheus  # noqa: E402
 
 COUNT_METRICS = ("smt_queries", "from_scratch_solves")
 # Programs this fast are pure noise on the elapsed axis; gate their counts only.
 ELAPSED_FLOOR_SECONDS = 0.25
 
 
-def run_suite(names: Optional[List[str]]) -> Dict[str, Dict[str, object]]:
+def run_suite(
+    names: Optional[List[str]], trace: bool = False
+) -> Tuple[Dict[str, Dict[str, object]], MetricsRegistry, List[Dict[str, object]]]:
+    """Run the suite; also return the merged registry and any trace spans.
+
+    Each program still runs under its own fresh ``ObsContext`` (so the
+    per-program metric blocks stay exact); the merged registry and the
+    concatenated span list are the whole-suite artifacts the CI lane
+    uploads (``--metrics-out`` / ``--trace-out``).
+    """
     per_program: Dict[str, Dict[str, object]] = {}
+    merged = MetricsRegistry()
+    spans: List[Dict[str, object]] = []
     for program in table1_programs(names):
         print(f"[bench] {program.name} ...", flush=True)
-        metrics = run_program_metrics(program)
+        obs = ObsContext.create(trace=trace)
+        metrics = run_program_metrics(program, obs=obs)
+        merged.merge(obs.registry.snapshot())
+        spans.extend(obs.tracer.drain())
         per_program[program.name] = metrics
         if "error" in metrics:
             print(f"[bench]   error: {metrics['error']}", flush=True)
@@ -54,7 +69,7 @@ def run_suite(names: Optional[List[str]]) -> Dict[str, Dict[str, object]]:
                 f" incremental_hits={metrics['incremental_hits']}",
                 flush=True,
             )
-    return per_program
+    return per_program, merged, spans
 
 
 def compare(
@@ -122,10 +137,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--programs",
         help="comma-separated subset of Table-1 program names (default: all)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="enable span tracing and write the whole suite's Chrome "
+        "trace-event JSON to PATH (tracing adds overhead — do not gate "
+        "elapsed times from a traced run)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the suite's merged metrics registry in Prometheus "
+        "text format to PATH",
+    )
     args = parser.parse_args(argv)
 
     names = args.programs.split(",") if args.programs else None
-    per_program = run_suite(names)
+    per_program, merged, spans = run_suite(names, trace=args.trace_out is not None)
+    if args.trace_out:
+        tracer = Tracer(enabled=True)
+        tracer.absorb(spans)
+        tracer.export(args.trace_out)
+        print(f"[bench] wrote {args.trace_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus(merged.snapshot()))
+        print(f"[bench] wrote {args.metrics_out}")
     payload = {
         "schema": 1,
         "python": platform.python_version(),

@@ -7,12 +7,14 @@ The speedup claims in the README/benchmarks are reproducible with::
 
 which runs the full pipeline (parse -> elaborate -> lower -> check ->
 liquid fixpoint) under ``cProfile`` and prints the top-N functions by
-cumulative and by internal time, plus the term-layer cache statistics and
-the int-vs-Fraction arithmetic path counts.
+cumulative and by internal time, the run's full metrics-registry snapshot
+(see ``docs/observability.md``), the term-layer cache statistics and the
+int-vs-Fraction arithmetic path counts.
 
 Use ``--no-profile`` for a plain wall-clock measurement (cProfile roughly
 triples the runtime of this workload — never compare a profiled number
-against an unprofiled baseline).
+against an unprofiled baseline).  ``--trace-out PATH`` additionally records
+a span trace of the run as Chrome trace-event JSON (Perfetto-loadable).
 """
 
 from __future__ import annotations
@@ -32,25 +34,39 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.bench.fixpoint_bench import run_program_metrics, table1_programs  # noqa: E402
 from repro.logic import term_cache_stats  # noqa: E402
+from repro.obs import ObsContext  # noqa: E402
+from repro.obs.report import render_snapshot  # noqa: E402
 from repro.smt.atoms import numeric_path_counts  # noqa: E402
 
 
-def profile_program(name: str, top: int, sort_keys: List[str], profile: bool) -> str:
+def profile_program(
+    name: str,
+    top: int,
+    sort_keys: List[str],
+    profile: bool,
+    trace_out: Optional[str] = None,
+) -> str:
     program = table1_programs([name])[0]
     sections: List[str] = []
 
+    obs = ObsContext.create(trace=trace_out is not None)
     profiler = cProfile.Profile() if profile else None
     started = time.perf_counter()
     if profiler is not None:
         profiler.enable()
-    metrics = run_program_metrics(program)
+    metrics = run_program_metrics(program, obs=obs)
     if profiler is not None:
         profiler.disable()
     elapsed = time.perf_counter() - started
+    if trace_out is not None:
+        obs.tracer.export(trace_out)
 
     sections.append(f"== {name}: pipeline metrics ==")
     sections.append(json.dumps(metrics, indent=2, sort_keys=True, default=str))
     sections.append(f"wall clock: {elapsed:.3f}s" + (" (under cProfile)" if profile else ""))
+
+    sections.append("")
+    sections.append(render_snapshot(obs.registry.snapshot(), title=f"{name}: metrics registry"))
 
     dplt_keys = (
         "batched_checks",
@@ -109,6 +125,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="skip cProfile; report wall clock and counters only",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also write a Chrome trace-event JSON of the run to PATH",
+    )
     args = parser.parse_args(argv)
 
     report = profile_program(
@@ -116,6 +138,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.top,
         args.sort.split(","),
         profile=not args.no_profile,
+        trace_out=args.trace_out,
     )
     print(report)
     if args.output:

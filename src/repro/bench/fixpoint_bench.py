@@ -30,6 +30,7 @@ from repro.fixpoint.constraint import Constraint, KVarDecl, c_conj
 from repro.lang import LexError, ParseError, parse_program
 from repro.mir.lower import lower_function
 from repro.mir.typeinfer import ProgramTypes, infer_types
+from repro.obs import ObsContext, use_obs
 from repro.smt import SmtContext, use_context
 
 
@@ -188,12 +189,57 @@ def side_metric_deltas(before: Dict[str, int]) -> Dict[str, int]:
     return deltas
 
 
-def run_program_metrics(program: BenchmarkProgram) -> Dict[str, object]:
-    """End-to-end Flux metrics for one benchmark program (fresh context)."""
+def snapshot_value(snapshot: Dict[str, Dict[str, object]], name: str) -> float:
+    """A scalar metric's value from a registry snapshot (0 when absent —
+    counters are only registered on first increment)."""
+    entry = snapshot.get(name)
+    if entry is None:
+        return 0
+    return entry.get("value", 0)  # type: ignore[return-value]
+
+
+def fixpoint_metric_view(snapshot: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    """The ``BENCH_fixpoint.json`` counter block as a view of one run's
+    registry snapshot.  Every key used to be a hand-rolled sum over
+    per-function results; the registry's ``fixpoint.*`` counters accumulate
+    exactly the same per-solve values, so the numbers are unchanged."""
+    explanations = snapshot_value(snapshot, "fixpoint.explanations")
+    literals = snapshot_value(snapshot, "fixpoint.explanation_literals")
+    return {
+        "smt_queries": snapshot_value(snapshot, "fixpoint.smt_queries"),
+        "from_scratch_solves": snapshot_value(snapshot, "fixpoint.from_scratch_solves"),
+        "assumption_checks": snapshot_value(snapshot, "fixpoint.assumption_checks"),
+        "incremental_hits": snapshot_value(snapshot, "fixpoint.incremental_hits"),
+        "clauses_retained": snapshot_value(snapshot, "fixpoint.clauses_retained"),
+        "batched_checks": snapshot_value(snapshot, "fixpoint.batched_checks"),
+        "theory_propagations": snapshot_value(snapshot, "fixpoint.theory_propagations"),
+        "partial_checks": snapshot_value(snapshot, "fixpoint.partial_checks"),
+        "core_shrink_rounds": snapshot_value(snapshot, "fixpoint.core_shrink_rounds"),
+        "explanations": explanations,
+        "explanation_literals": literals,
+        "avg_explanation_len": round(literals / explanations, 3) if explanations else 0.0,
+        "sat_time": snapshot_value(snapshot, "fixpoint.sat_seconds"),
+        "theory_time": snapshot_value(snapshot, "fixpoint.theory_seconds"),
+    }
+
+
+def run_program_metrics(
+    program: BenchmarkProgram, obs: Optional[ObsContext] = None
+) -> Dict[str, object]:
+    """End-to-end Flux metrics for one benchmark program.
+
+    Runs under a fresh :class:`SmtContext` *and* a fresh
+    :class:`~repro.obs.ObsContext`; the counter block of the report is read
+    straight off the run's registry snapshot (:func:`fixpoint_metric_view`).
+    Callers that want the raw snapshot, a trace or the event log afterwards
+    (``scripts/profile_check.py``) pass their own ``obs``.
+    """
+    if obs is None:
+        obs = ObsContext.create()
     before = term_metric_snapshot()
     started = time.perf_counter()
     try:
-        with use_context(SmtContext()):
+        with use_obs(obs), use_context(SmtContext()):
             result = verify_source(program.flux_source, only=program.flux_functions)
     except (FluxError, ParseError, LexError) as error:
         return {
@@ -204,13 +250,8 @@ def run_program_metrics(program: BenchmarkProgram) -> Dict[str, object]:
         "elapsed": time.perf_counter() - started,
         "verified": result.ok,
         "failures": sorted(str(d) for d in result.diagnostics),
-        "smt_queries": sum(fn.smt_queries for fn in result.functions),
-        "from_scratch_solves": sum(fn.smt_from_scratch for fn in result.functions),
-        "assumption_checks": sum(fn.smt_assumption_checks for fn in result.functions),
-        "incremental_hits": sum(fn.smt_incremental_hits for fn in result.functions),
-        "clauses_retained": sum(fn.smt_clauses_retained for fn in result.functions),
     }
-    metrics.update(dplt_metric_sums(result.functions))
+    metrics.update(fixpoint_metric_view(obs.registry.snapshot()))
     metrics.update(side_metric_deltas(before))
     return metrics
 

@@ -26,33 +26,75 @@ from repro.core.checker import Checker
 from repro.core.errors import Counterexample, Diagnostic, FluxError
 from repro.core.genv import GlobalEnv
 from repro.diagnostics.counterexample import counterexample_from_model
+from repro.obs import span as obs_span
 from repro.smt import SmtContext, use_context
+
+#: Solver-metric keys every :class:`FunctionResult` carries, in report order.
+#: The dict replaces thirteen individual ``smt_*`` dataclass fields; the keys
+#: keep the old field names so cached payloads and JSON reports are stable,
+#: and matching read-only attribute aliases are installed below.
+FUNCTION_METRIC_KEYS = (
+    "smt_queries",
+    "smt_from_scratch",
+    "smt_assumption_checks",
+    "smt_incremental_hits",
+    "smt_clauses_retained",
+    "smt_batched_checks",
+    "smt_theory_propagations",
+    "smt_partial_checks",
+    "smt_core_shrink_rounds",
+    "smt_explanations",
+    "smt_explanation_literals",
+    "smt_sat_time",
+    "smt_theory_time",
+)
+
+
+def metrics_from_fixpoint(fixpoint_result) -> Dict[str, float]:
+    """The per-function metrics view of one fixpoint run."""
+    return {
+        "smt_queries": fixpoint_result.smt_queries,
+        "smt_from_scratch": fixpoint_result.from_scratch_solves,
+        "smt_assumption_checks": fixpoint_result.assumption_checks,
+        "smt_incremental_hits": fixpoint_result.incremental_hits,
+        "smt_clauses_retained": fixpoint_result.clauses_retained,
+        "smt_batched_checks": fixpoint_result.batched_checks,
+        "smt_theory_propagations": fixpoint_result.theory_propagations,
+        "smt_partial_checks": fixpoint_result.partial_checks,
+        "smt_core_shrink_rounds": fixpoint_result.core_shrink_rounds,
+        "smt_explanations": fixpoint_result.explanations,
+        "smt_explanation_literals": fixpoint_result.explanation_literals,
+        "smt_sat_time": fixpoint_result.sat_time,
+        "smt_theory_time": fixpoint_result.theory_time,
+    }
 
 
 @dataclass
 class FunctionResult:
-    """Verification outcome for a single function."""
+    """Verification outcome for a single function.
+
+    Solver activity lives in ``metrics`` (keys :data:`FUNCTION_METRIC_KEYS`,
+    absent means zero); ``result.smt_queries`` and friends remain readable
+    through the attribute aliases installed after the class definition.
+    """
 
     name: str
     ok: bool
     diagnostics: List[Diagnostic] = field(default_factory=list)
     num_constraints: int = 0
     num_kvars: int = 0
-    smt_queries: int = 0
-    smt_from_scratch: int = 0
-    smt_assumption_checks: int = 0
-    smt_incremental_hits: int = 0
-    smt_clauses_retained: int = 0
-    smt_batched_checks: int = 0
-    smt_theory_propagations: int = 0
-    smt_partial_checks: int = 0
-    smt_core_shrink_rounds: int = 0
-    smt_explanations: int = 0
-    smt_explanation_literals: int = 0
-    smt_sat_time: float = 0.0
-    smt_theory_time: float = 0.0
+    metrics: Dict[str, float] = field(default_factory=dict)
     time: float = 0.0
     trusted: bool = False
+
+
+def _metric_alias(key: str) -> property:
+    return property(lambda self: self.metrics.get(key, 0))
+
+
+for _key in FUNCTION_METRIC_KEYS:
+    setattr(FunctionResult, _key, _metric_alias(_key))
+del _key
 
 
 @dataclass
@@ -204,15 +246,18 @@ def _verify_function_in_context(
     started = time.perf_counter()
     name = fn.name
     try:
-        body = lower_function(fn)
-        infer_types(body, rust_context)
+        with obs_span("mir_lower", function=name):
+            body = lower_function(fn)
+            infer_types(body, rust_context)
         signature = genv.signature(name)
-        checker = Checker(body, genv, signature)
-        output = checker.check()
+        with obs_span("check", function=name):
+            checker = Checker(body, genv, signature)
+            output = checker.check()
         solver = FixpointSolver()
         for decl in output.kvar_decls.values():
             solver.declare(decl)
-        fixpoint_result = solver.solve(c_conj(*output.constraints))
+        with obs_span("fixpoint", function=name):
+            fixpoint_result = solver.solve(c_conj(*output.constraints))
         source_names = set(body.local_types) | set(signature.param_names)
         param_names = {pname for pname, _ in signature.refinement_params}
         diagnostics = []
@@ -237,19 +282,7 @@ def _verify_function_in_context(
             diagnostics=diagnostics,
             num_constraints=len(output.constraints),
             num_kvars=output.num_kvars,
-            smt_queries=fixpoint_result.smt_queries,
-            smt_from_scratch=fixpoint_result.from_scratch_solves,
-            smt_assumption_checks=fixpoint_result.assumption_checks,
-            smt_incremental_hits=fixpoint_result.incremental_hits,
-            smt_clauses_retained=fixpoint_result.clauses_retained,
-            smt_batched_checks=fixpoint_result.batched_checks,
-            smt_theory_propagations=fixpoint_result.theory_propagations,
-            smt_partial_checks=fixpoint_result.partial_checks,
-            smt_core_shrink_rounds=fixpoint_result.core_shrink_rounds,
-            smt_explanations=fixpoint_result.explanations,
-            smt_explanation_literals=fixpoint_result.explanation_literals,
-            smt_sat_time=fixpoint_result.sat_time,
-            smt_theory_time=fixpoint_result.theory_time,
+            metrics=metrics_from_fixpoint(fixpoint_result),
             time=time.perf_counter() - started,
         )
     except FluxError as error:

@@ -67,6 +67,7 @@ from repro.logic.expr import (
 from repro.logic.simplify import simplify
 from repro.logic.sorts import Sort
 from repro.logic.subst import kvars_of, substitute
+from repro.obs import current_obs, span as obs_span
 from repro.smt import (
     IncrementalSolver,
     SatResult,
@@ -226,6 +227,59 @@ class FixpointResult:
         if not self.explanations:
             return 0.0
         return self.explanation_literals / self.explanations
+
+
+#: ``FixpointResult`` counter fields mirrored into ``fixpoint.<field>``
+#: registry counters after every solve.  All are deterministic functions of
+#: the constraint set, so merged totals agree between serial and ``--jobs N``
+#: runs (functions are solved independently either way).
+_RESULT_COUNTER_FIELDS = (
+    ("iterations", "clause visits across all weakening rounds"),
+    ("smt_queries", "satisfiability queries issued by the fixpoint loop"),
+    ("from_scratch_solves", "one-shot solver builds (non-incremental checks)"),
+    ("assumption_checks", "qualifier checks on a persistent incremental solver"),
+    ("incremental_hits", "assumption checks that reused an existing solver"),
+    ("batched_checks", "refute-any batches covering several qualifiers at once"),
+    ("clauses_retained", "learned clauses surviving pop() in per-clause solvers"),
+    ("theory_propagations", "theory propagations inside per-clause solvers"),
+    ("partial_checks", "partial feasibility checks inside per-clause solvers"),
+    ("core_shrink_rounds", "core-shrink rounds inside per-clause solvers"),
+    ("explanations", "conflict explanations inside per-clause solvers"),
+    ("explanation_literals", "explanation literals inside per-clause solvers"),
+)
+
+
+def _emit_fixpoint_metrics(result: "FixpointResult", strategy: str) -> None:
+    """Mirror one solve's counters into the ambient metrics registry."""
+    registry = current_obs().registry
+    registry.counter(
+        f"fixpoint.solves.{strategy}", help="fixpoint runs by weakening strategy"
+    ).inc()
+    for field_name, help_text in _RESULT_COUNTER_FIELDS:
+        value = getattr(result, field_name)
+        if value:
+            registry.counter(f"fixpoint.{field_name}", help=help_text).inc(value)
+    if result.errors:
+        registry.counter(
+            "fixpoint.errors", help="constraints left undischarged (all kinds)"
+        ).inc(len(result.errors))
+    registry.counter(
+        "fixpoint.solve_seconds",
+        help="wall-clock time inside FixpointSolver.solve",
+        unit="seconds",
+    ).inc(result.elapsed)
+    if result.sat_time:
+        registry.counter(
+            "fixpoint.sat_seconds",
+            help="SAT-core time inside per-clause incremental solvers",
+            unit="seconds",
+        ).inc(result.sat_time)
+    if result.theory_time:
+        registry.counter(
+            "fixpoint.theory_seconds",
+            help="theory-solver time inside per-clause incremental solvers",
+            unit="seconds",
+        ).inc(result.theory_time)
 
 
 def apply_solution(expr: Expr, solution: Solution, decls: Dict[str, KVarDecl]) -> Expr:
@@ -478,7 +532,7 @@ class FixpointSolver:
                         )
                     )
 
-        return FixpointResult(
+        result = FixpointResult(
             solution=solution,
             errors=errors,
             iterations=stats.iterations,
@@ -498,6 +552,8 @@ class FixpointSolver:
             sat_time=stats.sat_time,
             theory_time=stats.theory_time,
         )
+        _emit_fixpoint_metrics(result, strategy)
+        return result
 
     # -- weakening strategies ----------------------------------------------------
 
@@ -544,10 +600,11 @@ class FixpointSolver:
             current = candidate[head_name]
             if not current:
                 continue
-            hypotheses, sorts = self._clause_hypotheses(clause, candidate)
-            kept = self._surviving_qualifiers(
-                index, clause, hypotheses, sorts, current, contexts, witnesses, stats
-            )
+            with obs_span("fixpoint.clause", head=head_name, tag=clause.tag):
+                hypotheses, sorts = self._clause_hypotheses(clause, candidate)
+                kept = self._surviving_qualifiers(
+                    index, clause, hypotheses, sorts, current, contexts, witnesses, stats
+                )
             if len(kept) != len(current):
                 candidate[head_name] = kept
                 for dependent in dependents.get(head_name, ()):

@@ -1,0 +1,66 @@
+"""Human-readable rendering of registry snapshots.
+
+``python -m repro --stats`` and ``scripts/profile_check.py`` both print the
+same summary: metrics grouped by dotted prefix (``smt``, ``fixpoint``,
+``cache``, ...), counters and gauges as aligned scalar rows, histograms as
+count/mean plus a compact quantile read off the fixed buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float) and not float(value).is_integer():
+        return f"{value:.6g}"
+    return str(int(value))  # type: ignore[arg-type]
+
+
+def _histogram_quantile(entry: Dict[str, object], quantile: float) -> float:
+    """Upper-bound estimate of a quantile from the fixed buckets."""
+    count = int(entry.get("count", 0))
+    if count == 0:
+        return 0.0
+    target = quantile * count
+    cumulative = 0
+    buckets = list(entry["buckets"])  # type: ignore[index]
+    counts = list(entry["counts"])  # type: ignore[index]
+    for bound, bucket_count in zip(buckets, counts):
+        cumulative += bucket_count
+        if cumulative >= target:
+            return float(bound)
+    return float("inf")
+
+
+def render_snapshot(snapshot: Dict[str, Dict[str, object]], title: str = "metrics") -> str:
+    """An aligned text table of a registry snapshot, grouped by prefix."""
+    groups: Dict[str, List[str]] = {}
+    for name in sorted(snapshot):
+        prefix = name.split(".", 1)[0]
+        groups.setdefault(prefix, []).append(name)
+
+    lines: List[str] = [f"== {title} =="]
+    for prefix in sorted(groups):
+        lines.append(f"[{prefix}]")
+        for name in groups[prefix]:
+            entry = snapshot[name]
+            unit = str(entry.get("unit", ""))
+            suffix = f" {unit}" if unit else ""
+            if entry["kind"] == "histogram":
+                count = int(entry.get("count", 0))
+                total = float(entry.get("sum", 0.0))
+                mean = total / count if count else 0.0
+                p50 = _histogram_quantile(entry, 0.5)
+                p95 = _histogram_quantile(entry, 0.95)
+                detail = (
+                    f"count={count} mean={mean:.6g} p50<={_format_value(p50)} "
+                    f"p95<={_format_value(p95)}{suffix}"
+                )
+                lines.append(f"  {name:44s} {detail}")
+            else:
+                value = entry.get("value", 0)
+                lines.append(f"  {name:44s} {_format_value(value)}{suffix}")
+    if len(lines) == 1:
+        lines.append("  (no metrics recorded)")
+    return "\n".join(lines)

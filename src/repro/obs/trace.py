@@ -1,0 +1,139 @@
+"""Hierarchical span tracing with Chrome trace-event JSON export.
+
+A :class:`Tracer` hands out ``span(name, **attrs)`` context managers that
+time a pipeline phase.  When tracing is disabled (the default) every call
+returns one shared no-op object — the cost is a single attribute check, so
+instrumentation can stay in hot paths permanently.  When enabled, each span
+closes into one Chrome trace-event "complete" (``"ph": "X"``) record with
+microsecond wall-clock timestamps, the owning process and thread ids, and
+the span's attributes as ``args``.
+
+Wall-clock timestamps (``time.time``) rather than ``perf_counter`` are
+deliberate: scheduler workers trace in their own processes and ship their
+event lists back for :meth:`Tracer.absorb`, and only the wall clock gives
+all processes a shared time base.  :meth:`Tracer.to_chrome` adds process
+metadata events so Perfetto/``chrome://tracing`` labels each lane.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+#: Categories make Perfetto's filter box useful; one is enough for now.
+_CATEGORY = "repro"
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """One live span; records a complete event into its tracer on exit."""
+
+    __slots__ = ("_tracer", "_name", "_args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.time()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        ended = time.time()
+        event: Dict[str, object] = {
+            "ph": "X",
+            "name": self._name,
+            "cat": _CATEGORY,
+            "ts": self._start * 1e6,
+            "dur": max(0.0, ended - self._start) * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if self._args:
+            event["args"] = self._args
+        tracer = self._tracer
+        tracer.events.append(event)
+        if tracer.registry is not None:
+            tracer.registry.counter(
+                f"phase_seconds.{self._name}",
+                help=f"wall-clock seconds spent in {self._name} spans",
+                unit="seconds",
+            ).inc(ended - self._start)
+
+
+class Tracer:
+    """Collects spans; near-zero cost while :attr:`enabled` is ``False``.
+
+    ``registry`` optionally receives a ``phase_seconds.<name>`` counter per
+    span so enabled traces feed per-phase time shares into the metrics
+    registry for free.
+    """
+
+    def __init__(self, enabled: bool = False, registry: object = None) -> None:
+        self.enabled = enabled
+        self.registry = registry
+        self.events: List[Dict[str, object]] = []
+
+    def span(self, name: str, **attrs: object) -> object:
+        if not self.enabled:
+            return NOOP_SPAN
+        return _Span(self, name, attrs)
+
+    # -- cross-process assembly ----------------------------------------------
+
+    def drain(self) -> List[Dict[str, object]]:
+        """Pop and return the collected events (workers ship these back)."""
+        events, self.events = self.events, []
+        return events
+
+    def absorb(self, events: Optional[List[Dict[str, object]]]) -> None:
+        """Append events drained from another tracer (e.g. a worker process)."""
+        if events:
+            self.events.extend(events)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, object]:
+        """The Chrome trace-event JSON object (load in Perfetto as-is)."""
+        main_pid = os.getpid()
+        pids = sorted({event["pid"] for event in self.events})
+        metadata: List[Dict[str, object]] = []
+        for pid in pids:
+            label = "repro (main)" if pid == main_pid else f"repro worker {pid}"
+            metadata.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        return {
+            "traceEvents": metadata + list(self.events),
+            "displayTimeUnit": "ms",
+        }
+
+    def export(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(), handle)
+            handle.write("\n")

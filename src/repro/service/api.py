@@ -16,12 +16,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.errors import FluxError
 from repro.core.genv import GlobalEnv
 from repro.core.pipeline import (
+    FUNCTION_METRIC_KEYS,
     FunctionResult,
     VerificationResult,
     merge_programs,
 )
 from repro.lang import LexError, ParseError, parse_program
 from repro.mir.typeinfer import ProgramTypes
+from repro.obs import span as obs_span
 from repro.service.cache import KeyTables, function_key
 from repro.service.scheduler import verify_functions
 from repro.service.session import VerifySession
@@ -50,21 +52,13 @@ class FunctionReport:
     status: str  # "ok" | "error" | "trusted"
     cached: bool
     time: float
-    smt_queries: int
     num_constraints: int
     num_kvars: int
-    smt_from_scratch: int = 0
-    smt_assumption_checks: int = 0
-    smt_incremental_hits: int = 0
-    smt_clauses_retained: int = 0
-    smt_batched_checks: int = 0
-    smt_theory_propagations: int = 0
-    smt_partial_checks: int = 0
-    smt_core_shrink_rounds: int = 0
-    smt_explanations: int = 0
-    smt_explanation_literals: int = 0
-    smt_sat_time: float = 0.0
-    smt_theory_time: float = 0.0
+    #: Per-function solver metrics, keyed by :data:`FUNCTION_METRIC_KEYS` —
+    #: a thin view over the registry delta the function's verification
+    #: produced.  ``report.smt_queries`` etc. remain readable through the
+    #: attribute aliases installed after the class definition.
+    metrics: Dict[str, float] = field(default_factory=dict)
     diagnostics: List[str] = field(default_factory=list)
     #: Structured failure records (tag, span, sig_span, counterexample) —
     #: the machine-readable face of ``diagnostics``; see
@@ -72,29 +66,33 @@ class FunctionReport:
     failures: List[Dict[str, object]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "status": self.status,
             "cached": self.cached,
             "time": round(self.time, 6),
-            "smt_queries": self.smt_queries,
-            "smt_from_scratch": self.smt_from_scratch,
-            "smt_assumption_checks": self.smt_assumption_checks,
-            "smt_incremental_hits": self.smt_incremental_hits,
-            "smt_clauses_retained": self.smt_clauses_retained,
-            "smt_batched_checks": self.smt_batched_checks,
-            "smt_theory_propagations": self.smt_theory_propagations,
-            "smt_partial_checks": self.smt_partial_checks,
-            "smt_core_shrink_rounds": self.smt_core_shrink_rounds,
-            "smt_explanations": self.smt_explanations,
-            "smt_explanation_literals": self.smt_explanation_literals,
-            "smt_sat_time": round(self.smt_sat_time, 6),
-            "smt_theory_time": round(self.smt_theory_time, 6),
-            "num_constraints": self.num_constraints,
-            "num_kvars": self.num_kvars,
-            "diagnostics": list(self.diagnostics),
-            "failures": [dict(failure) for failure in self.failures],
         }
+        for key in FUNCTION_METRIC_KEYS:
+            value = self.metrics.get(key, 0)
+            payload[key] = round(value, 6) if isinstance(value, float) else value
+        payload.update(
+            {
+                "num_constraints": self.num_constraints,
+                "num_kvars": self.num_kvars,
+                "diagnostics": list(self.diagnostics),
+                "failures": [dict(failure) for failure in self.failures],
+            }
+        )
+        return payload
+
+
+def _report_metric_alias(key: str) -> property:
+    return property(lambda self: self.metrics.get(key, 0))
+
+
+for _key in FUNCTION_METRIC_KEYS:
+    setattr(FunctionReport, _key, _report_metric_alias(_key))
+del _key
 
 
 @dataclass
@@ -131,11 +129,18 @@ class JobReport:
 @dataclass
 class ServiceReport:
     """A batch run's aggregate: one :class:`JobReport` per job plus the
-    session-wide SMT statistics; ``to_dict`` is the CLI's JSON shape."""
+    session-wide SMT statistics; ``to_dict`` is the CLI's JSON shape.
+
+    ``metrics`` carries the session's full registry snapshot (all merged
+    worker deltas included) — the raw material of ``--stats`` and
+    ``--metrics-out``.  It is not part of ``to_dict`` to keep the report
+    JSON stable; exporters read it directly.
+    """
 
     jobs: List[JobReport] = field(default_factory=list)
     time: float = 0.0
     smt: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -167,17 +172,29 @@ def _function_status(result: FunctionResult) -> str:
 
 
 def verify_job(job: VerifyJob, session: VerifySession) -> JobReport:
-    """Verify one job against a session, using its cache and scheduler."""
+    """Verify one job against a session, using its cache and scheduler.
+
+    Runs with the session's SMT *and* observability contexts installed, so
+    every phase below (and everything the scheduler runs serially) records
+    into the session's registry, tracer and event log.
+    """
+    with session.activate():
+        return _verify_job_active(job, session)
+
+
+def _verify_job_active(job: VerifyJob, session: VerifySession) -> JobReport:
     started = time.perf_counter()
     hits_before = session.cache.hits
     misses_before = session.cache.misses
     try:
-        program = merge_programs(
-            [parse_program(text) for text in (*job.extra_sources, job.source)]
-        )
-        genv = GlobalEnv()
-        genv.register_program(program)
-        rust_context = ProgramTypes.from_program(program)
+        with obs_span("parse", job=job.name):
+            program = merge_programs(
+                [parse_program(text) for text in (*job.extra_sources, job.source)]
+            )
+        with obs_span("spec_elaboration", job=job.name):
+            genv = GlobalEnv()
+            genv.register_program(program)
+            rust_context = ProgramTypes.from_program(program)
     except (FluxError, ParseError, LexError) as error:
         return JobReport(
             name=job.name,
@@ -226,10 +243,19 @@ def verify_job(job: VerifyJob, session: VerifySession) -> JobReport:
         jobs=session.jobs,
         deps=callee_deps,
         fns=tables.fn_decls if tables is not None else None,
+        trace=session.obs.tracer.enabled,
+        events=session.obs.events.enabled,
     )
-    for name, (result, worker_stats) in fresh.items():
+    for name, (result, worker_stats, obs_payload) in fresh.items():
         if worker_stats is not None:
             session.smt.stats.merge(worker_stats)
+        if obs_payload is not None:
+            # Fold the worker's observability delta into the session:
+            # counters add, spans and events keep their worker pid/tid, so
+            # the exported trace shows the real process interleaving.
+            session.obs.registry.merge(obs_payload["metrics"])
+            session.obs.tracer.absorb(obs_payload["trace"])
+            session.obs.events.absorb(obs_payload["events"])
         if name in keys:
             session.cache.put(keys[name], result)
 
@@ -245,21 +271,9 @@ def verify_job(job: VerifyJob, session: VerifySession) -> JobReport:
                 status=_function_status(result),
                 cached=cached,
                 time=result.time,
-                smt_queries=result.smt_queries,
-                smt_from_scratch=result.smt_from_scratch,
-                smt_assumption_checks=result.smt_assumption_checks,
-                smt_incremental_hits=result.smt_incremental_hits,
-                smt_clauses_retained=result.smt_clauses_retained,
-                smt_batched_checks=result.smt_batched_checks,
-                smt_theory_propagations=result.smt_theory_propagations,
-                smt_partial_checks=result.smt_partial_checks,
-                smt_core_shrink_rounds=result.smt_core_shrink_rounds,
-                smt_explanations=result.smt_explanations,
-                smt_explanation_literals=result.smt_explanation_literals,
-                smt_sat_time=result.smt_sat_time,
-                smt_theory_time=result.smt_theory_time,
                 num_constraints=result.num_constraints,
                 num_kvars=result.num_kvars,
+                metrics=dict(result.metrics),
                 diagnostics=[str(diag) for diag in result.diagnostics],
                 failures=[diag.to_dict() for diag in result.diagnostics],
             )
@@ -284,6 +298,7 @@ def verify_jobs(
         report.jobs.append(verify_job(job, session))
     report.time = time.perf_counter() - started
     report.smt = session.stats.to_dict()
+    report.metrics = session.metrics_snapshot()
     return report
 
 

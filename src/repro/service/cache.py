@@ -38,6 +38,7 @@ from repro.core.errors import Diagnostic
 from repro.core.genv import GlobalEnv
 from repro.core.pipeline import FunctionResult, definition_map
 from repro.lang import ast
+from repro.obs import current_obs
 
 # Bump when the verifier changes in a way that invalidates cached verdicts.
 # 2: incremental SMT backend + worklist fixpoint scheduling (new statistics,
@@ -46,7 +47,9 @@ from repro.lang import ast
 #    serialised per diagnostic).
 # 4: online DPLL(T) engine + core-batched qualifier weakening (new theory
 #    statistics, different query accounting).
-SCHEMA_VERSION = 4
+# 5: per-function solver statistics folded into one ``metrics`` mapping
+#    (the typed metrics registry is now the source of truth).
+SCHEMA_VERSION = 5
 
 _IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
@@ -156,44 +159,23 @@ def result_to_dict(result: FunctionResult) -> Dict[str, object]:
         "diagnostics": [d.to_dict() for d in result.diagnostics],
         "num_constraints": result.num_constraints,
         "num_kvars": result.num_kvars,
-        "smt_queries": result.smt_queries,
-        "smt_from_scratch": result.smt_from_scratch,
-        "smt_assumption_checks": result.smt_assumption_checks,
-        "smt_incremental_hits": result.smt_incremental_hits,
-        "smt_clauses_retained": result.smt_clauses_retained,
-        "smt_batched_checks": result.smt_batched_checks,
-        "smt_theory_propagations": result.smt_theory_propagations,
-        "smt_partial_checks": result.smt_partial_checks,
-        "smt_core_shrink_rounds": result.smt_core_shrink_rounds,
-        "smt_explanations": result.smt_explanations,
-        "smt_explanation_literals": result.smt_explanation_literals,
-        "smt_sat_time": result.smt_sat_time,
-        "smt_theory_time": result.smt_theory_time,
+        "metrics": dict(result.metrics),
         "time": result.time,
         "trusted": result.trusted,
     }
 
 
 def result_from_dict(payload: Dict[str, object]) -> FunctionResult:
+    metrics = payload.get("metrics", {})
+    if not isinstance(metrics, dict):
+        raise TypeError("metrics payload must be a mapping")
     return FunctionResult(
         name=str(payload["name"]),
         ok=bool(payload["ok"]),
         diagnostics=[Diagnostic.from_dict(d) for d in payload.get("diagnostics", [])],
         num_constraints=int(payload.get("num_constraints", 0)),
         num_kvars=int(payload.get("num_kvars", 0)),
-        smt_queries=int(payload.get("smt_queries", 0)),
-        smt_from_scratch=int(payload.get("smt_from_scratch", 0)),
-        smt_assumption_checks=int(payload.get("smt_assumption_checks", 0)),
-        smt_incremental_hits=int(payload.get("smt_incremental_hits", 0)),
-        smt_clauses_retained=int(payload.get("smt_clauses_retained", 0)),
-        smt_batched_checks=int(payload.get("smt_batched_checks", 0)),
-        smt_theory_propagations=int(payload.get("smt_theory_propagations", 0)),
-        smt_partial_checks=int(payload.get("smt_partial_checks", 0)),
-        smt_core_shrink_rounds=int(payload.get("smt_core_shrink_rounds", 0)),
-        smt_explanations=int(payload.get("smt_explanations", 0)),
-        smt_explanation_literals=int(payload.get("smt_explanation_literals", 0)),
-        smt_sat_time=float(payload.get("smt_sat_time", 0.0)),
-        smt_theory_time=float(payload.get("smt_theory_time", 0.0)),
+        metrics={str(key): value for key, value in metrics.items()},
         time=float(payload.get("time", 0.0)),
         trusted=bool(payload.get("trusted", False)),
     )
@@ -233,13 +215,22 @@ class ResultCache:
                     result = None  # corrupt entry: treat as a miss
         if result is None:
             self.misses += 1
+            current_obs().registry.counter(
+                "cache.misses", help="function-result cache misses"
+            ).inc()
             return None
         self.hits += 1
+        current_obs().registry.counter(
+            "cache.hits", help="function-result cache hits"
+        ).inc()
         return result
 
     def put(self, key: str, result: FunctionResult) -> None:
         if not self.enabled:
             return
+        current_obs().registry.counter(
+            "cache.stores", help="function results written to the cache"
+        ).inc()
         self._entries[key] = result
         if self.cache_dir is not None:
             path = self._path(key)

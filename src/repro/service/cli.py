@@ -13,12 +13,21 @@ Examples
     python -m repro --jobs 4 --cache-dir .flux-cache a.rs b.rs
     python -m repro --only main,loop_body --no-cache program.rs
     python -m repro --explain broken.rs
+    python -m repro --jobs 2 --trace-out trace.json --metrics-out metrics.prom a.rs
+    python -m repro --stats program.rs
     echo 'fn main() {}' | python -m repro -
 
 ``--explain`` switches the output to rustc-style caret snippets: each
 failed obligation points at the offending source expression, names the
 ``#[flux::sig]`` clause that imposed it, and prints the concrete
 counterexample valuation the solver found (see ``docs/diagnostics.md``).
+
+Observability (see ``docs/observability.md``): ``--trace-out`` writes a
+Chrome trace-event JSON (load it at https://ui.perfetto.dev) with spans
+from this process and every ``--jobs`` worker; ``--metrics-out`` writes the
+session's metrics registry in Prometheus text format; ``--events-out``
+writes the structured solver event log; ``--stats`` prints the registry as
+a human-readable table instead of the JSON report.
 """
 
 from __future__ import annotations
@@ -29,6 +38,8 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
+from repro.obs import to_prometheus
+from repro.obs.report import render_snapshot
 from repro.service.api import VerifyJob, verify_jobs
 from repro.service.session import VerifySession
 
@@ -86,6 +97,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="print rustc-style caret snippets with counterexamples for "
         "every failed obligation instead of JSON",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the metrics registry as a human-readable table "
+        "instead of JSON",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="enable span tracing and write a Chrome trace-event JSON "
+        "(Perfetto-loadable, includes worker processes) to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the session's metrics in Prometheus text format to PATH",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help="enable the structured solver event log and write it as JSON "
+        "to PATH",
+    )
     return parser
 
 
@@ -115,8 +152,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         jobs=args.jobs,
+        trace=args.trace_out is not None,
+        events=args.events_out is not None,
     )
     report = verify_jobs(jobs, session)
+
+    try:
+        if args.trace_out:
+            session.obs.tracer.export(args.trace_out)
+        if args.events_out:
+            session.obs.events.export(args.events_out)
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(to_prometheus(report.metrics))
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     if args.explain:
         from repro.diagnostics import render_result
@@ -143,6 +194,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"  {marker} {fn.name:32s} {fn.status:8s} {fn.time:6.3f}s")
                 for diagnostic in fn.diagnostics:
                     print(f"      {diagnostic}")
+    elif args.stats:
+        print(render_snapshot(report.metrics, title="session metrics"))
     else:
         json.dump(report.to_dict(), sys.stdout, indent=2)
         sys.stdout.write("\n")

@@ -26,7 +26,12 @@ from repro.core.genv import GlobalEnv
 from repro.core.pipeline import FunctionResult, _verify_function, definition_map
 from repro.lang import ast
 from repro.mir.typeinfer import ProgramTypes
+from repro.obs import MetricsRegistry, ObsContext, use_obs
 from repro.smt import SmtContext, SmtStats
+
+#: A worker's observability delta for one function: the registry snapshot
+#: plus any trace spans / structured events recorded while verifying it.
+ObsPayload = Dict[str, object]
 
 # Per-worker-process state, built once by the pool initializer so each task
 # ships only a function name, not the whole program.
@@ -34,26 +39,42 @@ _WORKER_GENV: Optional[GlobalEnv] = None
 _WORKER_RUST: Optional[ProgramTypes] = None
 _WORKER_FNS: Dict[str, ast.FnDef] = {}
 _WORKER_SMT: Optional[SmtContext] = None
+_WORKER_OBS: Optional[ObsContext] = None
 
 
-def _init_worker(program: ast.Program) -> None:
-    global _WORKER_GENV, _WORKER_RUST, _WORKER_FNS, _WORKER_SMT
+def _init_worker(program: ast.Program, trace: bool = False, events: bool = False) -> None:
+    global _WORKER_GENV, _WORKER_RUST, _WORKER_FNS, _WORKER_SMT, _WORKER_OBS
     _WORKER_GENV = GlobalEnv()
     _WORKER_GENV.register_program(program)
     _WORKER_RUST = ProgramTypes.from_program(program)
     _WORKER_FNS = definition_map(program)
     _WORKER_SMT = SmtContext()
+    _WORKER_OBS = ObsContext.create(trace=trace, events=events)
 
 
-def _worker_verify(name: str) -> Tuple[str, FunctionResult, SmtStats]:
+def _worker_verify(name: str) -> Tuple[str, FunctionResult, SmtStats, ObsPayload]:
     assert _WORKER_GENV is not None and _WORKER_RUST is not None and _WORKER_SMT is not None
+    assert _WORKER_OBS is not None
     # Keep the worker's answer cache warm across functions, but give every
     # function a fresh stats record so the session can merge exact deltas.
     _WORKER_SMT.stats = SmtStats()
-    result = _verify_function(
-        _WORKER_FNS[name], _WORKER_GENV, _WORKER_RUST, session=_WORKER_SMT
-    )
-    return name, result, _WORKER_SMT.stats
+    # Same for the metrics registry: a fresh one per function makes the
+    # returned snapshot an exact per-function delta the session can merge,
+    # wherever the pool happened to schedule the function.
+    registry = MetricsRegistry()
+    _WORKER_OBS.registry = registry
+    if _WORKER_OBS.tracer.enabled:
+        _WORKER_OBS.tracer.registry = registry
+    with use_obs(_WORKER_OBS):
+        result = _verify_function(
+            _WORKER_FNS[name], _WORKER_GENV, _WORKER_RUST, session=_WORKER_SMT
+        )
+    payload: ObsPayload = {
+        "metrics": registry.snapshot(),
+        "trace": _WORKER_OBS.tracer.drain(),
+        "events": _WORKER_OBS.events.drain(),
+    }
+    return name, result, _WORKER_SMT.stats, payload
 
 
 def topological_order(
@@ -115,27 +136,31 @@ def verify_functions(
     jobs: int = 1,
     deps: Optional[Dict[str, Tuple[str, ...]]] = None,
     fns: Optional[Dict[str, ast.FnDef]] = None,
-) -> Dict[str, Tuple[FunctionResult, Optional[SmtStats]]]:
-    """Verify ``names`` and return per-function results (+ worker SMT stats).
+    trace: bool = False,
+    events: bool = False,
+) -> Dict[str, Tuple[FunctionResult, Optional[SmtStats], Optional[ObsPayload]]]:
+    """Verify ``names``; per-function results plus worker stats/obs deltas.
 
-    Serial runs record straight into ``smt_context`` (stats entry is ``None``);
-    parallel runs return each worker's stats delta for the caller to merge.
+    Serial runs record straight into ``smt_context`` and the ambient
+    observability context (stats and obs entries are ``None``); parallel
+    runs return each worker's deltas for the caller to merge.  ``trace`` and
+    ``events`` forward the session's tracer/event-log switches to workers.
     ``fns`` may carry a precomputed ``definition_map(program)``.
     """
     if fns is None:
         fns = definition_map(program)
     ordered = topological_order(names, genv, fns, deps=deps)
-    results: Dict[str, Tuple[FunctionResult, Optional[SmtStats]]] = {}
+    results: Dict[str, Tuple[FunctionResult, Optional[SmtStats], Optional[ObsPayload]]] = {}
 
     if jobs > 1 and len(ordered) > 1:
         try:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=min(jobs, len(ordered)),
                 initializer=_init_worker,
-                initargs=(program,),
+                initargs=(program, trace, events),
             ) as pool:
-                for name, result, stats in pool.map(_worker_verify, ordered):
-                    results[name] = (result, stats)
+                for name, result, stats, obs_payload in pool.map(_worker_verify, ordered):
+                    results[name] = (result, stats, obs_payload)
             return results
         except (BrokenProcessPool, pickle.PicklingError, OSError, ImportError) as error:
             # Pool-infrastructure failures only (a sandbox without process
@@ -152,5 +177,5 @@ def verify_functions(
 
     for name in ordered:
         result = _verify_function(fns[name], genv, rust_context, session=smt_context)
-        results[name] = (result, None)
+        results[name] = (result, None, None)
     return results

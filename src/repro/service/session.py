@@ -1,18 +1,20 @@
 """Per-run verification state.
 
 A :class:`VerifySession` owns everything that used to live in module-level
-globals: the SMT statistics and answer cache (now an
-:class:`repro.smt.SmtContext`) plus the per-function result cache.  Two
-sessions never share mutable state, which is what makes it safe to run
+globals: the SMT statistics and answer cache (an
+:class:`repro.smt.SmtContext`), the per-function result cache, and the
+observability context (metrics registry, span tracer, solver event log).
+Two sessions never share mutable state, which is what makes it safe to run
 several verifications concurrently in one process — and what lets worker
 processes each build their own context without trampling a shared one.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from typing import Iterator, Optional
 
+from repro.obs import MetricsRegistry, ObsContext, use_obs
 from repro.smt import SmtContext, SmtStats, use_context
 
 from repro.service.cache import ResultCache
@@ -33,6 +35,14 @@ class VerifySession:
     jobs:
         Default worker count for :meth:`repro.service.api.verify_jobs`;
         ``1`` means serial.
+    trace:
+        Enable span tracing.  Spans from this process and from scheduler
+        workers accumulate in ``self.obs.tracer`` for Chrome-trace export.
+    events:
+        Enable the structured solver event log (``self.obs.events``).
+
+    The metrics registry is always on — counters are cheap and the
+    ``--stats`` / ``--metrics-out`` views read them unconditionally.
     """
 
     def __init__(
@@ -40,8 +50,11 @@ class VerifySession:
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
         jobs: int = 1,
+        trace: bool = False,
+        events: bool = False,
     ) -> None:
         self.smt = SmtContext()
+        self.obs = ObsContext.create(trace=trace, events=events)
         self.cache = ResultCache(cache_dir=cache_dir, enabled=use_cache)
         self.jobs = max(1, int(jobs))
 
@@ -54,8 +67,19 @@ class VerifySession:
     def reset_stats(self) -> None:
         self.smt.stats = SmtStats()
 
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.obs.registry
+
+    def metrics_snapshot(self) -> dict:
+        return self.obs.registry.snapshot()
+
     @contextmanager
     def activate(self) -> Iterator["VerifySession"]:
-        """Make this session's SMT context the current one for a block."""
-        with use_context(self.smt):
+        """Make this session's SMT and observability contexts current."""
+        with ExitStack() as stack:
+            stack.enter_context(use_context(self.smt))
+            stack.enter_context(use_obs(self.obs))
             yield self

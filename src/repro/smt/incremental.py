@@ -44,6 +44,7 @@ from repro.logic.sorts import BOOL, INT, Sort
 from repro.logic.subst import free_var_sorts, free_vars
 from repro.smt import cnf
 from repro.smt.atoms import AtomError
+from repro.smt.metrics_bridge import record_check_metrics
 from repro.smt.result import SolverAnswer
 from repro.smt.sat import SatSolver
 from repro.smt.solver import (
@@ -319,17 +320,19 @@ class IncrementalSolver:
                 engine=self.engine,
             )
         finally:
+            elapsed = time.perf_counter() - started
             self.clauses_retained += self._sat.num_clauses - clauses_before
-            self.total_time += time.perf_counter() - started
+            self.total_time += elapsed
         stats = answer.stats
-        self.theory_rounds += int(stats.get("theory_rounds", 0))
-        self.theory_propagations += int(stats.get("theory_propagations", 0))
-        self.partial_checks += int(stats.get("partial_checks", 0))
-        self.core_shrink_rounds += int(stats.get("core_shrink_rounds", 0))
-        self.explanations += int(stats.get("explanations", 0))
-        self.explanation_literals += int(stats.get("explanation_literals", 0))
-        self.sat_time += float(stats.get("sat_time", 0.0))
-        self.theory_time += float(stats.get("theory_time", 0.0))
+        self.theory_rounds += stats.theory_rounds
+        self.theory_propagations += stats.theory_propagations
+        self.partial_checks += stats.partial_checks
+        self.core_shrink_rounds += stats.core_shrink_rounds
+        self.explanations += stats.explanations
+        self.explanation_literals += stats.explanation_literals
+        self.sat_time += stats.sat_time
+        self.theory_time += stats.theory_time
+        record_check_metrics(answer, elapsed, source="incremental")
         return answer
 
     # -- introspection ---------------------------------------------------------

@@ -35,6 +35,8 @@ from repro.logic.expr import (
 from repro.logic.simplify import simplify
 from repro.logic.sorts import Sort
 from repro.logic.subst import substitute
+from repro.obs import current_obs, span as obs_span
+from repro.smt.metrics_bridge import record_check_metrics
 from repro.smt.quant import has_quantifier, instantiate
 from repro.smt.result import SatResult, SolverAnswer
 from repro.smt.solver import solve_formula
@@ -183,16 +185,26 @@ def get_stats() -> SmtStats:
 
 
 def check_sat(expr: Expr, sorts: Optional[Dict[str, Sort]] = None) -> SolverAnswer:
-    """Satisfiability of a quantifier-free formula, memoised per context."""
+    """Satisfiability of a quantifier-free formula, memoised per context.
+
+    Every call — cache hit or miss — emits its answer's typed per-check
+    statistics into the observability registry.  Hits replay the cached
+    answer's record (the counts a fresh deterministic solve would produce),
+    so merged counter totals stay independent of cache-hit patterns.
+    """
     context = _CONTEXT_VAR.get()
     key = (expr, tuple(sorted((sorts or {}).items(), key=lambda kv: kv[0])))
     cached = context.cache.get(key)
     if cached is not None:
         context.stats.record(cached, 0.0)
+        record_check_metrics(cached, 0.0, source="oneshot")
         return cached
     started = time.perf_counter()
-    answer = solve_formula(expr, sorts)
-    context.stats.record(answer, time.perf_counter() - started)
+    with obs_span("smt.query"):
+        answer = solve_formula(expr, sorts)
+    elapsed = time.perf_counter() - started
+    context.stats.record(answer, elapsed)
+    record_check_metrics(answer, elapsed, source="oneshot")
     context.cache.put(key, answer)
     return answer
 
@@ -249,9 +261,13 @@ def _refutation_query(
         # Prusti-style baseline); instantiating the whole query lets ground
         # terms from the goal serve as instantiation candidates.
         query = instantiate(query, rounds=quantifier_rounds, stats=instantiation_stats)
-    _CONTEXT_VAR.get().stats.quantifier_instantiations += instantiation_stats.get(
-        "instantiations", 0
-    )
+    instantiations = instantiation_stats.get("instantiations", 0)
+    _CONTEXT_VAR.get().stats.quantifier_instantiations += instantiations
+    if instantiations:
+        current_obs().registry.counter(
+            "smt.quantifier_instantiations",
+            help="axiom instances produced by bounded quantifier instantiation",
+        ).inc(instantiations)
     return query, sort_env
 
 

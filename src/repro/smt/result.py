@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from fractions import Fraction
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 
 class SatResult(enum.Enum):
@@ -14,6 +14,46 @@ class SatResult(enum.Enum):
     SAT = "sat"
     UNSAT = "unsat"
     UNKNOWN = "unknown"
+
+
+@dataclass
+class CheckStats:
+    """Typed per-check solver statistics.
+
+    One record per satisfiability check, produced by the engine that ran it
+    (the online DPLL(T) loop fills every field; the offline oracle only the
+    fields its loop can observe).  This replaces the untyped
+    ``Dict[str, float]`` that used to be diffed out of cumulative theory
+    counters: the theory solver now zeroes a fresh record in ``begin_check``
+    and hands it over in ``finish_check``.
+
+    The record rides on :class:`SolverAnswer`, so answer-cache replays
+    re-emit the *original* check's numbers — which keeps merged registry
+    totals identical between serial and parallel runs (a worker that misses
+    its private cache re-derives the same deterministic counts).
+    """
+
+    engine: str = "online"
+    theory_rounds: int = 0
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+    sat_propagations: int = 0
+    theory_propagations: int = 0
+    partial_checks: int = 0
+    final_checks: int = 0
+    core_shrink_rounds: int = 0
+    explanations: int = 0
+    explanation_literals: int = 0
+    simplex_pivots: int = 0
+    sat_time: float = 0.0
+    theory_time: float = 0.0
+    #: Literal count of each conflict explanation in this check, in order —
+    #: the raw feed of the explanation-size histogram (kept per-check so
+    #: cache replays observe the same distribution the original check did).
+    explanation_sizes: Tuple[int, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {entry.name: getattr(self, entry.name) for entry in fields(self)}
 
 
 @dataclass
@@ -29,7 +69,7 @@ class SolverAnswer:
     result: SatResult
     model: Optional[Dict[str, Fraction]] = None
     reason: str = ""
-    stats: Dict[str, int] = field(default_factory=dict)
+    stats: CheckStats = field(default_factory=CheckStats)
     #: Like ``model`` but *including* internal (``__``-prefixed) variables —
     #: preprocessor-introduced if-then-else/skolem names and checker temps.
     #: Model-based qualifier discarding evaluates goals that mention those

@@ -65,6 +65,24 @@ class SatSolver:
         self.num_decisions = 0
         self.num_propagations = 0
         self.num_theory_propagations = 0
+        # Cumulative totals at the entry of the current/most recent ``solve``
+        # call; the ``solve_*`` properties read per-call deltas off them.
+        self._solve_base = (0, 0, 0)
+
+    @property
+    def solve_conflicts(self) -> int:
+        """Conflicts during the current/most recent :meth:`solve` call."""
+        return self.num_conflicts - self._solve_base[0]
+
+    @property
+    def solve_decisions(self) -> int:
+        """Decisions during the current/most recent :meth:`solve` call."""
+        return self.num_decisions - self._solve_base[1]
+
+    @property
+    def solve_propagations(self) -> int:
+        """Propagations during the current/most recent :meth:`solve` call."""
+        return self.num_propagations - self._solve_base[2]
 
     # -- theory hook ---------------------------------------------------------
 
@@ -480,6 +498,7 @@ class SatSolver:
         alone.  By the same argument any conflict at level 0 refutes the
         clause database itself, so it latches the solver permanently unsat.
         """
+        self._solve_base = (self.num_conflicts, self.num_decisions, self.num_propagations)
         if self._unsat:
             return None
         assumption_list = list(assumptions)

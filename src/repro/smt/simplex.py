@@ -141,6 +141,11 @@ class Simplex:
         self._upper: Dict[str, _Bound] = {}
         self._values: Dict[str, DeltaRational] = {}
         self._slack_count = 0
+        # Lifetime pivot count.  This is the tableau's one observability
+        # feed: the theory solver snapshots it in ``begin_check`` and reads
+        # the per-check delta back via :meth:`pivots_since`, which ends up in
+        # the ``smt.simplex_pivots`` counter and the ``smt.pivots_per_check``
+        # histogram of the metrics registry.
         self.pivots = 0
 
     # -- construction --------------------------------------------------------
@@ -301,6 +306,14 @@ class Simplex:
         self._nonbasic.remove(nonbasic)
         self._nonbasic.add(basic)
         self.pivots += 1
+
+    def pivots_since(self, baseline: int) -> int:
+        """Pivots performed since ``baseline`` (a stashed ``self.pivots``).
+
+        Backtracking restores bounds and values but never un-pivots, so the
+        counter is monotone and the delta is always non-negative.
+        """
+        return self.pivots - baseline
 
     def check(self) -> SimplexResult:
         """Run the simplex check procedure (Bland's rule, hence terminating)."""

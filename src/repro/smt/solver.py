@@ -54,7 +54,7 @@ from repro.smt.atoms import (
     normalize_comparison,
 )
 from repro.smt.lia import check_lia
-from repro.smt.result import SatResult, SolverAnswer
+from repro.smt.result import CheckStats, SatResult, SolverAnswer
 from repro.smt.sat import SatSolver
 from repro.smt.simplex import Constraint
 
@@ -352,14 +352,6 @@ complete propositional model, check the full atom set, add one blocking
 clause, repeat — kept as the differential-testing oracle.
 """
 
-_ONLINE_STAT_KEYS = (
-    "theory_propagations",
-    "partial_checks",
-    "core_shrink_rounds",
-    "explanations",
-    "explanation_literals",
-)
-
 
 def run_theory_loop(
     sat: SatSolver,
@@ -411,8 +403,8 @@ def _run_online(
 
     if theory is None:
         theory = TheorySolver(atomizer.atom_of_var)
-    stats: Dict[str, float] = {}
-    before = theory.stats_snapshot()
+    # ``begin_check`` zeroes the theory solver's typed per-check record;
+    # ``finish_check`` completes and returns it — no snapshot/diff dance.
     theory.begin_check(active_atoms, int_vars, max_theory_rounds)
     sat.attach_theory(theory)
     started = time.perf_counter()
@@ -427,16 +419,12 @@ def _run_online(
     finally:
         sat.detach_theory()
         total = time.perf_counter() - started
-        after = theory.stats_snapshot()
-        for key in _ONLINE_STAT_KEYS:
-            stats[key] = int(after[key] - before[key])
-        theory_time = after["theory_time"] - before["theory_time"]
-        stats["theory_time"] = theory_time
-        stats["sat_time"] = max(0.0, total - theory_time)
-        stats["theory_rounds"] = int(
-            after["final_checks"] - before["final_checks"] + stats["explanations"]
-        )
-        stats["sat_conflicts"] = sat.num_conflicts
+        stats = theory.finish_check()
+        stats.engine = "online"
+        stats.sat_time = max(0.0, total - stats.theory_time)
+        stats.sat_conflicts = sat.solve_conflicts
+        stats.sat_decisions = sat.solve_decisions
+        stats.sat_propagations = sat.solve_propagations
     if unknown_reason is not None:
         return SolverAnswer(SatResult.UNKNOWN, reason=unknown_reason, stats=stats)
     if assignment is None:
@@ -458,7 +446,23 @@ def _run_offline(
     """The historical lazy loop: complete models, full-set checks, blocking
     clauses.  Kept verbatim as the oracle the online engine is differentially
     tested against."""
-    stats = {"theory_rounds": 0, "sat_conflicts": 0}
+    import time
+
+    stats = CheckStats(engine="offline")
+    started = time.perf_counter()
+    conflicts_at_start = sat.num_conflicts
+    decisions_at_start = sat.num_decisions
+    propagations_at_start = sat.num_propagations
+
+    def finish() -> CheckStats:
+        stats.sat_conflicts = sat.num_conflicts - conflicts_at_start
+        stats.sat_decisions = sat.num_decisions - decisions_at_start
+        stats.sat_propagations = sat.num_propagations - propagations_at_start
+        # The offline loop has no instrumented theory side; charge the whole
+        # wall clock to the SAT column rather than inventing a split.
+        stats.sat_time = time.perf_counter() - started
+        return stats
+
     # The atom table is fixed for the duration of the loop (blocking clauses
     # only reuse existing variables), so the relevant items are computed once.
     if active_atoms is None:
@@ -471,10 +475,9 @@ def _run_offline(
         ]
     for _ in range(max_theory_rounds):
         assignment = sat.solve(assumptions)
-        stats["sat_conflicts"] = sat.num_conflicts
         if assignment is None:
-            return SolverAnswer(SatResult.UNSAT, stats=stats)
-        stats["theory_rounds"] += 1
+            return SolverAnswer(SatResult.UNSAT, stats=finish())
+        stats.theory_rounds += 1
 
         constraints: List[Constraint] = []
         constraint_literal: List[int] = []
@@ -488,7 +491,7 @@ def _run_offline(
 
         if not constraints:
             model, full = _model_from_assignment(assignment, atomizer, {})
-            return SolverAnswer(SatResult.SAT, model=model, stats=stats, full_model=full)
+            return SolverAnswer(SatResult.SAT, model=model, stats=finish(), full_model=full)
 
         lia_result = check_lia(constraints, int_vars)
         if lia_result.status == "sat":
@@ -501,18 +504,20 @@ def _run_offline(
                     for constraint in constraints
                 ), "internal error: LIA model violates chosen constraints"
             model, full = _model_from_assignment(assignment, atomizer, theory_model)
-            return SolverAnswer(SatResult.SAT, model=model, stats=stats, full_model=full)
+            return SolverAnswer(SatResult.SAT, model=model, stats=finish(), full_model=full)
         if lia_result.status == "unknown":
             return SolverAnswer(
-                SatResult.UNKNOWN, reason="integer branch-and-bound budget exhausted", stats=stats
+                SatResult.UNKNOWN,
+                reason="integer branch-and-bound budget exhausted",
+                stats=finish(),
             )
         conflict_indices = lia_result.conflict or set(range(len(constraints)))
         blocking = [-constraint_literal[index] for index in sorted(conflict_indices)]
         if not sat.add_clause(blocking):
-            return SolverAnswer(SatResult.UNSAT, stats=stats)
+            return SolverAnswer(SatResult.UNSAT, stats=finish())
 
     return SolverAnswer(
-        SatResult.UNKNOWN, reason="theory-refinement round budget exhausted", stats=stats
+        SatResult.UNKNOWN, reason="theory-refinement round budget exhausted", stats=finish()
     )
 
 

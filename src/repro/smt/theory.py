@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.smt.atoms import AtomError, LinearAtom, atom_constraint, negate_atom
 from repro.smt.lia import check_lia
+from repro.smt.result import CheckStats
 from repro.smt.simplex import (
     INTERNAL_ORIGIN,
     BacktrackableSimplex,
@@ -95,7 +96,8 @@ class TheorySolver:
         self._rounds = 0
         self._max_rounds = 0
         self.last_model: Optional[Dict[str, Rational]] = None
-        # -- statistics (cumulative; callers snapshot and diff) --------------
+        # -- statistics ------------------------------------------------------
+        # Cumulative lifetime counters (kept for introspection/debugging)...
         self.theory_propagations = 0
         self.partial_checks = 0
         self.final_checks = 0
@@ -103,6 +105,13 @@ class TheorySolver:
         self.explanations = 0
         self.explanation_literals = 0
         self.time_spent = 0.0
+        # ...plus the typed per-check record: zeroed in :meth:`begin_check`,
+        # completed and handed to the caller by :meth:`finish_check`.  This
+        # replaces the old snapshot-and-diff protocol.
+        self.check = CheckStats()
+        self._explanation_sizes: List[int] = []
+        self._pivots_at_begin = 0
+        self._time_at_begin = 0.0
 
     def watched_vars(self) -> Dict[int, LinearAtom]:
         """The live atom-variable mapping (shared; the SAT core filters on it)."""
@@ -122,6 +131,10 @@ class TheorySolver:
         level-0 trail is re-fed by the SAT core under the *current* activity
         mask) but keeps the tableau, slack rows and bound conversions.
         """
+        self.check = CheckStats()
+        self._explanation_sizes = []
+        self._pivots_at_begin = self._simplex.pivots
+        self._time_at_begin = self.time_spent
         started = time.perf_counter()
         self.shrink_to_trail(0)
         self._active = set(active_atoms) if active_atoms is not None else None
@@ -241,6 +254,7 @@ class TheorySolver:
         pending = self.propagation_queue
         self.propagation_queue = []
         self.theory_propagations += len(pending)
+        self.check.theory_propagations += len(pending)
         return pending
 
     def _scan_tightened(self) -> None:
@@ -278,6 +292,7 @@ class TheorySolver:
         started = time.perf_counter()
         try:
             self.partial_checks += 1
+            self.check.partial_checks += 1
             conflict = self._simplex.feasible()
             if conflict is None:
                 return None
@@ -295,6 +310,7 @@ class TheorySolver:
         started = time.perf_counter()
         try:
             self.final_checks += 1
+            self.check.final_checks += 1
             self._bump_round()
             simplex = self._simplex
             # Only variables of currently-asserted atoms matter: stale vars
@@ -358,6 +374,9 @@ class TheorySolver:
             lits = self._shrink(lits)
         self.explanations += 1
         self.explanation_literals += len(lits)
+        self.check.explanations += 1
+        self.check.explanation_literals += len(lits)
+        self._explanation_sizes.append(len(lits))
         return lits
 
     def _shrink(self, lits: List[int]) -> List[int]:
@@ -374,6 +393,7 @@ class TheorySolver:
                 break
             trial = [constraints[other] for other in essential if other != lit]
             self.core_shrink_rounds += 1
+            self.check.core_shrink_rounds += 1
             result = check_lia(trial, self._int_vars, max_nodes=SHRINK_NODE_BUDGET)
             if result.status == "unsat":
                 essential.remove(lit)
@@ -404,16 +424,21 @@ class TheorySolver:
             model[name].denominator == 1 for name in self._int_vars if name in model
         )
 
-    def stats_snapshot(self) -> Dict[str, float]:
-        return {
-            "theory_propagations": self.theory_propagations,
-            "partial_checks": self.partial_checks,
-            "final_checks": self.final_checks,
-            "core_shrink_rounds": self.core_shrink_rounds,
-            "explanations": self.explanations,
-            "explanation_literals": self.explanation_literals,
-            "theory_time": self.time_spent,
-        }
+    def finish_check(self) -> CheckStats:
+        """Complete and return the per-check record armed by :meth:`begin_check`.
+
+        Fills in the fields only known at the end of a check: the simplex
+        pivot delta (the :mod:`repro.smt.simplex` tableau counts pivots
+        cumulatively across its lifetime), the theory-time delta, the
+        explanation-size trace, and the derived round count (final checks
+        plus conflict explanations, matching the historical definition).
+        """
+        check = self.check
+        check.simplex_pivots = self._simplex.pivots_since(self._pivots_at_begin)
+        check.theory_time = self.time_spent - self._time_at_begin
+        check.explanation_sizes = tuple(self._explanation_sizes)
+        check.theory_rounds = check.final_checks + check.explanations
+        return check
 
 
 def constraint_satisfied(
