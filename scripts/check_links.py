@@ -3,9 +3,15 @@
 
 Scans the given markdown files (default: README.md, ROADMAP.md and
 everything under docs/) for inline links and images, and verifies that
-every *relative* target exists in the repository.  External (http/https)
-links are not fetched — CI must not depend on the network — and pure
-in-page anchors (``#section``) are skipped.
+
+* every *relative* target exists in the repository, and
+* every anchor — in-page (``#section``) or cross-file
+  (``other.md#section``) — resolves to a heading in the target markdown
+  file (GitHub-style slugs: lower-case, punctuation stripped, spaces to
+  hyphens, ``-N`` suffixes for duplicates).
+
+External (http/https) links are not fetched — CI must not depend on the
+network.
 
 Exit status: 0 when every link resolves, 1 otherwise (one line per broken
 link on stderr).
@@ -15,9 +21,19 @@ from __future__ import annotations
 
 import re
 import sys
+from functools import lru_cache
 from pathlib import Path
 
 LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+FENCE = re.compile(r"^(```|~~~)")
+# Markdown decoration stripped before slugification.
+INLINE_CODE = re.compile(r"`([^`]*)`")
+INLINE_LINK = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+EMPHASIS = re.compile(r"(\*\*|__|\*|_)")
+HTML_TAG = re.compile(r"<[^>]+>")
+HTML_ANCHOR = re.compile(r"""<a\s+(?:name|id)=["']([^"']+)["']""")
+SLUG_DROP = re.compile(r"[^\w\- ]")
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -36,6 +52,40 @@ def _label(path: Path) -> str:
         return str(path)
 
 
+def _slugify(heading: str) -> str:
+    """GitHub's anchor algorithm, close enough for our headings."""
+    text = HTML_TAG.sub("", heading)
+    text = INLINE_LINK.sub(r"\1", text)
+    text = INLINE_CODE.sub(r"\1", text)
+    text = EMPHASIS.sub("", text)
+    text = SLUG_DROP.sub("", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+@lru_cache(maxsize=None)
+def _anchors(path: Path) -> frozenset[str]:
+    """Every anchor a markdown file defines: heading slugs plus explicit
+    ``<a name=...>``/``<a id=...>`` HTML anchors (fenced code skipped)."""
+    slugs: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        anchors.update(HTML_ANCHOR.findall(line))
+        match = HEADING.match(line)
+        if match is None:
+            continue
+        slug = _slugify(match.group(2))
+        seen = slugs.get(slug, 0)
+        slugs[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return frozenset(anchors)
+
+
 def check_file(path: Path) -> list[str]:
     errors: list[str] = []
     text = path.read_text(encoding="utf-8")
@@ -43,12 +93,18 @@ def check_file(path: Path) -> list[str]:
         target = match.group(1)
         if target.startswith(("http://", "https://", "mailto:")):
             continue
-        if target.startswith("#"):
-            continue  # in-page anchor
-        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        line = text[: match.start()].count("\n") + 1
+        file_part, _sep, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve() if file_part else path.resolve()
         if not resolved.exists():
-            line = text[: match.start()].count("\n") + 1
             errors.append(f"{_label(path)}:{line}: broken link {target!r}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in _anchors(resolved):
+                errors.append(
+                    f"{_label(path)}:{line}: broken anchor {target!r} "
+                    f"(no heading '#{anchor}' in {_label(resolved)})"
+                )
     return errors
 
 

@@ -1,0 +1,308 @@
+"""Bounded job queue with deduplication, quotas and graceful drain.
+
+The queue owns the daemon's verification work: admitted jobs wait in FIFO
+order, ``workers`` asyncio worker tasks pull them and run the (synchronous,
+CPU-bound) :func:`repro.service.api.verify_job` on a thread-pool executor
+against the daemon's single warm :class:`~repro.service.session.VerifySession`.
+Everything that makes the session fast across requests — interned terms,
+the SMT answer cache, the content-addressed function-result cache — stays
+alive between jobs, which is the entire point of the daemon.
+
+Admission control happens at submit time, on the event-loop thread:
+
+* **deduplication** — a submission whose content key (see
+  :meth:`repro.daemon.protocol.JobRequest.content_key`) matches a retained
+  job returns that job's record unchanged, whatever its state;
+* **queue bound** — more than ``queue_limit`` waiting jobs raises
+  :class:`QueueFull` (HTTP 503);
+* **quotas** — each tenant holds at most its quota of active jobs
+  (:class:`repro.daemon.quotas.TenantQuotas`, HTTP 429).
+
+A job that outlives ``job_timeout`` is *failed* with a structured
+``TIMEOUT`` payload and its quota slot released; the executor thread keeps
+running to completion in the background (Python threads cannot be killed),
+which is why the executor is sized with slack over ``workers``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.obs.metrics import REQUEST_LATENCY_BUCKETS
+
+from repro.daemon.protocol import JobRecord, JobRequest, error_payload, job_id_for
+from repro.daemon.quotas import QuotaExceeded, TenantQuotas
+
+__all__ = ["JobQueue", "QueueFull", "QuotaExceeded"]
+
+
+class QueueFull(Exception):
+    """The backlog of waiting jobs is at its bound (HTTP 503)."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"job queue is full ({limit} waiting jobs)")
+        self.limit = limit
+
+
+class JobQueue:
+    """FIFO verification queue bound to one warm session.
+
+    Not thread-safe by itself: ``submit``/``get`` must run on the event-loop
+    thread (the HTTP handlers do).  Verification itself runs on executor
+    threads; only its *result* is written back on the loop.
+    """
+
+    def __init__(
+        self,
+        session,
+        *,
+        workers: int = 1,
+        queue_limit: int = 64,
+        quotas: Optional[TenantQuotas] = None,
+        job_timeout: Optional[float] = None,
+        retention: int = 512,
+    ) -> None:
+        self.session = session
+        self.workers = max(0, int(workers))
+        self.queue_limit = max(1, int(queue_limit))
+        self.quotas = quotas or TenantQuotas()
+        self.job_timeout = job_timeout
+        self.retention = max(1, int(retention))
+        self._pending: Deque[JobRecord] = deque()
+        self._records: "OrderedDict[str, JobRecord]" = OrderedDict()
+        self._by_key: Dict[str, str] = {}
+        self._sequence = 0
+        self._running = 0
+        self._accepting = True
+        self._stopping = False
+        self._wakeup: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
+        self._tasks: list = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # -- metrics helpers ---------------------------------------------------------
+
+    @property
+    def _registry(self):
+        return self.session.obs.registry
+
+    def _counter(self, name: str, help: str):
+        return self._registry.counter(name, help=help)
+
+    def _update_gauges(self) -> None:
+        self._registry.gauge(
+            "daemon.queue.depth", help="jobs waiting in the queue"
+        ).set(len(self._pending))
+        self._registry.gauge(
+            "daemon.jobs.running", help="jobs currently verifying"
+        ).set(self._running)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker tasks on the running loop (call from the loop)."""
+        self._wakeup = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        # Slack beyond ``workers`` keeps the pool responsive when a
+        # timed-out job's thread is still finishing in the background.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers + 2, thread_name_prefix="repro-daemon"
+        )
+        self._tasks = [
+            asyncio.get_running_loop().create_task(self._worker_loop())
+            for _ in range(self.workers)
+        ]
+
+    async def stop(self) -> None:
+        """Stop the workers (does not wait for a drain; see :meth:`drain`)."""
+        self._stopping = True
+        self._accepting = False
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+            self._tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    def stop_accepting(self) -> None:
+        self._accepting = False
+
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    @property
+    def depth(self) -> int:
+        return len(self._pending)
+
+    @property
+    def running(self) -> int:
+        return self._running
+
+    @property
+    def active(self) -> int:
+        return len(self._pending) + self._running
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting and wait until every admitted job finished.
+
+        Returns ``True`` when the queue drained, ``False`` on timeout (the
+        remaining jobs keep running; the caller decides what to report).
+        """
+        self._accepting = False
+        if self._idle is None:
+            return True
+        if self.active == 0:
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    # -- admission ---------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        return self._records.get(job_id)
+
+    def submit(self, request: JobRequest) -> Tuple[JobRecord, bool]:
+        """Admit a request; returns ``(record, deduplicated)``.
+
+        Raises :class:`QueueFull`, :class:`QuotaExceeded`, or
+        :class:`RuntimeError` when the queue no longer accepts work.
+        """
+        key = request.content_key()
+        existing_id = self._by_key.get(key)
+        if existing_id is not None:
+            record = self._records.get(existing_id)
+            if record is not None:
+                record.duplicates += 1
+                self._counter(
+                    "daemon.jobs.deduped",
+                    "submissions folded into an existing job",
+                ).inc()
+                return record, True
+            self._by_key.pop(key, None)
+        if not self._accepting:
+            raise RuntimeError("daemon is shutting down")
+        if len(self._pending) >= self.queue_limit:
+            self._counter(
+                "daemon.jobs.queue_rejections", "submissions rejected: queue full"
+            ).inc()
+            raise QueueFull(self.queue_limit)
+        try:
+            self.quotas.acquire(request.tenant)
+        except QuotaExceeded:
+            self._counter(
+                "daemon.jobs.quota_rejections", "submissions rejected: tenant quota"
+            ).inc()
+            raise
+        self._sequence += 1
+        record = JobRecord(
+            id=job_id_for(key, self._sequence),
+            request=request,
+            state="queued",
+            submitted=time.time(),
+            sequence=self._sequence,
+        )
+        record.meta["key"] = key
+        self._records[record.id] = record
+        self._by_key[key] = record.id
+        self._pending.append(record)
+        self._counter("daemon.jobs.submitted", "jobs admitted to the queue").inc()
+        if self._idle is not None:
+            self._idle.clear()
+        if self._wakeup is not None:
+            self._wakeup.set()
+        self._update_gauges()
+        self._evict()
+        return record, False
+
+    def _evict(self) -> None:
+        """Drop the oldest *finished* records beyond the retention window."""
+        excess = len(self._records) - self.retention
+        if excess <= 0:
+            return
+        for job_id in [jid for jid, rec in self._records.items() if not rec.active]:
+            if excess <= 0:
+                break
+            record = self._records.pop(job_id)
+            self._by_key.pop(record.meta.get("key", ""), None)
+            excess -= 1
+
+    # -- execution ---------------------------------------------------------------
+
+    def _verify_sync(self, record: JobRecord) -> Dict[str, object]:
+        """Runs on an executor thread; the session context is installed by
+        ``verify_job`` itself (ContextVars are per-thread-of-execution)."""
+        from repro.service.api import VerifyJob, verify_job
+
+        request = record.request
+        job = VerifyJob(
+            source=request.source,
+            name=request.name,
+            extra_sources=request.extra_sources,
+            only=request.only,
+        )
+        return verify_job(job, self.session).to_dict()
+
+    async def _worker_loop(self) -> None:
+        assert self._wakeup is not None
+        while True:
+            if self._pending:
+                record = self._pending.popleft()
+                await self._run(record)
+                continue
+            if self._stopping:
+                return
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
+    async def _run(self, record: JobRecord) -> None:
+        record.state = "running"
+        record.started = time.time()
+        self._running += 1
+        self._update_gauges()
+        loop = asyncio.get_running_loop()
+        assert self._executor is not None
+        try:
+            record.report = await asyncio.wait_for(
+                loop.run_in_executor(self._executor, self._verify_sync, record),
+                timeout=self.job_timeout,
+            )
+            record.state = "done"
+            self._counter("daemon.jobs.completed", "jobs verified to completion").inc()
+        except asyncio.TimeoutError:
+            record.state = "failed"
+            record.error = error_payload(
+                "TIMEOUT",
+                f"job exceeded the {self.job_timeout}s verification budget",
+                job=record.id,
+            )["error"]
+            self._counter("daemon.jobs.timeouts", "jobs failed by timeout").inc()
+        except Exception as exc:  # noqa: BLE001 — the record carries the error
+            record.state = "failed"
+            record.error = error_payload(
+                "INTERNAL", f"{type(exc).__name__}: {exc}", job=record.id
+            )["error"]
+            self._counter("daemon.jobs.failed", "jobs failed by internal error").inc()
+        finally:
+            record.finished = time.time()
+            self._running -= 1
+            self.quotas.release(record.request.tenant)
+            self._registry.histogram(
+                "daemon.job_seconds",
+                REQUEST_LATENCY_BUCKETS,
+                help="wall-clock seconds per job, admission to completion",
+                unit="seconds",
+            ).observe(record.finished - record.submitted)
+            self._update_gauges()
+            if self._idle is not None and self.active == 0:
+                self._idle.set()

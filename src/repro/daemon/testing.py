@@ -1,0 +1,64 @@
+"""In-process daemon harness for tests, doctests and the smoke script.
+
+:func:`run_daemon` starts a :class:`~repro.daemon.server.VerifyDaemon` on
+an ephemeral port in a background thread, yields a handle with the base
+URL, and tears it down gracefully (stop admitting, drain, stop) on exit —
+so a doctest can exercise the real HTTP surface without fixtures or
+subprocesses.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.daemon.server import DaemonConfig, VerifyDaemon
+
+__all__ = ["DaemonHandle", "run_daemon"]
+
+
+@dataclass
+class DaemonHandle:
+    """A running in-process daemon: its URL plus the live objects."""
+
+    daemon: VerifyDaemon
+    thread: threading.Thread
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.daemon.config.host}:{self.daemon.port}"
+
+    def stop(self, join_timeout: float = 30.0) -> None:
+        self.daemon.request_shutdown()
+        self.thread.join(timeout=join_timeout)
+
+
+@contextmanager
+def run_daemon(
+    config: Optional[DaemonConfig] = None, **overrides: object
+) -> Iterator[DaemonHandle]:
+    """Start a daemon on port 0 in a daemon thread; yield its handle.
+
+    Keyword overrides are applied onto a default :class:`DaemonConfig`
+    (``run_daemon(workers=0, tenant_quota=1)``); graceful shutdown —
+    including the in-flight drain — runs on exit.
+    """
+    if config is None:
+        config = DaemonConfig(port=0, **overrides)  # type: ignore[arg-type]
+    elif overrides:
+        raise TypeError("pass either a config or keyword overrides, not both")
+    daemon = VerifyDaemon(config)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=daemon.run, kwargs={"ready": ready}, name="repro-daemon", daemon=True
+    )
+    thread.start()
+    if not ready.wait(timeout=30.0):
+        raise RuntimeError("daemon failed to start within 30s")
+    handle = DaemonHandle(daemon=daemon, thread=thread)
+    try:
+        yield handle
+    finally:
+        handle.stop()

@@ -40,6 +40,7 @@ from repro.obs.metrics import (
     EXPLANATION_SIZE_BUCKETS,
     LATENCY_BUCKETS_SECONDS,
     PIVOT_BUCKETS,
+    REQUEST_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -60,6 +61,7 @@ __all__ = [
     "MetricsRegistry",
     "ObsContext",
     "PIVOT_BUCKETS",
+    "REQUEST_LATENCY_BUCKETS",
     "Tracer",
     "current_obs",
     "events",

@@ -47,6 +47,14 @@ EXPLANATION_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32,
 #: tableau and pivot a handful of times; from-scratch checks go far higher.
 PIVOT_BUCKETS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
+#: Daemon request/job latency buckets in seconds.  HTTP handling and warm
+#: cache-served jobs live in the millisecond range; cold verification of a
+#: slow Table-1 program reaches tens of seconds (see ``repro.daemon``).
+REQUEST_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0,
+)
+
 
 class MetricError(ValueError):
     """A metric was re-registered at a different kind or bucket layout."""

@@ -16,6 +16,14 @@ Examples
     python -m repro --jobs 2 --trace-out trace.json --metrics-out metrics.prom a.rs
     python -m repro --stats program.rs
     echo 'fn main() {}' | python -m repro -
+    python -m repro serve --port 7341 --cache-dir /var/cache/repro
+    python -m repro --server http://127.0.0.1:7341 program.rs
+
+``serve`` starts the persistent verification daemon (warm solver state,
+job queue, ``/metrics``; see ``docs/daemon.md``).  ``--server URL`` makes
+the CLI a thin client of a running daemon and **falls back to in-process
+verification** when no daemon answers, so scripts can opportunistically
+use a warm daemon without depending on one.
 
 ``--explain`` switches the output to rustc-style caret snippets: each
 failed obligation points at the offending source expression, names the
@@ -123,7 +131,114 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the structured solver event log and write it as JSON "
         "to PATH",
     )
+    parser.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="verify through a running daemon (python -m repro serve) at "
+        "URL; falls back to in-process verification when unreachable",
+    )
+    parser.add_argument(
+        "--tenant",
+        default=None,
+        metavar="NAME",
+        help="tenant name for daemon quota accounting (with --server)",
+    )
     return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Start the persistent verification daemon "
+        "(warm solver state, job queue, Prometheus /metrics; "
+        "see docs/daemon.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=7341, help="bind port (0 = ephemeral)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent verification jobs (default: 1)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max waiting jobs before submissions get HTTP 503 (default: 64)",
+    )
+    parser.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max active jobs per tenant, 0 = unlimited (default: 8)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="per-job verification budget, 0 = unbounded (default: 120)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="graceful-shutdown drain budget (default: 60)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the function-result cache under DIR (survives restarts)",
+    )
+    parser.add_argument(
+        "--session-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="per-job scheduler parallelism inside the warm session",
+    )
+    parser.add_argument(
+        "--retention",
+        type=int,
+        default=512,
+        metavar="N",
+        help="finished job records kept for GET /jobs/<id> (default: 512)",
+    )
+    return parser
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro serve`` — run the daemon until SIGINT/SIGTERM."""
+    args = build_serve_parser().parse_args(argv)
+    from repro.daemon.server import DaemonConfig, run_daemon
+
+    config = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        tenant_quota=args.tenant_quota,
+        job_timeout=args.job_timeout if args.job_timeout > 0 else None,
+        drain_timeout=args.drain_timeout if args.drain_timeout > 0 else None,
+        cache_dir=args.cache_dir,
+        session_jobs=args.session_jobs,
+        retention=args.retention,
+    )
+    print(
+        f"repro daemon listening on http://{config.host}:{config.port} "
+        f"(workers={config.workers}, queue_limit={config.queue_limit}, "
+        f"tenant_quota={config.tenant_quota})",
+        file=sys.stderr,
+    )
+    run_daemon(config)
+    return 0
 
 
 def _read_source(path: str) -> str:
@@ -133,7 +248,77 @@ def _read_source(path: str) -> str:
         return handle.read()
 
 
+def _run_via_server(args, jobs: List[VerifyJob]) -> int:
+    """Thin-client mode: post every job to the daemon and render its reports.
+
+    Raises :class:`repro.daemon.client.DaemonUnavailable` (caught by
+    ``main`` for the in-process fallback) when no daemon answers.
+    """
+    import time as _time
+
+    from repro.daemon import client
+
+    started = _time.perf_counter()
+    job_dicts: List[dict] = []
+    ok = True
+    for job in jobs:
+        record = client.verify(
+            args.server,
+            job.source,
+            name=job.name,
+            extra_sources=job.extra_sources,
+            only=job.only,
+            tenant=args.tenant,
+        )
+        if record.get("state") == "failed":
+            error = record.get("error", {})
+            job_dicts.append(
+                {
+                    "name": job.name,
+                    "ok": False,
+                    "time": record.get("elapsed", 0.0),
+                    "cache_hits": 0,
+                    "cache_misses": 0,
+                    "functions": [],
+                    "error": f"{error.get('kind', 'INTERNAL')}: "
+                    f"{error.get('message', 'daemon job failed')}",
+                }
+            )
+            ok = False
+        else:
+            report = record["report"]
+            job_dicts.append(report)
+            ok = ok and bool(report.get("ok"))
+    payload = {
+        "ok": ok,
+        "time": round(_time.perf_counter() - started, 6),
+        "server": args.server,
+        "jobs": job_dicts,
+    }
+    if args.summary:
+        for job in job_dicts:
+            status = "ok" if job.get("ok") else "FAILED"
+            print(f"{job['name']}: {status} ({job.get('cache_hits', 0)} cached, "
+                  f"{job.get('time', 0.0):.2f}s)")
+            if job.get("error"):
+                print(f"  error: {job['error']}")
+            for fn in job.get("functions", ()):
+                marker = "*" if fn.get("cached") else " "
+                print(f"  {marker} {fn['name']:32s} {fn['status']:8s} "
+                      f"{fn.get('time', 0.0):6.3f}s")
+                for diagnostic in fn.get("diagnostics", ()):
+                    print(f"      {diagnostic}")
+    else:
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    return 0 if ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     only = tuple(name.strip() for name in args.only.split(",")) if args.only else None
     try:
@@ -147,6 +332,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+    if args.server:
+        from repro.daemon.client import DaemonError, DaemonUnavailable
+
+        local_only = [
+            flag
+            for flag, value in (
+                ("--explain", args.explain),
+                ("--stats", args.stats),
+                ("--trace-out", args.trace_out),
+                ("--metrics-out", args.metrics_out),
+                ("--events-out", args.events_out),
+            )
+            if value
+        ]
+        if local_only:
+            print(
+                f"warning: {', '.join(local_only)} need in-process state; "
+                "ignoring --server and verifying locally",
+                file=sys.stderr,
+            )
+        else:
+            try:
+                return _run_via_server(args, jobs)
+            except DaemonUnavailable as error:
+                print(
+                    f"warning: {error}; falling back to in-process verification",
+                    file=sys.stderr,
+                )
+            except DaemonError as error:
+                print(f"error: daemon refused the job — {error}", file=sys.stderr)
+                return 2
 
     session = VerifySession(
         cache_dir=args.cache_dir,

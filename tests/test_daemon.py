@@ -1,0 +1,275 @@
+"""The verification daemon: protocol, queue/quota edge cases, HTTP surface,
+graceful drain, and the CLI thin-client fallback."""
+
+import json
+
+import pytest
+
+from repro.daemon import client
+from repro.daemon.protocol import DEFAULT_TENANT, JobRequest, ProtocolError, error_payload
+from repro.daemon.quotas import QuotaExceeded, TenantQuotas
+from repro.daemon.testing import run_daemon
+from repro.service.cli import main as cli_main
+
+INC = """
+#[flux::sig(fn(i32[@x]) -> i32{v: v > x})]
+fn inc(x: i32) -> i32 { x + 1 }
+"""
+
+BAD = """
+#[flux::sig(fn(i32[@x]) -> i32[x])]
+fn bad(x: i32) -> i32 { x + 1 }
+"""
+
+FILL = """
+#[flux::sig(fn(usize[@n]) -> usize[n])]
+fn fill_len(n: usize) -> usize {
+    let mut v = RVec::new();
+    let mut i = 0;
+    while i < n {
+        v.push(i);
+        i += 1;
+    }
+    v.len()
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Protocol units
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_request_roundtrip(self):
+        request = JobRequest.from_dict(
+            {"source": INC, "name": "n", "extra_sources": ["lib"], "only": ["inc"]}
+        )
+        assert request.tenant == DEFAULT_TENANT
+        again = JobRequest.from_dict(request.to_dict())
+        assert again == request
+
+    def test_validation_errors(self):
+        with pytest.raises(ProtocolError):
+            JobRequest.from_dict([])
+        with pytest.raises(ProtocolError):
+            JobRequest.from_dict({})
+        with pytest.raises(ProtocolError):
+            JobRequest.from_dict({"source": ""})
+        with pytest.raises(ProtocolError):
+            JobRequest.from_dict({"source": INC, "only": "inc"})
+        with pytest.raises(ProtocolError):
+            JobRequest.from_dict({"source": INC, "bogus": 1})
+
+    def test_content_key_identity(self):
+        a = JobRequest(source=INC, name="a")
+        assert a.content_key() == JobRequest(source=INC, name="a").content_key()
+        # Any content-bearing field participates in the key.
+        assert a.content_key() != JobRequest(source=BAD, name="a").content_key()
+        assert a.content_key() != JobRequest(source=INC, name="b").content_key()
+        assert a.content_key() != JobRequest(source=INC, name="a", tenant="t").content_key()
+        assert (
+            a.content_key()
+            != JobRequest(source=INC, name="a", only=("inc",)).content_key()
+        )
+
+    def test_error_payload_shape(self):
+        payload = error_payload("TIMEOUT", "too slow", job="job-1")
+        assert payload == {
+            "error": {"kind": "TIMEOUT", "message": "too slow", "detail": {"job": "job-1"}}
+        }
+
+
+class TestQuotas:
+    def test_limits_and_release(self):
+        quotas = TenantQuotas(default_limit=2, limits={"big": 0})
+        quotas.acquire("a")
+        quotas.acquire("a")
+        with pytest.raises(QuotaExceeded) as excinfo:
+            quotas.acquire("a")
+        assert excinfo.value.tenant == "a"
+        assert excinfo.value.limit == 2
+        quotas.release("a")
+        quotas.acquire("a")  # slot freed
+        for _ in range(10):  # limit 0 means unlimited
+            quotas.acquire("big")
+        assert quotas.snapshot() == {"a": 2, "big": 10}
+
+
+# ---------------------------------------------------------------------------
+# End-to-end over HTTP
+# ---------------------------------------------------------------------------
+
+
+class TestDaemonEndToEnd:
+    def test_verify_ok_and_failing(self):
+        with run_daemon() as daemon:
+            ok = client.verify(daemon.url, INC, name="good")
+            assert ok["state"] == "done"
+            assert ok["report"]["ok"] is True
+            assert [fn["status"] for fn in ok["report"]["functions"]] == ["ok"]
+
+            bad = client.verify(daemon.url, BAD, name="bad")
+            assert bad["state"] == "done"  # verification *ran*; verdict is False
+            assert bad["report"]["ok"] is False
+            assert bad["report"]["functions"][0]["diagnostics"]
+
+    def test_duplicate_submission_returns_same_job_id(self):
+        with run_daemon() as daemon:
+            first = client.submit(daemon.url, INC, name="dup")
+            record = client.wait(daemon.url, first)
+            assert record["state"] == "done"
+            # Resubmitting identical content — even after completion —
+            # attaches to the original job instead of re-verifying.
+            second = client.submit(daemon.url, INC, name="dup")
+            assert second == first
+            assert client.status(daemon.url, first)["duplicates"] == 1
+            # Different name (or tenant, or sources) is a different job.
+            third = client.submit(daemon.url, INC, name="dup2")
+            assert third != first
+
+    def test_quota_exceeded_is_structured_429(self):
+        with run_daemon(workers=0, tenant_quota=1, drain_timeout=0.2) as daemon:
+            client.submit(daemon.url, INC, name="first", tenant="acme")
+            with pytest.raises(client.DaemonError) as excinfo:
+                client.submit(daemon.url, BAD, name="second", tenant="acme")
+            assert excinfo.value.http_status == 429
+            assert excinfo.value.kind == "QUOTA_EXCEEDED"
+            assert excinfo.value.detail["tenant"] == "acme"
+            assert excinfo.value.detail["limit"] == 1
+            # Another tenant still has its own quota.
+            other = client.submit(daemon.url, BAD, name="second", tenant="other")
+            assert other
+
+    def test_queue_full_is_structured_503(self):
+        with run_daemon(
+            workers=0, queue_limit=1, tenant_quota=0, drain_timeout=0.2
+        ) as daemon:
+            client.submit(daemon.url, INC, name="first")
+            with pytest.raises(client.DaemonError) as excinfo:
+                client.submit(daemon.url, BAD, name="second")
+            assert excinfo.value.http_status == 503
+            assert excinfo.value.kind == "QUEUE_FULL"
+
+    def test_job_timeout_is_structured_failure(self):
+        with run_daemon(job_timeout=1e-6, drain_timeout=5.0) as daemon:
+            job_id = client.submit(daemon.url, FILL, name="slow")
+            record = client.wait(daemon.url, job_id)
+            assert record["state"] == "failed"
+            assert record["error"]["kind"] == "TIMEOUT"
+            assert "report" not in record
+
+    def test_unknown_job_is_404(self):
+        with run_daemon() as daemon:
+            with pytest.raises(client.DaemonError) as excinfo:
+                client.status(daemon.url, "job-999999-cafebabe")
+            assert excinfo.value.http_status == 404
+            assert excinfo.value.kind == "NOT_FOUND"
+
+    def test_bad_request_is_400(self):
+        with run_daemon() as daemon:
+            with pytest.raises(client.DaemonError) as excinfo:
+                client._request(daemon.url, "/verify", payload={"name": "no-source"})
+            assert excinfo.value.http_status == 400
+            assert excinfo.value.kind == "BAD_REQUEST"
+            with pytest.raises(client.DaemonError) as excinfo:
+                client._request(daemon.url, "/nope", payload=None)
+            assert excinfo.value.http_status == 404
+
+    def test_draining_daemon_refuses_new_work(self):
+        with run_daemon() as daemon:
+            daemon.daemon.queue.stop_accepting()
+            with pytest.raises(client.DaemonError) as excinfo:
+                client.submit(daemon.url, INC, name="late")
+            assert excinfo.value.http_status == 503
+            assert excinfo.value.kind == "SHUTTING_DOWN"
+
+    def test_healthz_and_metrics(self):
+        with run_daemon() as daemon:
+            health = client.healthz(daemon.url)
+            assert health["ok"] is True
+            assert health["state"] == "serving"
+            assert health["queue"]["workers"] == 1
+
+            client.verify(daemon.url, INC, name="warm")
+            exposition = client.metrics(daemon.url)
+            assert "repro_daemon_jobs_submitted_total 1" in exposition
+            assert "repro_daemon_sessions_warm 1" in exposition
+            assert "repro_daemon_queue_depth" in exposition
+            assert "repro_daemon_cache_hit_ratio" in exposition
+            # Solver counters from the warm session ride the same registry.
+            assert "repro_smt_queries_" in exposition
+
+    def test_shutdown_drains_in_flight_jobs(self):
+        with run_daemon() as daemon:
+            job_id = client.submit(daemon.url, FILL, name="inflight")
+            handle = daemon
+        # The context manager exit above performed the graceful shutdown;
+        # the submitted job must have been drained to completion, not lost.
+        record = handle.daemon.queue.get(job_id)
+        assert record is not None
+        assert record.state == "done"
+        assert record.report is not None and record.report["ok"] is True
+        assert handle.daemon.state == "stopped"
+
+    def test_warm_session_serves_repeat_from_cache(self):
+        with run_daemon() as daemon:
+            first = client.verify(daemon.url, INC, name="one")
+            assert first["report"]["cache_misses"] == 1
+            # Same program under a different job name: re-verified through
+            # the warm session, served by the function-result cache.
+            second = client.verify(daemon.url, INC, name="two")
+            assert second["report"]["cache_hits"] == 1
+            assert second["report"]["cache_misses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# CLI thin client
+# ---------------------------------------------------------------------------
+
+
+class TestCliClient:
+    def test_cli_uses_server_when_available(self, tmp_path, capsys):
+        source_path = tmp_path / "inc.rs"
+        source_path.write_text(INC)
+        with run_daemon() as daemon:
+            status = cli_main(["--server", daemon.url, str(source_path)])
+            assert status == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["ok"] is True
+            assert payload["server"] == daemon.url
+            assert payload["jobs"][0]["functions"][0]["name"] == "inc"
+
+    def test_cli_falls_back_when_no_daemon_listens(self, tmp_path, capsys):
+        source_path = tmp_path / "inc.rs"
+        source_path.write_text(INC)
+        # Port 1 is never listening; the CLI must fall back in-process.
+        status = cli_main(
+            ["--server", "http://127.0.0.1:1", "--no-cache", str(source_path)]
+        )
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "falling back to in-process verification" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["ok"] is True
+        assert "server" not in payload  # the in-process report shape
+
+    def test_cli_reports_failing_program_through_server(self, tmp_path, capsys):
+        source_path = tmp_path / "bad.rs"
+        source_path.write_text(BAD)
+        with run_daemon() as daemon:
+            status = cli_main(["--server", daemon.url, str(source_path)])
+            assert status == 1
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["ok"] is False
+
+    def test_cli_local_only_flags_bypass_server(self, tmp_path, capsys):
+        source_path = tmp_path / "inc.rs"
+        source_path.write_text(INC)
+        status = cli_main(
+            ["--server", "http://127.0.0.1:1", "--no-cache", "--stats", str(source_path)]
+        )
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "--stats" in captured.err  # warned about local-only flag
+        assert "session metrics" in captured.out
