@@ -5,11 +5,15 @@ through these helpers; they use only the standard library
 (:mod:`urllib.request`) and raise typed errors:
 
 * :class:`DaemonUnavailable` — nothing is listening (connection refused,
-  DNS failure, socket timeout).  ``python -m repro --server URL`` catches
-  exactly this to fall back to in-process verification.
+  DNS failure).  ``python -m repro --server URL`` catches exactly this to
+  fall back to in-process verification.
 * :class:`DaemonError` — the daemon answered with a structured error
   payload (quota exceeded, queue full, bad request, ...); ``kind`` and
-  ``status`` carry the machine-readable identity.
+  ``status`` carry the machine-readable identity.  A *socket timeout* is
+  a ``DaemonError`` with kind ``TIMEOUT``, not unavailability: a slow
+  scrape or status poll means the daemon is busy, not absent — the job
+  may well still be running server-side, so falling back to in-process
+  verification would duplicate work.  Retry instead.
 
 Runnable example — start a private daemon, submit, and wait:
 
@@ -111,9 +115,22 @@ def _request(
             ) from None
         except (json.JSONDecodeError, KeyError, TypeError):
             raise DaemonError("INTERNAL", raw or str(error), http_status=error.code) from None
-    except (urllib.error.URLError, ConnectionError, socket.timeout, OSError) as error:
+    except urllib.error.URLError as error:
         reason = getattr(error, "reason", error)
+        if isinstance(reason, (TimeoutError, socket.timeout)):
+            raise DaemonError(
+                "TIMEOUT", f"no response from {url} within {timeout}s"
+            ) from None
         raise DaemonUnavailable(server, str(reason)) from None
+    except (TimeoutError, socket.timeout):
+        # The connection succeeded but the response is slow: the daemon is
+        # alive (and possibly still working on our job) — retryable, not
+        # grounds for the in-process fallback.
+        raise DaemonError(
+            "TIMEOUT", f"no response from {url} within {timeout}s"
+        ) from None
+    except (ConnectionError, OSError) as error:
+        raise DaemonUnavailable(server, str(error)) from None
     if content_type.startswith("application/json"):
         return json.loads(body)
     return body

@@ -31,6 +31,7 @@ JOB_STATES = ("queued", "running", "done", "failed")
 ERROR_KINDS = (
     "BAD_REQUEST",
     "NOT_FOUND",
+    "OVERLOADED",
     "PAYLOAD_TOO_LARGE",
     "QUEUE_FULL",
     "QUOTA_EXCEEDED",

@@ -2,17 +2,25 @@
 
 The queue owns the daemon's verification work: admitted jobs wait in FIFO
 order, ``workers`` asyncio worker tasks pull them and run the (synchronous,
-CPU-bound) :func:`repro.service.api.verify_job` on a thread-pool executor
-against the daemon's single warm :class:`~repro.service.session.VerifySession`.
-Everything that makes the session fast across requests — interned terms,
-the SMT answer cache, the content-addressed function-result cache — stays
-alive between jobs, which is the entire point of the daemon.
+CPU-bound) :func:`repro.service.api.verify_job` on a thread-pool executor.
+Each job checks a warm :class:`~repro.service.session.VerifySession` out of
+the daemon's :class:`~repro.daemon.sessions.SessionPool` for its duration —
+sessions are never shared between concurrently running jobs, because a
+session's SMT answer cache, result cache and registry are only safe under
+a single mutating thread.  Everything that makes a session fast across
+requests — interned terms, the SMT answer cache, the content-addressed
+function-result cache — stays alive between the jobs it serves, which is
+the entire point of the daemon.
 
 Admission control happens at submit time, on the event-loop thread:
 
 * **deduplication** — a submission whose content key (see
   :meth:`repro.daemon.protocol.JobRequest.content_key`) matches a retained
-  job returns that job's record unchanged, whatever its state;
+  *queued, running or done* job returns that job's record unchanged.  A
+  matched **failed** record (timeout, internal error) does *not* absorb the
+  submission: the stale failure is unlinked and the job is re-admitted, so
+  one transient failure never makes content unverifiable for the lifetime
+  of the retention window;
 * **queue bound** — more than ``queue_limit`` waiting jobs raises
   :class:`QueueFull` (HTTP 503);
 * **quotas** — each tenant holds at most its quota of active jobs
@@ -20,8 +28,14 @@ Admission control happens at submit time, on the event-loop thread:
 
 A job that outlives ``job_timeout`` is *failed* with a structured
 ``TIMEOUT`` payload and its quota slot released; the executor thread keeps
-running to completion in the background (Python threads cannot be killed),
-which is why the executor is sized with slack over ``workers``.
+running to completion in the background (Python threads cannot be killed).
+Its session is retired from the pool — the orphaned thread keeps mutating
+it, so it must never serve another job — and the pool mints a fresh
+replacement.  The executor carries :data:`ORPHAN_SLACK` spare threads for
+such orphans; if that slack is ever exhausted (``ORPHAN_SLACK`` jobs have
+timed out and are *all still running*), further jobs fail fast with a
+structured ``OVERLOADED`` payload instead of silently queueing inside the
+executor behind threads the gauges cannot see.
 """
 
 from __future__ import annotations
@@ -29,15 +43,21 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import OrderedDict, deque
+from concurrent.futures import Future as ConcurrentFuture
 from concurrent.futures import ThreadPoolExecutor
 from typing import Deque, Dict, Optional, Tuple
 
-from repro.obs.metrics import REQUEST_LATENCY_BUCKETS
+from repro.obs.metrics import REQUEST_LATENCY_BUCKETS, MetricsRegistry
 
 from repro.daemon.protocol import JobRecord, JobRequest, error_payload, job_id_for
 from repro.daemon.quotas import QuotaExceeded, TenantQuotas
+from repro.daemon.sessions import SessionPool
 
-__all__ = ["JobQueue", "QueueFull", "QuotaExceeded"]
+__all__ = ["JobQueue", "QueueFull", "QuotaExceeded", "ORPHAN_SLACK"]
+
+#: Executor threads kept beyond ``workers`` to absorb timed-out jobs whose
+#: threads are still finishing in the background.
+ORPHAN_SLACK = 4
 
 
 class QueueFull(Exception):
@@ -49,24 +69,28 @@ class QueueFull(Exception):
 
 
 class JobQueue:
-    """FIFO verification queue bound to one warm session.
+    """FIFO verification queue over a pool of warm sessions.
 
     Not thread-safe by itself: ``submit``/``get`` must run on the event-loop
     thread (the HTTP handlers do).  Verification itself runs on executor
-    threads; only its *result* is written back on the loop.
+    threads; only its *result* is written back on the loop.  Daemon-level
+    metrics go to ``registry`` — the daemon's own registry, deliberately
+    distinct from the per-session registries the pool aggregates.
     """
 
     def __init__(
         self,
-        session,
+        sessions: SessionPool,
         *,
+        registry: Optional[MetricsRegistry] = None,
         workers: int = 1,
         queue_limit: int = 64,
         quotas: Optional[TenantQuotas] = None,
         job_timeout: Optional[float] = None,
         retention: int = 512,
     ) -> None:
-        self.session = session
+        self.sessions = sessions
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.workers = max(0, int(workers))
         self.queue_limit = max(1, int(queue_limit))
         self.quotas = quotas or TenantQuotas()
@@ -77,6 +101,7 @@ class JobQueue:
         self._by_key: Dict[str, str] = {}
         self._sequence = 0
         self._running = 0
+        self._orphans = 0
         self._accepting = True
         self._stopping = False
         self._wakeup: Optional[asyncio.Event] = None
@@ -86,20 +111,20 @@ class JobQueue:
 
     # -- metrics helpers ---------------------------------------------------------
 
-    @property
-    def _registry(self):
-        return self.session.obs.registry
-
     def _counter(self, name: str, help: str):
-        return self._registry.counter(name, help=help)
+        return self.registry.counter(name, help=help)
 
     def _update_gauges(self) -> None:
-        self._registry.gauge(
+        self.registry.gauge(
             "daemon.queue.depth", help="jobs waiting in the queue"
         ).set(len(self._pending))
-        self._registry.gauge(
+        self.registry.gauge(
             "daemon.jobs.running", help="jobs currently verifying"
         ).set(self._running)
+        self.registry.gauge(
+            "daemon.threads.orphaned",
+            help="timed-out job threads still running in the background",
+        ).set(self._orphans)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -108,10 +133,11 @@ class JobQueue:
         self._wakeup = asyncio.Event()
         self._idle = asyncio.Event()
         self._idle.set()
-        # Slack beyond ``workers`` keeps the pool responsive when a
-        # timed-out job's thread is still finishing in the background.
+        # ORPHAN_SLACK beyond ``workers`` keeps the pool responsive while
+        # timed-out jobs' threads are still finishing in the background.
         self._executor = ThreadPoolExecutor(
-            max_workers=self.workers + 2, thread_name_prefix="repro-daemon"
+            max_workers=self.workers + ORPHAN_SLACK,
+            thread_name_prefix="repro-daemon",
         )
         self._tasks = [
             asyncio.get_running_loop().create_task(self._worker_loop())
@@ -119,9 +145,36 @@ class JobQueue:
         ]
 
     async def stop(self) -> None:
-        """Stop the workers (does not wait for a drain; see :meth:`drain`)."""
+        """Stop the workers, failing the queued backlog with ``SHUTTING_DOWN``.
+
+        Call :meth:`drain` first for a graceful shutdown; ``stop`` is the
+        hard phase — every still-*queued* job is failed immediately (its
+        quota slot released), and each worker exits as soon as its current
+        job completes or times out, so shutdown is bounded by one
+        ``job_timeout``, not by ``queue_limit`` of them.
+        """
         self._stopping = True
         self._accepting = False
+        abandoned = 0
+        while self._pending:
+            record = self._pending.popleft()
+            record.state = "failed"
+            record.error = error_payload(
+                "SHUTTING_DOWN",
+                "daemon shut down before the job ran",
+                job=record.id,
+            )["error"]
+            record.finished = time.time()
+            self.quotas.release(record.request.tenant)
+            abandoned += 1
+        if abandoned:
+            self._counter(
+                "daemon.jobs.abandoned",
+                "queued jobs failed because the daemon shut down",
+            ).inc(abandoned)
+        self._update_gauges()
+        if self._idle is not None and self.active == 0:
+            self._idle.set()
         if self._wakeup is not None:
             self._wakeup.set()
         if self._tasks:
@@ -149,6 +202,11 @@ class JobQueue:
     @property
     def active(self) -> int:
         return len(self._pending) + self._running
+
+    @property
+    def orphans(self) -> int:
+        """Timed-out job threads still running in the background."""
+        return self._orphans
 
     async def drain(self, timeout: Optional[float] = None) -> bool:
         """Stop admitting and wait until every admitted job finished.
@@ -182,14 +240,23 @@ class JobQueue:
         existing_id = self._by_key.get(key)
         if existing_id is not None:
             record = self._records.get(existing_id)
-            if record is not None:
+            if record is not None and record.state != "failed":
                 record.duplicates += 1
                 self._counter(
                     "daemon.jobs.deduped",
                     "submissions folded into an existing job",
                 ).inc()
                 return record, True
+            # A failed record must not absorb resubmissions forever (one
+            # transient timeout would pin the verdict until eviction):
+            # unlink it and admit this submission as a fresh job.  The old
+            # record stays readable under its id until evicted.
             self._by_key.pop(key, None)
+            if record is not None:
+                self._counter(
+                    "daemon.jobs.retried",
+                    "failed jobs re-admitted on resubmission",
+                ).inc()
         if not self._accepting:
             raise RuntimeError("daemon is shutting down")
         if len(self._pending) >= self.queue_limit:
@@ -234,12 +301,15 @@ class JobQueue:
             if excess <= 0:
                 break
             record = self._records.pop(job_id)
-            self._by_key.pop(record.meta.get("key", ""), None)
+            key = record.meta.get("key", "")
+            # A re-admitted job may own this key by now; only unlink our own.
+            if self._by_key.get(key) == job_id:
+                self._by_key.pop(key, None)
             excess -= 1
 
     # -- execution ---------------------------------------------------------------
 
-    def _verify_sync(self, record: JobRecord) -> Dict[str, object]:
+    def _verify_sync(self, record: JobRecord, session) -> Dict[str, object]:
         """Runs on an executor thread; the session context is installed by
         ``verify_job`` itself (ContextVars are per-thread-of-execution)."""
         from repro.service.api import VerifyJob, verify_job
@@ -251,19 +321,31 @@ class JobQueue:
             extra_sources=request.extra_sources,
             only=request.only,
         )
-        return verify_job(job, self.session).to_dict()
+        return verify_job(job, session).to_dict()
 
     async def _worker_loop(self) -> None:
         assert self._wakeup is not None
-        while True:
+        while not self._stopping:
             if self._pending:
                 record = self._pending.popleft()
                 await self._run(record)
                 continue
+            self._wakeup.clear()
             if self._stopping:
                 return
-            self._wakeup.clear()
             await self._wakeup.wait()
+
+    def _fail(self, record: JobRecord, kind: str, message: str, counter: str, help: str) -> None:
+        record.state = "failed"
+        record.error = error_payload(kind, message, job=record.id)["error"]
+        self._counter(counter, help).inc()
+
+    def _orphan_finished(self, session, future: ConcurrentFuture) -> None:
+        """Loop-thread callback: a timed-out job's thread finally ended."""
+        self._orphans -= 1
+        future.exception()  # consume, so it is never logged as unretrieved
+        self.sessions.discard(session)
+        self._update_gauges()
 
     async def _run(self, record: JobRecord) -> None:
         record.state = "running"
@@ -272,32 +354,77 @@ class JobQueue:
         self._update_gauges()
         loop = asyncio.get_running_loop()
         assert self._executor is not None
+        session = None
         try:
-            record.report = await asyncio.wait_for(
-                loop.run_in_executor(self._executor, self._verify_sync, record),
-                timeout=self.job_timeout,
-            )
-            record.state = "done"
-            self._counter("daemon.jobs.completed", "jobs verified to completion").inc()
-        except asyncio.TimeoutError:
-            record.state = "failed"
-            record.error = error_payload(
-                "TIMEOUT",
-                f"job exceeded the {self.job_timeout}s verification budget",
-                job=record.id,
-            )["error"]
-            self._counter("daemon.jobs.timeouts", "jobs failed by timeout").inc()
+            if self._orphans >= ORPHAN_SLACK:
+                # Every spare executor thread is occupied by a timed-out
+                # job; dispatching would queue invisibly inside the pool.
+                self._fail(
+                    record,
+                    "OVERLOADED",
+                    f"{self._orphans} timed-out jobs still occupy executor "
+                    "threads; retry after they finish",
+                    "daemon.jobs.overloaded",
+                    "jobs failed fast: executor exhausted by orphaned threads",
+                )
+                return
+            session = self.sessions.acquire()
+            future = self._executor.submit(self._verify_sync, record, session)
+            wrapped = asyncio.wrap_future(future, loop=loop)
+            try:
+                # shield(): on timeout the *wait* is abandoned, not the
+                # future — we need it alive to learn when the thread ends.
+                record.report = await asyncio.wait_for(
+                    asyncio.shield(wrapped), timeout=self.job_timeout
+                )
+                record.state = "done"
+                self._counter(
+                    "daemon.jobs.completed", "jobs verified to completion"
+                ).inc()
+                self.sessions.release(session)
+            except asyncio.TimeoutError:
+                self._fail(
+                    record,
+                    "TIMEOUT",
+                    f"job exceeded the {self.job_timeout}s verification budget",
+                    "daemon.jobs.timeouts",
+                    "jobs failed by timeout",
+                )
+                # The thread cannot be interrupted: retire its session so no
+                # later job shares state with it, and reclaim the slot when
+                # the thread actually finishes.
+                self._orphans += 1
+                self.sessions.retire(session)
+                self._counter(
+                    "daemon.sessions.retired",
+                    "warm sessions retired after a job timeout",
+                ).inc()
+
+                def _finished(done: ConcurrentFuture, session=session) -> None:
+                    try:
+                        loop.call_soon_threadsafe(
+                            self._orphan_finished, session, done
+                        )
+                    except RuntimeError:
+                        pass  # loop already closed at shutdown
+
+                future.add_done_callback(_finished)
+                wrapped.cancel()  # nobody awaits the wrapper any more
         except Exception as exc:  # noqa: BLE001 — the record carries the error
-            record.state = "failed"
-            record.error = error_payload(
-                "INTERNAL", f"{type(exc).__name__}: {exc}", job=record.id
-            )["error"]
-            self._counter("daemon.jobs.failed", "jobs failed by internal error").inc()
+            self._fail(
+                record,
+                "INTERNAL",
+                f"{type(exc).__name__}: {exc}",
+                "daemon.jobs.failed",
+                "jobs failed by internal error",
+            )
+            if session is not None:
+                self.sessions.release(session)
         finally:
             record.finished = time.time()
             self._running -= 1
             self.quotas.release(record.request.tenant)
-            self._registry.histogram(
+            self.registry.histogram(
                 "daemon.job_seconds",
                 REQUEST_LATENCY_BUCKETS,
                 help="wall-clock seconds per job, admission to completion",

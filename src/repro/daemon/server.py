@@ -1,12 +1,16 @@
 """The verification daemon: a persistent asyncio HTTP/JSON server.
 
-One :class:`VerifyDaemon` owns one warm :class:`~repro.service.session.VerifySession`
-for its whole lifetime — interned terms, the SMT answer cache and the
-content-addressed function-result cache all persist across requests, so a
-re-submitted (or merely re-edited) program verifies from cache instead of
-from scratch.  The HTTP layer is a small hand-rolled HTTP/1.1 responder on
-``asyncio`` streams (no third-party dependencies; one connection per
-request, ``Connection: close``).
+One :class:`VerifyDaemon` owns a :class:`~repro.daemon.sessions.SessionPool`
+of warm :class:`~repro.service.session.VerifySession`\\ s (one per
+concurrent worker) for its whole lifetime — interned terms, the SMT answer
+cache and the content-addressed function-result cache all persist across
+the requests each session serves, so a re-submitted (or merely re-edited)
+program verifies from cache instead of from scratch.  Sessions are never
+shared between concurrently running jobs; a job that times out takes its
+session out of circulation (see :mod:`repro.daemon.sessions`).  The HTTP
+layer is a small hand-rolled HTTP/1.1 responder on ``asyncio`` streams
+(no third-party dependencies; one connection per request,
+``Connection: close``).
 
 Endpoints (full reference with JSON schemas in ``docs/daemon.md``):
 
@@ -33,7 +37,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.obs import span as obs_span
-from repro.obs.metrics import REQUEST_LATENCY_BUCKETS, to_prometheus
+from repro.obs.metrics import (
+    REQUEST_LATENCY_BUCKETS,
+    MetricsRegistry,
+    to_prometheus,
+)
 from repro.service.session import VerifySession
 
 from repro.daemon.protocol import (
@@ -43,6 +51,7 @@ from repro.daemon.protocol import (
 )
 from repro.daemon.queue import JobQueue, QueueFull
 from repro.daemon.quotas import QuotaExceeded, TenantQuotas
+from repro.daemon.sessions import SessionPool
 
 __all__ = ["DaemonConfig", "VerifyDaemon", "run_daemon"]
 
@@ -92,17 +101,26 @@ class DaemonConfig:
 
 
 class VerifyDaemon:
-    """The daemon: warm session + job queue + HTTP front end."""
+    """The daemon: warm session pool + job queue + HTTP front end."""
 
     def __init__(self, config: Optional[DaemonConfig] = None) -> None:
         self.config = config or DaemonConfig()
-        self.session = VerifySession(
-            cache_dir=self.config.cache_dir,
-            jobs=self.config.session_jobs,
-            trace=self.config.trace,
+        # Daemon-level metrics (HTTP traffic, queue gauges, job lifecycle)
+        # live on the daemon's own registry, mutated only from the event
+        # loop; per-session solver metrics stay on each session's registry
+        # and are merged in at scrape time.
+        self.registry = MetricsRegistry()
+        self.sessions = SessionPool(
+            lambda: VerifySession(
+                cache_dir=self.config.cache_dir,
+                jobs=self.config.session_jobs,
+                trace=self.config.trace,
+            ),
+            size=max(1, self.config.workers),
         )
         self.queue = JobQueue(
-            self.session,
+            self.sessions,
+            registry=self.registry,
             workers=self.config.workers,
             queue_limit=self.config.queue_limit,
             quotas=TenantQuotas(
@@ -131,9 +149,9 @@ class VerifyDaemon:
         self.port = server.sockets[0].getsockname()[1]
         self._install_signal_handlers()
         self.state = "serving"
-        self.session.obs.registry.gauge(
+        self.registry.gauge(
             "daemon.sessions.warm", help="live warm verification sessions"
-        ).set(1)
+        ).set(self.sessions.warm)
         if ready is not None:
             ready.set()
         try:
@@ -144,7 +162,7 @@ class VerifyDaemon:
             self.queue.stop_accepting()
             drained = await self.queue.drain(self.config.drain_timeout)
             if not drained:
-                self.session.obs.registry.counter(
+                self.registry.counter(
                     "daemon.drain_timeouts",
                     help="graceful shutdowns that abandoned in-flight jobs",
                 ).inc()
@@ -210,7 +228,7 @@ class VerifyDaemon:
             pass
         finally:
             writer.close()
-            registry = self.session.obs.registry
+            registry = self.registry
             registry.counter(
                 "daemon.http.requests", help="HTTP requests handled"
             ).inc()
@@ -370,30 +388,41 @@ class VerifyDaemon:
         return 200, "application/json", json.dumps(record.to_dict()).encode("utf-8")
 
     def _handle_metrics(self) -> Tuple[int, str, bytes]:
-        registry = self.session.obs.registry
-        # Refresh scrape-time gauges so the exposition reflects *now*.
-        registry.gauge(
+        # One merged exposition: the daemon registry (HTTP/queue series)
+        # plus every live session's registry and absorbed retirees, with
+        # the deterministic merge semantics (counters add, gauges max).
+        merged = MetricsRegistry()
+        merged.merge(self.registry.snapshot())
+        merged.merge(self.sessions.merged_metrics())
+        # Scrape-time gauges overwrite whatever merging carried over, so
+        # the exposition reflects *now*.
+        merged.gauge(
             "daemon.queue.depth", help="jobs waiting in the queue"
         ).set(self.queue.depth)
-        registry.gauge(
+        merged.gauge(
             "daemon.jobs.running", help="jobs currently verifying"
         ).set(self.queue.running)
-        registry.gauge(
+        merged.gauge(
             "daemon.sessions.warm", help="live warm verification sessions"
-        ).set(1)
-        cache = self.session.cache
-        lookups = cache.hits + cache.misses
-        registry.gauge(
+        ).set(self.sessions.warm)
+        merged.gauge(
+            "daemon.threads.orphaned",
+            help="timed-out job threads still running in the background",
+        ).set(self.queue.orphans)
+        cache = self.sessions.cache_stats()
+        lookups = cache["hits"] + cache["misses"]
+        merged.gauge(
             "daemon.cache.hit_ratio",
             help="function-result cache hit ratio over the daemon lifetime",
-        ).set(round(cache.hits / lookups, 6) if lookups else 0)
-        registry.gauge(
+        ).set(round(cache["hits"] / lookups, 6) if lookups else 0)
+        merged.gauge(
             "daemon.uptime_seconds", help="seconds since daemon start", unit="seconds"
         ).set(round(time.time() - self.started_at, 3))
-        text = to_prometheus(registry.snapshot())
+        text = to_prometheus(merged.snapshot())
         return 200, "text/plain; version=0.0.4", text.encode("utf-8")
 
     def _handle_healthz(self) -> Tuple[int, str, bytes]:
+        cache = self.sessions.cache_stats()
         payload = {
             "ok": self.state in ("serving", "draining"),
             "state": self.state,
@@ -404,12 +433,13 @@ class VerifyDaemon:
                 "limit": self.queue.queue_limit,
                 "workers": self.queue.workers,
             },
-            "tenants": self.queue.quotas.snapshot(),
-            "cache": {
-                "hits": self.session.cache.hits,
-                "misses": self.session.cache.misses,
-                "entries": len(self.session.cache),
+            "sessions": {
+                "warm": self.sessions.warm,
+                "orphaned": self.sessions.orphaned,
+                "retired": self.sessions.retired_total,
             },
+            "tenants": self.queue.quotas.snapshot(),
+            "cache": cache,
         }
         return 200, "application/json", json.dumps(payload).encode("utf-8")
 

@@ -1,0 +1,134 @@
+"""A pool of warm verification sessions, one per concurrent job.
+
+A :class:`~repro.service.session.VerifySession` is explicitly *not* safe
+to share between threads (its SMT answer cache, result cache and metrics
+registry are mutated without locks — concurrency safety comes from never
+sharing a session; see :mod:`repro.service.session`).  The daemon's job
+queue therefore checks a session out of this pool for the duration of
+each job and returns it afterwards: at most one executor thread ever
+mutates a given session at a time, and every session stays warm between
+the jobs it serves.
+
+Timeouts are where naive pooling corrupts state: a timed-out job's
+executor thread cannot be killed and keeps mutating its session in the
+background.  :meth:`SessionPool.retire` handles this by removing the
+poisoned session from circulation (the orphaned thread keeps it
+exclusively) and minting a fresh replacement, so the pool's capacity is
+preserved and no later job ever shares state with a runaway thread.
+Once the orphaned thread finally finishes, :meth:`SessionPool.discard`
+folds the session's final metrics snapshot into an *absorbed* registry —
+so `/metrics` counters stay monotone across retirements — and drops it.
+
+All methods must run on the daemon's event-loop thread (the same
+discipline as :class:`repro.daemon.queue.JobQueue`); only the sessions'
+*contents* are touched from executor threads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.session import VerifySession
+
+__all__ = ["SessionPool"]
+
+
+class SessionPool:
+    """Fixed-capacity pool of :class:`VerifySession`\\ s with retirement.
+
+    ``factory`` builds one configured session; ``size`` sessions are built
+    eagerly so the first jobs on every worker find warm state waiting.
+    """
+
+    def __init__(
+        self, factory: Callable[[], VerifySession], size: int = 1
+    ) -> None:
+        self._factory = factory
+        self.size = max(1, int(size))
+        self._idle: List[VerifySession] = [factory() for _ in range(self.size)]
+        self._busy: List[VerifySession] = []
+        self._orphaned: List[VerifySession] = []
+        self._absorbed = MetricsRegistry()
+        self.created = self.size
+        self.retired_total = 0
+
+    # -- state -------------------------------------------------------------------
+
+    @property
+    def warm(self) -> int:
+        """Sessions available to (or serving) jobs — excludes orphans."""
+        return len(self._idle) + len(self._busy)
+
+    @property
+    def orphaned(self) -> int:
+        """Retired sessions still owned by a timed-out job's thread."""
+        return len(self._orphaned)
+
+    def sessions(self) -> Tuple[VerifySession, ...]:
+        """Every live session (idle, busy and orphaned), for aggregation."""
+        return (*self._idle, *self._busy, *self._orphaned)
+
+    # -- checkout ----------------------------------------------------------------
+
+    def acquire(self) -> VerifySession:
+        """Check a session out for one job; raises when none is idle."""
+        if not self._idle:
+            raise RuntimeError(
+                f"session pool exhausted ({len(self._busy)} busy, "
+                f"{len(self._orphaned)} orphaned)"
+            )
+        session = self._idle.pop()
+        self._busy.append(session)
+        return session
+
+    def release(self, session: VerifySession) -> None:
+        """Return a session whose job finished normally."""
+        self._busy.remove(session)
+        self._idle.append(session)
+
+    def retire(self, session: VerifySession) -> None:
+        """Take a session out of circulation after its job timed out.
+
+        The orphaned executor thread keeps mutating it in the background;
+        a fresh replacement restores the pool's capacity immediately.
+        """
+        self._busy.remove(session)
+        self._orphaned.append(session)
+        self.retired_total += 1
+        self._idle.append(self._factory())
+        self.created += 1
+
+    def discard(self, session: VerifySession) -> None:
+        """Drop an orphaned session once its thread has actually finished.
+
+        Its final metrics snapshot is absorbed so lifetime counters in the
+        merged exposition never decrease when a retired session is dropped.
+        """
+        if session in self._orphaned:
+            self._orphaned.remove(session)
+            self._absorbed.merge(session.obs.registry.snapshot())
+
+    # -- aggregation -------------------------------------------------------------
+
+    def merged_metrics(self) -> Dict[str, Dict[str, object]]:
+        """One snapshot over every live session plus absorbed retirees.
+
+        Counters and histograms add, gauges take the max — the same
+        deterministic semantics :meth:`MetricsRegistry.merge` gives
+        scheduler worker snapshots.
+        """
+        merged = MetricsRegistry()
+        merged.merge(self._absorbed.snapshot())
+        for session in self.sessions():
+            merged.merge(session.obs.registry.snapshot())
+        return merged.snapshot()
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Function-result cache traffic summed over the working sessions."""
+        hits = misses = entries = 0
+        for session in (*self._idle, *self._busy):
+            hits += session.cache.hits
+            misses += session.cache.misses
+            entries += len(session.cache)
+        return {"hits": hits, "misses": misses, "entries": entries}

@@ -27,6 +27,7 @@ endpoint); dots in metric names become underscores there, e.g.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -140,10 +141,20 @@ class MetricsRegistry:
     name creates the metric, later calls return the same handle.  Asking for
     an existing name at a different kind (or different histogram buckets) is
     a :class:`MetricError` — silent coercion would corrupt merged totals.
+
+    Registration, :meth:`snapshot`, :meth:`merge` and :meth:`clear` hold an
+    internal lock, so one thread may scrape a registry (the daemon's
+    ``/metrics`` handler) while another registers metrics into it.  Metric
+    *mutation* (``inc``/``set``/``observe``) is deliberately lock-free: the
+    owning contract is one mutating thread per registry at a time (sessions
+    are never shared between concurrent jobs — see
+    :class:`repro.daemon.sessions.SessionPool`); concurrent *readers* at
+    worst observe a value one update stale.
     """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -152,22 +163,24 @@ class MetricsRegistry:
         return name in self._metrics
 
     def counter(self, name: str, help: str = "", unit: str = "") -> Counter:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = Counter(name, help=help, unit=unit)
-            self._metrics[name] = metric
-        elif not isinstance(metric, Counter):
-            raise MetricError(f"{name} is a {metric.kind}, not a counter")
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Counter(name, help=help, unit=unit)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Counter):
+                raise MetricError(f"{name} is a {metric.kind}, not a counter")
+            return metric
 
     def gauge(self, name: str, help: str = "", unit: str = "") -> Gauge:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = Gauge(name, help=help, unit=unit)
-            self._metrics[name] = metric
-        elif not isinstance(metric, Gauge):
-            raise MetricError(f"{name} is a {metric.kind}, not a gauge")
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Gauge(name, help=help, unit=unit)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Gauge):
+                raise MetricError(f"{name} is a {metric.kind}, not a gauge")
+            return metric
 
     def histogram(
         self,
@@ -176,15 +189,18 @@ class MetricsRegistry:
         help: str = "",
         unit: str = "",
     ) -> Histogram:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = Histogram(name, buckets, help=help, unit=unit)
-            self._metrics[name] = metric
-        elif not isinstance(metric, Histogram):
-            raise MetricError(f"{name} is a {metric.kind}, not a histogram")
-        elif tuple(buckets) != metric.buckets:
-            raise MetricError(f"histogram {name} re-registered with different buckets")
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, buckets, help=help, unit=unit)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise MetricError(f"{name} is a {metric.kind}, not a histogram")
+            elif tuple(buckets) != metric.buckets:
+                raise MetricError(
+                    f"histogram {name} re-registered with different buckets"
+                )
+            return metric
 
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)
@@ -199,28 +215,31 @@ class MetricsRegistry:
         return metric.value
 
     def clear(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
     # -- snapshots and merging ------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """A picklable, JSON-able dump of every metric, sorted by name."""
         out: Dict[str, Dict[str, object]] = {}
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
-            entry: Dict[str, object] = {
-                "kind": metric.kind,
-                "help": metric.help,
-                "unit": metric.unit,
-            }
-            if isinstance(metric, Histogram):
-                entry["buckets"] = list(metric.buckets)
-                entry["counts"] = list(metric.counts)
-                entry["sum"] = metric.sum
-                entry["count"] = metric.count
-            else:
-                entry["value"] = metric.value
-            out[name] = entry
+        with self._lock:
+            names = sorted(self._metrics)
+            for name in names:
+                metric = self._metrics[name]
+                entry: Dict[str, object] = {
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "unit": metric.unit,
+                }
+                if isinstance(metric, Histogram):
+                    entry["buckets"] = list(metric.buckets)
+                    entry["counts"] = list(metric.counts)
+                    entry["sum"] = metric.sum
+                    entry["count"] = metric.count
+                else:
+                    entry["value"] = metric.value
+                out[name] = entry
         return out
 
     def merge(self, snapshot: Dict[str, Dict[str, object]]) -> None:

@@ -32,6 +32,7 @@ import hashlib
 import json
 import os
 import re
+import threading
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.errors import Diagnostic
@@ -234,7 +235,9 @@ class ResultCache:
         self._entries[key] = result
         if self.cache_dir is not None:
             path = self._path(key)
-            tmp = f"{path}.tmp.{os.getpid()}"
+            # pid alone is not unique enough: a daemon's session pool runs
+            # several sessions (threads) over one shared cache_dir.
+            tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
             try:
                 with open(tmp, "w", encoding="utf-8") as handle:
                     json.dump(result_to_dict(result), handle)

@@ -362,7 +362,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     file=sys.stderr,
                 )
             except DaemonError as error:
-                print(f"error: daemon refused the job — {error}", file=sys.stderr)
+                # Includes slow-daemon TIMEOUTs: the job may still be
+                # running server-side, so re-verifying in-process here
+                # would duplicate work — surface the error instead.
+                print(f"error: daemon request failed — {error}", file=sys.stderr)
                 return 2
 
     session = VerifySession(

@@ -1,15 +1,22 @@
 """The verification daemon: protocol, queue/quota edge cases, HTTP surface,
-graceful drain, and the CLI thin-client fallback."""
+graceful drain, session-pool isolation, and the CLI thin-client fallback."""
 
+import asyncio
 import json
+import socket
+import threading
+import time
 
 import pytest
 
 from repro.daemon import client
 from repro.daemon.protocol import DEFAULT_TENANT, JobRequest, ProtocolError, error_payload
+from repro.daemon.queue import ORPHAN_SLACK, JobQueue
 from repro.daemon.quotas import QuotaExceeded, TenantQuotas
+from repro.daemon.sessions import SessionPool
 from repro.daemon.testing import run_daemon
 from repro.service.cli import main as cli_main
+from repro.service.session import VerifySession
 
 INC = """
 #[flux::sig(fn(i32[@x]) -> i32{v: v > x})]
@@ -97,6 +104,120 @@ class TestQuotas:
 
 
 # ---------------------------------------------------------------------------
+# Queue/session-pool units (driven directly on an asyncio loop)
+# ---------------------------------------------------------------------------
+
+
+def _fresh_pool() -> SessionPool:
+    return SessionPool(lambda: VerifySession(use_cache=False))
+
+
+class TestQueueSessions:
+    def test_timeout_retires_session_and_reclaims_orphan(self):
+        async def scenario():
+            pool = _fresh_pool()
+            queue = JobQueue(pool, workers=1, job_timeout=0.05)
+            queue.start()
+            release = threading.Event()
+            seen = []
+
+            def verify(record, session):
+                seen.append(session)
+                if record.request.name == "slow":
+                    release.wait(10)
+                return {"ok": True}
+
+            queue._verify_sync = verify
+            slow, _ = queue.submit(JobRequest(source="a", name="slow"))
+            while slow.active:
+                await asyncio.sleep(0.01)
+            assert slow.state == "failed"
+            assert slow.error["kind"] == "TIMEOUT"
+            # The poisoned session left the pool; a fresh one replaced it.
+            assert pool.retired_total == 1
+            assert pool.orphaned == 1
+            assert pool.warm == 1
+            assert queue.orphans == 1
+            # The next job must not share state with the orphaned thread.
+            fast, _ = queue.submit(JobRequest(source="b", name="fast"))
+            while fast.active:
+                await asyncio.sleep(0.01)
+            assert fast.state == "done"
+            assert seen[1] is not seen[0]
+            # Once the orphaned thread ends, its slot and session are
+            # reclaimed and its metrics absorbed.
+            release.set()
+            for _ in range(200):
+                if queue.orphans == 0:
+                    break
+                await asyncio.sleep(0.01)
+            assert queue.orphans == 0
+            assert pool.orphaned == 0
+            await queue.stop()
+
+        asyncio.run(scenario())
+
+    def test_stop_abandons_pending_backlog(self):
+        async def scenario():
+            pool = _fresh_pool()
+            queue = JobQueue(pool, workers=1, job_timeout=None)
+            queue.start()
+            release = threading.Event()
+
+            def verify(record, session):
+                release.wait(10)
+                return {"ok": True}
+
+            queue._verify_sync = verify
+            first, _ = queue.submit(JobRequest(source="a", name="inflight"))
+            second, _ = queue.submit(JobRequest(source="b", name="backlog"))
+            while first.state != "running":
+                await asyncio.sleep(0.01)
+            assert second.state == "queued"
+            stopper = asyncio.ensure_future(queue.stop())
+            await asyncio.sleep(0.05)
+            # The backlog is failed immediately — shutdown does not run it.
+            assert second.state == "failed"
+            assert second.error["kind"] == "SHUTTING_DOWN"
+            assert not stopper.done()  # bounded by the one in-flight job
+            release.set()
+            await asyncio.wait_for(stopper, timeout=5.0)
+            assert first.state == "done"
+            assert queue.quotas.snapshot() == {}  # every slot released
+
+        asyncio.run(scenario())
+
+    def test_executor_exhaustion_fails_fast(self):
+        async def scenario():
+            pool = _fresh_pool()
+            queue = JobQueue(pool, workers=1, job_timeout=0.02)
+            queue.start()
+            release = threading.Event()
+
+            def verify(record, session):
+                release.wait(10)
+                return {"ok": True}
+
+            queue._verify_sync = verify
+            records = [
+                queue.submit(JobRequest(source=f"s{i}", name="n", tenant=f"t{i}"))[0]
+                for i in range(ORPHAN_SLACK + 1)
+            ]
+            while any(record.active for record in records):
+                await asyncio.sleep(0.01)
+            kinds = [record.error["kind"] for record in records]
+            # The first ORPHAN_SLACK jobs time out and orphan their
+            # threads; the next finds no executor thread free and fails
+            # fast instead of queueing invisibly inside the pool.
+            assert kinds[:ORPHAN_SLACK] == ["TIMEOUT"] * ORPHAN_SLACK
+            assert kinds[ORPHAN_SLACK] == "OVERLOADED"
+            release.set()
+            await queue.stop()
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
 # End-to-end over HTTP
 # ---------------------------------------------------------------------------
 
@@ -158,6 +279,39 @@ class TestDaemonEndToEnd:
             assert record["state"] == "failed"
             assert record["error"]["kind"] == "TIMEOUT"
             assert "report" not in record
+
+    def test_failed_job_resubmission_readmits(self):
+        with run_daemon(job_timeout=1e-6, drain_timeout=10.0) as daemon:
+            first = client.submit(daemon.url, FILL, name="flaky")
+            record = client.wait(daemon.url, first)
+            assert record["state"] == "failed"
+            # A failed record must not pin identical resubmissions to the
+            # stale failure: lift the timeout and resubmit — a *new* job.
+            daemon.daemon.queue.job_timeout = None
+            second = client.submit(daemon.url, FILL, name="flaky")
+            assert second != first
+            done = client.wait(daemon.url, second)
+            assert done["state"] == "done"
+            assert done["report"]["ok"] is True
+            # The old record stays readable until evicted.
+            assert client.status(daemon.url, first)["state"] == "failed"
+            # The timed-out job's session was retired; the pool stays warm.
+            health = client.healthz(daemon.url)
+            assert health["sessions"]["retired"] == 1
+            assert health["sessions"]["warm"] == 1
+            exposition = client.metrics(daemon.url)
+            assert "repro_daemon_sessions_retired_total 1" in exposition
+            assert "repro_daemon_jobs_retried_total 1" in exposition
+
+    def test_worker_pool_has_one_session_each(self):
+        with run_daemon(workers=2) as daemon:
+            health = client.healthz(daemon.url)
+            assert health["queue"]["workers"] == 2
+            assert health["sessions"]["warm"] == 2
+            a = client.submit(daemon.url, INC, name="a")
+            b = client.submit(daemon.url, BAD, name="b")
+            assert client.wait(daemon.url, a)["report"]["ok"] is True
+            assert client.wait(daemon.url, b)["report"]["ok"] is False
 
     def test_unknown_job_is_404(self):
         with run_daemon() as daemon:
@@ -221,6 +375,45 @@ class TestDaemonEndToEnd:
             second = client.verify(daemon.url, INC, name="two")
             assert second["report"]["cache_hits"] == 1
             assert second["report"]["cache_misses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Client error classification
+# ---------------------------------------------------------------------------
+
+
+class TestClientErrors:
+    def test_slow_daemon_is_timeout_not_unavailable(self):
+        # A socket that accepts the connection but never answers models a
+        # busy-but-alive daemon: the client must raise a retryable TIMEOUT,
+        # not DaemonUnavailable (which would trigger the in-process
+        # fallback and duplicate work already running server-side).
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+
+        def accept_and_hang():
+            try:
+                conn, _ = server.accept()
+                time.sleep(2.0)
+                conn.close()
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=accept_and_hang, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(client.DaemonError) as excinfo:
+                client.healthz(f"http://127.0.0.1:{port}", timeout=0.2)
+            assert not isinstance(excinfo.value, client.DaemonUnavailable)
+            assert excinfo.value.kind == "TIMEOUT"
+        finally:
+            server.close()
+
+    def test_refused_connection_is_unavailable(self):
+        with pytest.raises(client.DaemonUnavailable):
+            client.healthz("http://127.0.0.1:1", timeout=0.5)
 
 
 # ---------------------------------------------------------------------------
