@@ -73,9 +73,15 @@ def profile_program(
         "theory_propagations",
         "partial_checks",
         "core_shrink_rounds",
+        "shrink_budget_hits",
         "explanations",
         "explanation_literals",
         "avg_explanation_len",
+        "sat_restarts",
+        "clauses_deleted",
+        "clauses_learned",
+        "avg_lbd",
+        "phase_saving_hits",
         "sat_time",
         "theory_time",
     )

@@ -30,7 +30,7 @@ from repro.obs import span as obs_span
 from repro.smt import SmtContext, use_context
 
 #: Solver-metric keys every :class:`FunctionResult` carries, in report order.
-#: The dict replaces thirteen individual ``smt_*`` dataclass fields; the keys
+#: The dict replaces what used to be individual ``smt_*`` dataclass fields; the keys
 #: keep the old field names so cached payloads and JSON reports are stable,
 #: and matching read-only attribute aliases are installed below.
 FUNCTION_METRIC_KEYS = (
@@ -43,8 +43,14 @@ FUNCTION_METRIC_KEYS = (
     "smt_theory_propagations",
     "smt_partial_checks",
     "smt_core_shrink_rounds",
+    "smt_shrink_budget_hits",
     "smt_explanations",
     "smt_explanation_literals",
+    "smt_sat_restarts",
+    "smt_clauses_deleted",
+    "smt_learned",
+    "smt_lbd_total",
+    "smt_phase_saving_hits",
     "smt_sat_time",
     "smt_theory_time",
 )
@@ -62,8 +68,14 @@ def metrics_from_fixpoint(fixpoint_result) -> Dict[str, float]:
         "smt_theory_propagations": fixpoint_result.theory_propagations,
         "smt_partial_checks": fixpoint_result.partial_checks,
         "smt_core_shrink_rounds": fixpoint_result.core_shrink_rounds,
+        "smt_shrink_budget_hits": fixpoint_result.shrink_budget_hits,
         "smt_explanations": fixpoint_result.explanations,
         "smt_explanation_literals": fixpoint_result.explanation_literals,
+        "smt_sat_restarts": fixpoint_result.sat_restarts,
+        "smt_clauses_deleted": fixpoint_result.sat_clauses_deleted,
+        "smt_learned": fixpoint_result.sat_learned,
+        "smt_lbd_total": fixpoint_result.sat_lbd_total,
+        "smt_phase_saving_hits": fixpoint_result.sat_phase_saving_hits,
         "smt_sat_time": fixpoint_result.sat_time,
         "smt_theory_time": fixpoint_result.theory_time,
     }

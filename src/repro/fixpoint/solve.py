@@ -168,8 +168,14 @@ class _RunStats:
     theory_propagations: int = 0
     partial_checks: int = 0
     core_shrink_rounds: int = 0
+    shrink_budget_hits: int = 0
     explanations: int = 0
     explanation_literals: int = 0
+    sat_restarts: int = 0
+    sat_clauses_deleted: int = 0
+    sat_learned: int = 0
+    sat_lbd_total: int = 0
+    sat_phase_saving_hits: int = 0
     sat_time: float = 0.0
     theory_time: float = 0.0
     # UNKNOWN solver answers observed during weakening, surfaced as
@@ -182,8 +188,14 @@ class _RunStats:
         self.theory_propagations += solver.theory_propagations
         self.partial_checks += solver.partial_checks
         self.core_shrink_rounds += solver.core_shrink_rounds
+        self.shrink_budget_hits += solver.shrink_budget_hits
         self.explanations += solver.explanations
         self.explanation_literals += solver.explanation_literals
+        self.sat_restarts += solver.sat_restarts
+        self.sat_clauses_deleted += solver.sat_clauses_deleted
+        self.sat_learned += solver.sat_learned
+        self.sat_lbd_total += solver.sat_lbd_total
+        self.sat_phase_saving_hits += solver.sat_phase_saving_hits
         self.sat_time += solver.sat_time
         self.theory_time += solver.theory_time
 
@@ -212,8 +224,14 @@ class FixpointResult:
     theory_propagations: int = 0
     partial_checks: int = 0
     core_shrink_rounds: int = 0
+    shrink_budget_hits: int = 0
     explanations: int = 0
     explanation_literals: int = 0
+    sat_restarts: int = 0
+    sat_clauses_deleted: int = 0
+    sat_learned: int = 0
+    sat_lbd_total: int = 0
+    sat_phase_saving_hits: int = 0
     sat_time: float = 0.0
     theory_time: float = 0.0
 
@@ -227,6 +245,13 @@ class FixpointResult:
         if not self.explanations:
             return 0.0
         return self.explanation_literals / self.explanations
+
+    @property
+    def avg_lbd(self) -> float:
+        """Mean literal-block-distance of clauses learned this run."""
+        if not self.sat_learned:
+            return 0.0
+        return self.sat_lbd_total / self.sat_learned
 
 
 #: ``FixpointResult`` counter fields mirrored into ``fixpoint.<field>``
@@ -244,8 +269,14 @@ _RESULT_COUNTER_FIELDS = (
     ("theory_propagations", "theory propagations inside per-clause solvers"),
     ("partial_checks", "partial feasibility checks inside per-clause solvers"),
     ("core_shrink_rounds", "core-shrink rounds inside per-clause solvers"),
+    ("shrink_budget_hits", "core-shrink rounds truncated by the per-check budget"),
     ("explanations", "conflict explanations inside per-clause solvers"),
     ("explanation_literals", "explanation literals inside per-clause solvers"),
+    ("sat_restarts", "Luby-scheduled CDCL restarts inside per-clause solvers"),
+    ("sat_clauses_deleted", "learned clauses tombstoned by clause-DB reduction"),
+    ("sat_learned", "clauses learned by conflict analysis"),
+    ("sat_lbd_total", "summed literal-block-distance over learned clauses"),
+    ("sat_phase_saving_hits", "decisions that reused a saved phase"),
 )
 
 
@@ -547,8 +578,14 @@ class FixpointSolver:
             theory_propagations=stats.theory_propagations,
             partial_checks=stats.partial_checks,
             core_shrink_rounds=stats.core_shrink_rounds,
+            shrink_budget_hits=stats.shrink_budget_hits,
             explanations=stats.explanations,
             explanation_literals=stats.explanation_literals,
+            sat_restarts=stats.sat_restarts,
+            sat_clauses_deleted=stats.sat_clauses_deleted,
+            sat_learned=stats.sat_learned,
+            sat_lbd_total=stats.sat_lbd_total,
+            sat_phase_saving_hits=stats.sat_phase_saving_hits,
             sat_time=stats.sat_time,
             theory_time=stats.theory_time,
         )

@@ -50,7 +50,9 @@ from repro.obs import current_obs
 #    statistics, different query accounting).
 # 5: per-function solver statistics folded into one ``metrics`` mapping
 #    (the typed metrics registry is now the source of truth).
-SCHEMA_VERSION = 5
+# 6: restart/deletion/phase-saving SAT core + structural Tseitin caching
+#    (new SAT-core counters, different conflict/decision accounting).
+SCHEMA_VERSION = 6
 
 _IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 

@@ -78,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify up to N functions concurrently (default: 1, serial)",
     )
     parser.add_argument(
+        "--portfolio",
+        type=int,
+        default=0,
+        metavar="K",
+        help="race K SAT-core configurations per function and keep the "
+        "first verdict (default: 0, single solver; overrides --jobs)",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -344,6 +352,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ("--trace-out", args.trace_out),
                 ("--metrics-out", args.metrics_out),
                 ("--events-out", args.events_out),
+                ("--portfolio", args.portfolio),
             )
             if value
         ]
@@ -374,6 +383,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         jobs=args.jobs,
         trace=args.trace_out is not None,
         events=args.events_out is not None,
+        portfolio=args.portfolio,
     )
     report = verify_jobs(jobs, session)
 

@@ -138,6 +138,7 @@ def verify_functions(
     fns: Optional[Dict[str, ast.FnDef]] = None,
     trace: bool = False,
     events: bool = False,
+    portfolio: int = 0,
 ) -> Dict[str, Tuple[FunctionResult, Optional[SmtStats], Optional[ObsPayload]]]:
     """Verify ``names``; per-function results plus worker stats/obs deltas.
 
@@ -146,11 +147,30 @@ def verify_functions(
     runs return each worker's deltas for the caller to merge.  ``trace`` and
     ``events`` forward the session's tracer/event-log switches to workers.
     ``fns`` may carry a precomputed ``definition_map(program)``.
+
+    ``portfolio`` ≥ 2 races that many SAT-core configurations per function
+    (first verdict wins; see :mod:`repro.smt.portfolio`) instead of using
+    the function-parallel pool — the two multiprocess modes are exclusive,
+    and the portfolio takes precedence.
     """
     if fns is None:
         fns = definition_map(program)
     ordered = topological_order(names, genv, fns, deps=deps)
     results: Dict[str, Tuple[FunctionResult, Optional[SmtStats], Optional[ObsPayload]]] = {}
+
+    if portfolio >= 2:
+        from repro.smt.portfolio import race_verify_function, record_portfolio_win
+
+        for name in ordered:
+            result, snapshot, winner = race_verify_function(
+                fns[name], genv, rust_context, portfolio
+            )
+            record_portfolio_win(winner)
+            payload: Optional[ObsPayload] = None
+            if snapshot is not None:
+                payload = {"metrics": snapshot, "trace": [], "events": []}
+            results[name] = (result, None, payload)
+        return results
 
     if jobs > 1 and len(ordered) > 1:
         try:

@@ -35,6 +35,10 @@ class VerifySession:
     jobs:
         Default worker count for :meth:`repro.service.api.verify_jobs`;
         ``1`` means serial.
+    portfolio:
+        When ≥ 2, race that many SAT-core configurations per function and
+        keep the first verdict (see :mod:`repro.smt.portfolio`).  Mutually
+        exclusive with ``jobs`` parallelism; the portfolio wins.
     trace:
         Enable span tracing.  Spans from this process and from scheduler
         workers accumulate in ``self.obs.tracer`` for Chrome-trace export.
@@ -52,11 +56,13 @@ class VerifySession:
         jobs: int = 1,
         trace: bool = False,
         events: bool = False,
+        portfolio: int = 0,
     ) -> None:
         self.smt = SmtContext()
         self.obs = ObsContext.create(trace=trace, events=events)
         self.cache = ResultCache(cache_dir=cache_dir, enabled=use_cache)
         self.jobs = max(1, int(jobs))
+        self.portfolio = max(0, int(portfolio))
 
     # -- SMT state ---------------------------------------------------------------
 

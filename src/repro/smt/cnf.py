@@ -17,7 +17,7 @@ the skeleton.
 
 from __future__ import annotations
 
-from typing import List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.smt.sat import SatSolver
 
@@ -50,28 +50,55 @@ def add_formula(solver: SatSolver, formula: Skeleton) -> None:
     solver.add_clause([root])
 
 
-def encode(solver: SatSolver, formula: Skeleton) -> int:
+def encode(
+    solver: SatSolver,
+    formula: Skeleton,
+    cache: Optional[Dict[Skeleton, int]] = None,
+) -> int:
     """Tseitin-encode ``formula`` WITHOUT asserting it.
 
     Returns a literal equivalent to the formula; callers decide how to use it
     — the incremental backend asserts ``(-guard, root)`` so the formula is
     only in force while ``guard`` is assumed.
+
+    ``cache`` (skeleton subtree -> literal) enables *structural sharing*: a
+    subtree already encoded reuses its literal instead of minting a fresh
+    Tseitin variable and re-emitting its defining clauses.  Sound because
+    definitional clauses are inert until the literal is used, and equal
+    subtrees define equivalent literals.  Callers owning a persistent solver
+    (the incremental backend) pass a dict that lives as long as the solver.
     """
-    return _encode(solver, formula)
+    return _encode(solver, formula, cache)
 
 
-def _encode(solver: SatSolver, formula: Skeleton) -> int:
+def _encode(
+    solver: SatSolver, formula: Skeleton, cache: Optional[Dict[Skeleton, int]] = None
+) -> int:
     """Return a literal equivalent to ``formula``, adding defining clauses."""
     kind = formula[0]
     if kind == "lit":
         return formula[1]
+    if cache is not None:
+        hit = cache.get(formula)
+        if hit is not None:
+            return hit
+        root = _encode_fresh(solver, formula, cache)
+        cache[formula] = root
+        return root
+    return _encode_fresh(solver, formula, None)
+
+
+def _encode_fresh(
+    solver: SatSolver, formula: Skeleton, cache: Optional[Dict[Skeleton, int]]
+) -> int:
+    kind = formula[0]
     if kind == "const":
         fresh = solver.new_var()
         solver.add_clause([fresh] if formula[1] else [-fresh])
         return fresh
     if kind == "not":
-        return -_encode(solver, formula[1])
-    children: List[int] = [_encode(solver, child) for child in formula[1:]]
+        return -_encode(solver, formula[1], cache)
+    children: List[int] = [_encode(solver, child, cache) for child in formula[1:]]
     if not children:
         # empty conjunction is true, empty disjunction is false
         fresh = solver.new_var()

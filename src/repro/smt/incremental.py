@@ -101,6 +101,9 @@ class IncrementalSolver:
         self._frames: List[int] = []  # selector variable per open scope
         self._ackermann_done = 0  # apps already covered by emitted axioms
         self._root_cache: Dict[Expr, int] = {}  # expr -> Tseitin root literal
+        # skeleton subtree -> literal: structural sharing across encodings
+        # (distinct expressions often share large boolean substructure)
+        self._skeleton_cache: Dict[object, int] = {}
         # goal-root subset -> selector guarding its joint-refutation clause
         self._refutation_selectors: Dict[frozenset, int] = {}
         # Theory-atom bookkeeping: the theory loop only sends the simplex the
@@ -120,8 +123,14 @@ class IncrementalSolver:
         self.theory_propagations = 0
         self.partial_checks = 0
         self.core_shrink_rounds = 0
+        self.shrink_budget_hits = 0
         self.explanations = 0
         self.explanation_literals = 0
+        self.sat_restarts = 0
+        self.sat_clauses_deleted = 0
+        self.sat_learned = 0
+        self.sat_lbd_total = 0
+        self.sat_phase_saving_hits = 0
         self.sat_time = 0.0
         self.theory_time = 0.0
 
@@ -198,11 +207,21 @@ class IncrementalSolver:
                 if prepared == TRUE:
                     continue
                 self._sat.add_clause(
-                    [cnf.encode(self._sat, self._atomizer.skeleton(prepared))]
+                    [
+                        cnf.encode(
+                            self._sat,
+                            self._atomizer.skeleton(prepared),
+                            self._skeleton_cache,
+                        )
+                    ]
                 )
             main_atoms: Set[int] = set()
             self._atomizer.touched = main_atoms
-            root = cnf.encode(self._sat, self._atomizer.skeleton(simplify(main)))
+            root = cnf.encode(
+                self._sat,
+                self._atomizer.skeleton(simplify(main)),
+                self._skeleton_cache,
+            )
         except AtomError as error:
             raise SmtError(str(error)) from error
         finally:
@@ -328,8 +347,14 @@ class IncrementalSolver:
         self.theory_propagations += stats.theory_propagations
         self.partial_checks += stats.partial_checks
         self.core_shrink_rounds += stats.core_shrink_rounds
+        self.shrink_budget_hits += stats.shrink_budget_hits
         self.explanations += stats.explanations
         self.explanation_literals += stats.explanation_literals
+        self.sat_restarts += stats.sat_restarts
+        self.sat_clauses_deleted += stats.sat_clauses_deleted
+        self.sat_learned += stats.sat_learned
+        self.sat_lbd_total += stats.sat_lbd_total
+        self.sat_phase_saving_hits += stats.sat_phase_saving_hits
         self.sat_time += stats.sat_time
         self.theory_time += stats.theory_time
         record_check_metrics(answer, elapsed, source="incremental")
@@ -347,8 +372,14 @@ class IncrementalSolver:
             "theory_propagations": self.theory_propagations,
             "partial_checks": self.partial_checks,
             "core_shrink_rounds": self.core_shrink_rounds,
+            "shrink_budget_hits": self.shrink_budget_hits,
             "explanations": self.explanations,
             "explanation_literals": self.explanation_literals,
+            "sat_restarts": self.sat_restarts,
+            "sat_clauses_deleted": self.sat_clauses_deleted,
+            "sat_learned": self.sat_learned,
+            "sat_lbd_total": self.sat_lbd_total,
+            "sat_phase_saving_hits": self.sat_phase_saving_hits,
             "sat_time": self.sat_time,
             "theory_time": self.theory_time,
         }

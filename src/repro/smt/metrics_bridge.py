@@ -29,9 +29,15 @@ _COUNTER_FIELDS = (
     ("sat_conflicts", "CDCL conflicts"),
     ("sat_decisions", "CDCL decisions"),
     ("sat_propagations", "CDCL unit propagations"),
+    ("sat_restarts", "Luby-scheduled CDCL restarts"),
+    ("sat_clauses_deleted", "learned clauses tombstoned by clause-DB reduction"),
+    ("sat_learned", "clauses learned by conflict analysis"),
+    ("sat_lbd_total", "summed literal-block-distance over learned clauses"),
+    ("sat_phase_saving_hits", "decisions that reused a saved phase"),
     ("theory_propagations", "theory-implied literals enqueued into the SAT core"),
     ("partial_checks", "rational feasibility checks at partial assignments"),
     ("core_shrink_rounds", "drop-one LIA calls spent minimising conflict cores"),
+    ("shrink_budget_hits", "core-shrink rounds truncated by the per-check budget"),
     ("explanations", "theory conflict explanations"),
     ("explanation_literals", "total literals across conflict explanations"),
     ("simplex_pivots", "simplex pivot operations"),

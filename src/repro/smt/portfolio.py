@@ -1,0 +1,223 @@
+"""Process portfolio: race diverse SAT-core configurations per function.
+
+Every :class:`~repro.smt.sat.SatConfig` knob steers only the *search order*
+of the complete CDCL+theory search, never its verdict, so k solver
+processes configured differently all converge to the same answer — just at
+different speeds.  The portfolio forks one child per configuration, verifies
+the same function in each, takes the first answer off the queue and cancels
+the rest.  On a multi-core box the race costs wall-clock nothing beyond the
+fork and buys the best-case configuration per query; the verdict is
+byte-identical to the single-solver run by construction (and the test suite
+asserts it).
+
+Configurations are drawn deterministically from a small grid — Luby
+restarts on/off × initial decision polarity × a VSIDS tie-breaking seed —
+labelled by a tiny grammar (see :func:`portfolio_configs`)::
+
+    <schedule>-<polarity>[-s<seed>]
+    schedule := "luby" | "fixed"        (restarts on / off)
+    polarity := "neg" | "pos"           (default_phase False / True)
+    seed     := integer                 (activity-jitter seed, omitted when None)
+
+Member 0 is always the canonical default configuration, so a portfolio of
+size 1 degenerates to the normal solver.  Per-configuration win counters are
+recorded as ``smt.portfolio.win.<label>`` in the ambient
+:class:`repro.obs.MetricsRegistry`, which surfaces them in ``--stats``,
+``--metrics-out`` and the daemon's ``/metrics`` endpoint with no extra
+plumbing.
+
+Forking inherits the parent's parsed program by copy-on-write, so a race
+ships no arguments; only the winner's :class:`FunctionResult`, statistics
+and metrics snapshot travel back over the queue.  Any failure to fork (a
+sandbox without process support) degrades to running the default
+configuration in-process, exactly like the ``--jobs`` scheduler.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import warnings
+from typing import List, Optional, Tuple
+
+from repro.smt.sat import DEFAULT_CONFIG, SatConfig, set_default_config
+
+#: Hard cap on portfolio width — beyond this the fork cost dwarfs any
+#: search-order luck on realistic queries.
+MAX_PORTFOLIO = 8
+
+#: How long the parent waits between queue polls while the race runs.
+_POLL_SECONDS = 0.02
+
+
+def config_label(config: SatConfig) -> str:
+    """The grammar label of ``config`` (see module docstring)."""
+    schedule = "luby" if config.restarts else "fixed"
+    polarity = "pos" if config.default_phase else "neg"
+    label = f"{schedule}-{polarity}"
+    if config.seed is not None:
+        label += f"-s{config.seed}"
+    return label
+
+
+def portfolio_configs(k: int, base: Optional[SatConfig] = None) -> List[Tuple[str, SatConfig]]:
+    """The first ``k`` members of the portfolio grid, labelled.
+
+    Member 0 is ``base`` (the canonical default) unchanged; members 1..3
+    walk the restart×polarity grid away from it; members beyond the grid
+    re-seed the VSIDS jitter so ties break differently.  Deterministic: the
+    same ``k`` always yields the same labelled configurations.
+    """
+    if base is None:
+        base = DEFAULT_CONFIG
+    k = max(1, min(int(k), MAX_PORTFOLIO))
+    members: List[Tuple[str, SatConfig]] = []
+    grid = [
+        base,
+        SatConfig(
+            restarts=base.restarts,
+            luby_unit=base.luby_unit,
+            phase_saving=base.phase_saving,
+            default_phase=not base.default_phase,
+            clause_deletion=base.clause_deletion,
+            seed=1,
+        ),
+        SatConfig(
+            restarts=not base.restarts,
+            phase_saving=base.phase_saving,
+            default_phase=base.default_phase,
+            clause_deletion=base.clause_deletion,
+            seed=2,
+        ),
+        SatConfig(
+            restarts=not base.restarts,
+            phase_saving=base.phase_saving,
+            default_phase=not base.default_phase,
+            clause_deletion=base.clause_deletion,
+            seed=3,
+        ),
+    ]
+    for index in range(k):
+        if index < len(grid):
+            config = grid[index]
+        else:
+            # Past the grid: default shape, fresh tie-breaking seed.
+            config = SatConfig(
+                restarts=base.restarts,
+                luby_unit=base.luby_unit,
+                phase_saving=base.phase_saving,
+                default_phase=index % 2 == 1,
+                clause_deletion=base.clause_deletion,
+                seed=index,
+            )
+        members.append((config_label(config), config))
+    return members
+
+
+def _race_child(result_queue, index: int, label: str, config: SatConfig, fn, genv, rust_context) -> None:
+    """Verify ``fn`` under ``config`` and report back; runs in a fork."""
+    # Imported lazily: repro.core.pipeline imports repro.smt, so a module-level
+    # import here would be circular.
+    from repro.core.pipeline import _verify_function
+    from repro.obs import ObsContext, use_obs
+    from repro.smt import SmtContext
+
+    set_default_config(config)
+    context = SmtContext()
+    obs = ObsContext.create()
+    try:
+        with use_obs(obs):
+            result = _verify_function(fn, genv, rust_context, session=context)
+    except Exception as error:  # pragma: no cover - surfaced as a lost race
+        result_queue.put((index, label, None, None, repr(error)))
+        return
+    result_queue.put((index, label, result, obs.registry.snapshot(), None))
+
+
+def race_verify_function(fn, genv, rust_context, k: int):
+    """Race ``k`` configurations on one function; first verdict wins.
+
+    Returns ``(FunctionResult, winner_metrics_snapshot, winner_label)``.
+    The winner's registry snapshot is the same per-function delta a
+    ``--jobs`` worker returns, so callers merge it identically.  Falls back
+    to an in-process single-solver run when forking is unavailable or every
+    child dies without answering.
+    """
+    members = portfolio_configs(k)
+    if len(members) == 1:
+        return _run_in_process(fn, genv, rust_context), None, members[0][0]
+
+    try:
+        context = multiprocessing.get_context("fork")
+        result_queue = context.Queue()
+        children = []
+        for index, (label, config) in enumerate(members):
+            child = context.Process(
+                target=_race_child,
+                args=(result_queue, index, label, config, fn, genv, rust_context),
+                daemon=True,
+            )
+            child.start()
+            children.append(child)
+    except (ValueError, OSError) as error:
+        warnings.warn(
+            f"portfolio fork failed ({error}); running the default configuration",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_in_process(fn, genv, rust_context), None, members[0][0]
+
+    winner = None
+    try:
+        drains_after_death = 0
+        while True:
+            try:
+                index, label, result, snapshot, error = result_queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                if not any(child.is_alive() for child in children):
+                    # A child may exit between flushing its answer into the
+                    # queue pipe and our liveness check; poll a few more
+                    # times before declaring the race lost.
+                    drains_after_death += 1
+                    if drains_after_death > 10:
+                        break
+                continue
+            if result is not None:
+                winner = (result, snapshot, label)
+                break
+            # A child crashed; keep waiting for the survivors.
+    finally:
+        for child in children:
+            if child.is_alive():
+                child.terminate()
+        for child in children:
+            child.join(timeout=2.0)
+        result_queue.close()
+
+    if winner is None:
+        warnings.warn(
+            "every portfolio member died without answering; "
+            "running the default configuration in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_in_process(fn, genv, rust_context), None, members[0][0]
+    return winner
+
+
+def _run_in_process(fn, genv, rust_context):
+    from repro.core.pipeline import _verify_function
+
+    return _verify_function(fn, genv, rust_context)
+
+
+def record_portfolio_win(label: str) -> None:
+    """Count one race and its winning configuration in the ambient registry."""
+    from repro.obs import current_obs
+
+    registry = current_obs().registry
+    registry.counter("smt.portfolio.races", help="portfolio races run").inc()
+    registry.counter(
+        f"smt.portfolio.win.{label}",
+        help="races won by this solver configuration",
+    ).inc()

@@ -8,8 +8,20 @@ conflict-driven clause learning with:
   touches the watch lists,
 * first-UIP conflict analysis with clause learning,
 * non-chronological backjumping,
-* an exponentially-decayed (VSIDS-style) activity heuristic with phase
-  saving, served from a lazy binary heap instead of a linear scan,
+* Luby-sequence restarts (:class:`SatConfig`): the search restarts after a
+  conflict budget drawn from the Luby sequence, keeping the permanent
+  level-0 trail and every learned clause,
+* LBD (literal-block-distance) scoring on learned clauses with periodic
+  clause-database reduction: glue clauses (LBD ≤ ``glue_lbd``), binary
+  clauses, reason clauses of the current trail and theory lemmas are
+  permanent; the rest is halved by (LBD, activity) on a growing conflict
+  schedule,
+* phase saving with progress-saving polarity: every assignment records its
+  polarity, and decisions reuse the saved polarity across backjumps *and*
+  restarts (``default_phase`` polarity before a variable was ever flipped),
+* an exponentially-decayed (VSIDS-style) activity heuristic served from a
+  lazy binary heap, with optional seeded jitter on initial activities so a
+  portfolio can diversify tie-breaking,
 * an optional *theory solver* (:meth:`SatSolver.attach_theory`): newly
   assigned literals are asserted into the theory as the trail grows, theory
   conflicts at partial assignments become learned clauses, theory-implied
@@ -24,12 +36,83 @@ is the positive literal ``v`` and its negation ``-v``.  Variables are
 allocated with :meth:`SatSolver.new_var` and numbered from 1.  Internally a
 literal ``l`` indexes the watch table at ``2*l`` (positive) or ``2*(-l)+1``
 (negative).
+
+Clause deletion never moves a clause: the database is an append-only list
+and deleted slots are tombstoned with ``None``, so the clause *indices*
+stored in watch lists and reason pointers stay valid forever.  Deleted
+clauses are unhooked from their two watch lists eagerly, which keeps the
+propagation loop free of tombstone checks.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from heapq import heapify, heappop, heappush
+from random import Random
 from typing import Dict, Iterable, List, Optional, Tuple
+
+
+def luby(index: int) -> int:
+    """The ``index``-th element (0-based) of the Luby sequence 1,1,2,1,1,2,4,…
+
+    Restarting with conflict budgets drawn from this sequence is within a
+    logarithmic factor of the optimal universal restart strategy (Luby,
+    Sinclair & Zuckerman 1993).
+    """
+    # Find the finite prefix (of length 2^k - 1) containing ``index``.
+    size = 1
+    while size < index + 1:
+        size = 2 * size + 1
+    # Recurse into the prefix until ``index`` is its last position.
+    while size - 1 != index:
+        size = (size - 1) >> 1
+        index %= size
+    return (size + 1) >> 1
+
+
+@dataclass(frozen=True)
+class SatConfig:
+    """Tunable search heuristics (the portfolio races several of these).
+
+    The default configuration is the canonical single-solver setup; every
+    knob only steers the *search order*, never the answer — a complete CDCL
+    search returns the same SAT/UNSAT verdict under any configuration, which
+    is what lets a portfolio race configurations and take the first answer.
+    """
+
+    #: Luby-sequence restarts (level-0 trail and learned clauses survive).
+    restarts: bool = True
+    #: Conflicts per Luby unit: restart ``i`` fires after ``luby(i)``×this.
+    luby_unit: int = 64
+    #: Reuse each variable's last-assigned polarity on decisions.
+    phase_saving: bool = True
+    #: Polarity for variables that have never been assigned (and for every
+    #: decision when ``phase_saving`` is off).
+    default_phase: bool = False
+    #: Periodic learned-clause database reduction by (LBD, activity).
+    clause_deletion: bool = True
+    #: Conflicts before the first reduction.
+    reduce_base: int = 2000
+    #: The reduction interval grows by this many conflicts each time.
+    reduce_inc: int = 1000
+    #: Learned clauses at or below this LBD ("glue" clauses) are permanent.
+    glue_lbd: int = 2
+    #: Seed for jittering initial VSIDS activities (tie-break diversification
+    #: for portfolio members).  ``None`` keeps the deterministic default.
+    seed: Optional[int] = None
+
+
+#: Process-wide default configuration.  Portfolio workers overwrite this in
+#: the child process before building solvers, so every solver constructed in
+#: that worker inherits the racing configuration without any plumbing
+#: through the fixpoint/incremental layers.
+DEFAULT_CONFIG = SatConfig()
+
+
+def set_default_config(config: SatConfig) -> None:
+    """Install ``config`` as the default for subsequently built solvers."""
+    global DEFAULT_CONFIG
+    DEFAULT_CONFIG = config
 
 
 class SatSolver:
@@ -40,9 +123,12 @@ class SatSolver:
     #: per answer and the theory loop above re-validates models anyway.
     verify_models = False
 
-    def __init__(self) -> None:
+    def __init__(self, config: Optional[SatConfig] = None) -> None:
+        if config is None:
+            config = DEFAULT_CONFIG
+        self.config = config
         self._num_vars = 0
-        self._clauses: List[List[int]] = []
+        self._clauses: List[Optional[List[int]]] = []
         # watch lists indexed by literal code (2*v for v, 2*v+1 for -v)
         self._watches: List[List[int]] = [[], []]
         # per-variable arrays, indexed 1..num_vars (slot 0 unused)
@@ -50,9 +136,16 @@ class SatSolver:
         self._reason: List[int] = [-1]  # antecedent clause index, -1 for decisions
         self._level: List[int] = [0]
         self._activity: List[float] = [0.0]
-        self._phase: List[bool] = [False]
+        self._phase: List[bool] = [config.default_phase]
+        self._phase_set: List[bool] = [False]  # has a saved (progress) polarity
         self._seen: List[bool] = [False]  # scratch for _analyze, cleared after use
         self._heap: List[Tuple[float, int]] = []
+        # Activity value of the freshest heap entry per variable, or -1.0
+        # when no known-fresh entry exists.  Backtracking only re-pushes a
+        # variable when its activity moved since the entry was pushed, which
+        # cuts the heap churn of deep backjump/replant cycles by an order of
+        # magnitude (the heap is lazy: stale entries are discarded on pop).
+        self._act_entry: List[float] = [-1.0]
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._activity_inc = 1.0
@@ -61,13 +154,29 @@ class SatSolver:
         self._theory = None
         self._theory_vars = None  # theory-atom variables (shared mapping)
         self._theory_head = 0  # trail entries already asserted into the theory
+        self._rng = Random(config.seed) if config.seed is not None else None
+        # Learned-clause metadata (CDCL-learned clauses only; clauses added
+        # through add_clause/_install_clause never enter the deletable pool,
+        # so theory lemmas are pinned by construction).
+        self._clause_lbd: Dict[int, int] = {}
+        self._clause_act: Dict[int, float] = {}
+        self._clause_act_inc = 1.0
+        self._num_deleted = 0
+        self._luby_index = 0
+        self._next_reduce = config.reduce_base
+        self._reduce_interval = config.reduce_inc
         self.num_conflicts = 0
         self.num_decisions = 0
         self.num_propagations = 0
         self.num_theory_propagations = 0
+        self.num_restarts = 0
+        self.num_clauses_deleted = 0
+        self.num_learned = 0
+        self.lbd_total = 0
+        self.num_phase_saving_hits = 0
         # Cumulative totals at the entry of the current/most recent ``solve``
         # call; the ``solve_*`` properties read per-call deltas off them.
-        self._solve_base = (0, 0, 0)
+        self._solve_base = (0, 0, 0, 0, 0, 0, 0, 0)
 
     @property
     def solve_conflicts(self) -> int:
@@ -83,6 +192,31 @@ class SatSolver:
     def solve_propagations(self) -> int:
         """Propagations during the current/most recent :meth:`solve` call."""
         return self.num_propagations - self._solve_base[2]
+
+    @property
+    def solve_restarts(self) -> int:
+        """Restarts during the current/most recent :meth:`solve` call."""
+        return self.num_restarts - self._solve_base[3]
+
+    @property
+    def solve_clauses_deleted(self) -> int:
+        """Learned clauses deleted during the current/most recent call."""
+        return self.num_clauses_deleted - self._solve_base[4]
+
+    @property
+    def solve_learned(self) -> int:
+        """Clauses learned during the current/most recent :meth:`solve` call."""
+        return self.num_learned - self._solve_base[5]
+
+    @property
+    def solve_lbd_total(self) -> int:
+        """Sum of learned-clause LBDs during the current/most recent call."""
+        return self.lbd_total - self._solve_base[6]
+
+    @property
+    def solve_phase_saving_hits(self) -> int:
+        """Decisions that reused a saved polarity during the current call."""
+        return self.num_phase_saving_hits - self._solve_base[7]
 
     # -- theory hook ---------------------------------------------------------
 
@@ -113,12 +247,20 @@ class SatSolver:
         self._assigns.append(0)
         self._reason.append(-1)
         self._level.append(0)
-        self._activity.append(0.0)
-        self._phase.append(False)
+        if self._rng is not None:
+            # Tiny jitter diversifies VSIDS tie-breaking per portfolio seed
+            # without perturbing genuine activity differences.
+            initial = self._rng.random() * 1e-9
+        else:
+            initial = 0.0
+        self._activity.append(initial)
+        self._phase.append(self.config.default_phase)
+        self._phase_set.append(False)
         self._seen.append(False)
         self._watches.append([])
         self._watches.append([])
-        heappush(self._heap, (0.0, var))
+        self._act_entry.append(initial)
+        heappush(self._heap, (-initial, var))
         return var
 
     @property
@@ -127,23 +269,30 @@ class SatSolver:
 
     @property
     def num_clauses(self) -> int:
-        """Size of the clause database, learned and blocking clauses included."""
-        return len(self._clauses)
+        """Live clauses in the database (tombstoned deletions excluded)."""
+        return len(self._clauses) - self._num_deleted
 
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a clause.  Returns ``False`` if the formula became trivially unsat.
 
         Clauses may be added between :meth:`solve` calls; this is how the
-        lazy SMT loop injects theory blocking clauses.  Adding a clause
-        backtracks to decision level 0 (the MiniSat discipline): the clause
-        is simplified against the permanent level-0 assignment — satisfied
-        clauses are dropped, falsified literals removed — so the watch
-        invariant holds without replaying the search from nothing.
+        lazy SMT loop injects theory blocking clauses.  The clause is first
+        simplified against the permanent level-0 assignment — satisfied
+        clauses are dropped, falsified literals removed.  Unlike the MiniSat
+        discipline this does *not* reset the search to level 0: the trail is
+        only unwound far enough that the new clause has two non-false
+        literals to watch, so the assumption-prefix trail shared by a burst
+        of incremental checks survives clause additions (unit clauses are
+        the exception — they are permanent consequences and assign at level
+        0).  Propagations the new clause enables below the surviving levels
+        cannot be missed: backtracking leaves the clause with two free
+        watchers, and any future falsification of a watcher visits it.
         """
         if self._unsat:
             return False
-        lits = sorted(set(literals), key=abs)
-        if any(-lit in lits for lit in lits):
+        unique = set(literals)
+        lits = sorted(unique, key=abs)
+        if any(-lit in unique for lit in lits):
             return True  # tautology, never useful
         for lit in lits:
             if not 1 <= abs(lit) <= self._num_vars:
@@ -151,33 +300,69 @@ class SatSolver:
         if not lits:
             self._unsat = True
             return False
-        self._backtrack(0)
         assigns = self._assigns
+        level = self._level
         simplified: List[int] = []
         for lit in lits:
-            value = assigns[lit] if lit > 0 else -assigns[-lit]
-            if value > 0:
-                return True  # already satisfied by a permanent assignment
-            if value == 0:
-                simplified.append(lit)
-            # level-0 false literals are permanently vacuous: drop them
+            var = lit if lit > 0 else -lit
+            value = assigns[var] if lit > 0 else -assigns[var]
+            if value != 0 and level[var] == 0:
+                if value > 0:
+                    return True  # satisfied by a permanent assignment
+                continue  # level-0 false literals are permanently vacuous
+            simplified.append(lit)
         if not simplified:
             self._unsat = True
             return False
-        index = len(self._clauses)
-        self._clauses.append(simplified)
         if len(simplified) == 1:
             # a permanent consequence: assign at level 0, propagate on the
             # next solve() (the trail entry is queued behind _qhead)
-            self._assign(simplified[0], index)
-        else:
-            self._watches[self._windex(simplified[0])].append(index)
-            self._watches[self._windex(simplified[1])].append(index)
+            self._backtrack(0)
+            lit = simplified[0]
+            value = assigns[lit] if lit > 0 else -assigns[-lit]
+            if value > 0:
+                return True  # was already implied at level 0
+            if value < 0:
+                self._unsat = True
+                return False
+            index = len(self._clauses)
+            self._clauses.append(simplified)
+            self._assign(lit, index)
+            return True
+        # Unwind decision levels until at least two literals are non-false,
+        # so the watch invariant (a unit/false clause is always detected)
+        # holds without replaying the whole search.  Terminates: the level-0
+        # simplification above guarantees every remaining false literal sits
+        # at a positive level, and backtracking frees it.
+        while True:
+            free = 0
+            for lit in simplified:
+                if (assigns[lit] if lit > 0 else -assigns[-lit]) >= 0:
+                    free += 1
+                    if free == 2:
+                        break
+            if free >= 2:
+                break
+            top = 1
+            for lit in simplified:
+                var = lit if lit > 0 else -lit
+                if assigns[var] != 0 and level[var] > top:
+                    top = level[var]
+            self._backtrack(top - 1)
+        simplified.sort(key=self._watch_rank, reverse=True)
+        index = len(self._clauses)
+        self._clauses.append(simplified)
+        self._watches[self._windex(simplified[0])].append(index)
+        self._watches[self._windex(simplified[1])].append(index)
         return True
 
     @staticmethod
     def _windex(lit: int) -> int:
         return (lit << 1) if lit > 0 else ((-lit << 1) | 1)
+
+    def _unwatch(self, lit: int, ci: int) -> None:
+        """Remove clause ``ci`` from ``lit``'s watch list."""
+        self._watches[self._windex(lit)].remove(ci)
 
     # -- assignment helpers --------------------------------------------------
 
@@ -205,7 +390,8 @@ class SatSolver:
         """Exhaustive unit propagation over the watched literals.
 
         Returns the index of a conflicting clause, or ``-1`` if the current
-        partial assignment is propagation-consistent.
+        partial assignment is propagation-consistent.  Watch lists are
+        compacted in place (no per-literal allocation).
         """
         assigns = self._assigns
         clauses = self._clauses
@@ -216,15 +402,16 @@ class SatSolver:
         level = self._level
         current_level = len(self._trail_lim)
         propagations = 0
-        while self._qhead < len(trail):
-            lit = trail[self._qhead]
-            self._qhead += 1
+        qhead = self._qhead
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
             neg = -lit
             widx = (neg << 1) if neg > 0 else ((-neg << 1) | 1)
             watch_list = watches[widx]
-            kept: List[int] = []
             conflict = -1
             i = 0
+            j = 0
             total = len(watch_list)
             while i < total:
                 ci = watch_list[i]
@@ -237,7 +424,8 @@ class SatSolver:
                 first = clause[0]
                 fv = assigns[first] if first > 0 else -assigns[-first]
                 if fv > 0:
-                    kept.append(ci)
+                    watch_list[j] = ci
+                    j += 1
                     continue
                 swapped = False
                 for k in range(2, len(clause)):
@@ -251,10 +439,14 @@ class SatSolver:
                         break
                 if swapped:
                     continue
-                kept.append(ci)
+                watch_list[j] = ci
+                j += 1
                 if fv < 0:
                     # every literal false: conflict; keep remaining watchers
-                    kept.extend(watch_list[i:])
+                    while i < total:
+                        watch_list[j] = watch_list[i]
+                        j += 1
+                        i += 1
                     conflict = ci
                     break
                 # inlined _assign (the hottest call site in the solver)
@@ -271,10 +463,12 @@ class SatSolver:
                     level[var] = current_level
                 trail.append(first)
                 propagations += 1
-            watches[widx] = kept
+            del watch_list[j:]
             if conflict >= 0:
+                self._qhead = qhead
                 self.num_propagations += propagations
                 return conflict
+        self._qhead = qhead
         self.num_propagations += propagations
         return -1
 
@@ -282,22 +476,42 @@ class SatSolver:
 
     def _bump(self, var: int) -> None:
         activity = self._activity
-        activity[var] += self._activity_inc
-        if activity[var] > 1e100:
+        act = activity[var] + self._activity_inc
+        activity[var] = act
+        if act > 1e100:
             for index in range(1, self._num_vars + 1):
                 activity[index] *= 1e-100
             self._activity_inc *= 1e-100
             self._rebuild_heap()
         elif self._assigns[var] == 0:
-            heappush(self._heap, (-activity[var], var))
+            self._act_entry[var] = act
+            heappush(self._heap, (-act, var))
+
+    def _bump_clause(self, index: int) -> None:
+        act = self._clause_act
+        if index in act:
+            bumped = act[index] + self._clause_act_inc
+            act[index] = bumped
+            if bumped > 1e20:
+                scale = 1e-20
+                for ci in act:
+                    act[ci] *= scale
+                self._clause_act_inc *= scale
 
     def _rebuild_heap(self) -> None:
-        self._heap = [
-            (-self._activity[var], var)
-            for var in range(1, self._num_vars + 1)
-            if self._assigns[var] == 0
-        ]
-        heapify(self._heap)
+        activity = self._activity
+        assigns = self._assigns
+        act_entry = self._act_entry
+        entries: List[Tuple[float, int]] = []
+        for var in range(1, self._num_vars + 1):
+            if assigns[var] == 0:
+                act = activity[var]
+                act_entry[var] = act
+                entries.append((-act, var))
+            else:
+                act_entry[var] = -1.0
+        heapify(entries)
+        self._heap = entries
 
     def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
         """First-UIP conflict analysis: learned clause and backjump level."""
@@ -305,6 +519,7 @@ class SatSolver:
         touched: List[int] = []
         learned: List[int] = []
         counter = 0
+        self._bump_clause(conflict_index)
         clause = list(self._clauses[conflict_index])
         trail_index = len(self._trail) - 1
         current_level = self._decision_level()
@@ -333,8 +548,29 @@ class SatSolver:
                 break
             reason_index = self._reason[resolve_lit if resolve_lit > 0 else -resolve_lit]
             assert reason_index >= 0, "decision literal reached before UIP"
+            self._bump_clause(reason_index)
             clause = [l for l in self._clauses[reason_index] if l != resolve_lit]
 
+        # Local clause minimisation (MiniSat ccmin): a non-asserting literal
+        # is redundant when its reason clause is subsumed by the rest of the
+        # learned clause — every other reason literal is already marked seen
+        # or sits at level 0.  Must run while ``seen`` is still set.
+        if learned:
+            reason = self._reason
+            clauses = self._clauses
+            minimized: List[int] = []
+            for lit in learned:
+                var = lit if lit > 0 else -lit
+                reason_index = reason[var]
+                if reason_index < 0:
+                    minimized.append(lit)
+                    continue
+                for other in clauses[reason_index]:
+                    other_var = other if other > 0 else -other
+                    if other_var != var and not seen[other_var] and level[other_var] > 0:
+                        minimized.append(lit)
+                        break
+            learned = minimized
         for var in touched:
             seen[var] = False
         learned.insert(0, -resolve_lit)
@@ -350,22 +586,79 @@ class SatSolver:
         return learned, level[abs(learned[1])]
 
     def _backtrack(self, target: int) -> None:
-        if self._decision_level() <= target:
+        if len(self._trail_lim) <= target:
             return
         limit = self._trail_lim[target]
         assigns = self._assigns
         activity = self._activity
+        act_entry = self._act_entry
+        phase_set = self._phase_set
         heap = self._heap
         for lit in self._trail[limit:]:
             var = lit if lit > 0 else -lit
             assigns[var] = 0
-            heappush(heap, (-activity[var], var))
+            # progress saving: the polarity recorded at assignment time
+            # becomes this variable's preferred phase for future decisions
+            phase_set[var] = True
+            act = activity[var]
+            if act_entry[var] != act:
+                act_entry[var] = act
+                heappush(heap, (-act, var))
         del self._trail[limit:]
         del self._trail_lim[target:]
-        self._qhead = min(self._qhead, len(self._trail))
+        if self._qhead > len(self._trail):
+            self._qhead = len(self._trail)
         if self._theory is not None and self._theory_head > len(self._trail):
             self._theory.shrink_to_trail(len(self._trail))
             self._theory_head = len(self._trail)
+
+    # -- learned-clause database reduction -----------------------------------
+
+    def _compute_lbd(self, learned: List[int]) -> int:
+        """Literal block distance: distinct decision levels in the clause.
+
+        Computed while every literal is still assigned (before the backjump),
+        the standard glucose measure of learned-clause quality.
+        """
+        level = self._level
+        return len({level[lit if lit > 0 else -lit] for lit in learned})
+
+    def _reduce_db(self) -> None:
+        """Delete the worse half of the deletable learned clauses.
+
+        Deletable means CDCL-learned (theory lemmas and problem clauses
+        never enter ``_clause_lbd``), above the glue threshold, longer than
+        binary, and not the reason of any currently-assigned literal —
+        reasons are live antecedents that conflict analysis may resolve on.
+        Worse means higher LBD, then lower activity.
+        """
+        reason = self._reason
+        pinned = {reason[lit if lit > 0 else -lit] for lit in self._trail}
+        lbd_map = self._clause_lbd
+        act = self._clause_act
+        glue = self.config.glue_lbd
+        clauses = self._clauses
+        candidates = [
+            ci
+            for ci, lbd in lbd_map.items()
+            if lbd > glue and ci not in pinned and len(clauses[ci]) > 2
+        ]
+        self._reduce_interval += self.config.reduce_inc
+        self._next_reduce = self.num_conflicts + self._reduce_interval
+        if len(candidates) < 2:
+            return
+        candidates.sort(key=lambda ci: (-lbd_map[ci], act.get(ci, 0.0), ci))
+        watches = self._watches
+        drop = candidates[: len(candidates) // 2]
+        for ci in drop:
+            clause = clauses[ci]
+            self._unwatch(clause[0], ci)
+            self._unwatch(clause[1], ci)
+            clauses[ci] = None
+            del lbd_map[ci]
+            act.pop(ci, None)
+        self._num_deleted += len(drop)
+        self.num_clauses_deleted += len(drop)
 
     # -- theory integration ----------------------------------------------------
 
@@ -377,6 +670,8 @@ class SatSolver:
         (unassigned literals first, then highest assignment level), which
         keeps the watch invariant for conflict clauses (all literals false)
         and propagation reasons (exactly the implied literal unassigned).
+        Installed lemmas are permanent: they never enter the deletable pool
+        scanned by :meth:`_reduce_db`.
         """
         lits: List[int] = []
         seen = set()
@@ -455,14 +750,21 @@ class SatSolver:
         if top < self._decision_level():
             self._backtrack(top)
         learned, backjump_level = self._analyze(conflict_index)
+        lbd = self._compute_lbd(learned)
+        self.num_learned += 1
+        self.lbd_total += lbd
         self._backtrack(backjump_level)
         index = len(self._clauses)
         self._clauses.append(learned)
         if len(learned) >= 2:
             self._watches[self._windex(learned[0])].append(index)
             self._watches[self._windex(learned[1])].append(index)
+            if self.config.clause_deletion:
+                self._clause_lbd[index] = lbd
+                self._clause_act[index] = self._clause_act_inc
         self._assign(learned[0], index)
         self._activity_inc *= 1.05
+        self._clause_act_inc *= 1.001
         return True
 
     # -- search --------------------------------------------------------------
@@ -470,15 +772,21 @@ class SatSolver:
     def _pick_branch_var(self) -> Optional[int]:
         assigns = self._assigns
         activity = self._activity
+        act_entry = self._act_entry
         heap = self._heap
         while heap:
             negact, var = heappop(heap)
-            if assigns[var] == 0 and -negact == activity[var]:
+            act = -negact
+            if act_entry[var] == act:
+                act_entry[var] = -1.0  # the fresh entry is consumed
+            if assigns[var] == 0 and act == activity[var]:
                 return var
         return None
 
     def _model_satisfies_all(self) -> bool:
         for clause in self._clauses:
+            if clause is None:
+                continue
             if not any(self._value(lit) is True for lit in clause):
                 return False
         return True
@@ -497,20 +805,63 @@ class SatSolver:
         on every learned clause being a consequence of the clause database
         alone.  By the same argument any conflict at level 0 refutes the
         clause database itself, so it latches the solver permanently unsat.
+
+        Restarts backtrack to level 0 and keep everything permanent — the
+        level-0 trail, the learned clauses and the saved phases — so a
+        restarted search resumes with all the pruning it has earned;
+        assumptions are re-planted by the decision loop exactly as after an
+        ordinary backjump.
         """
-        self._solve_base = (self.num_conflicts, self.num_decisions, self.num_propagations)
+        self._solve_base = (
+            self.num_conflicts,
+            self.num_decisions,
+            self.num_propagations,
+            self.num_restarts,
+            self.num_clauses_deleted,
+            self.num_learned,
+            self.lbd_total,
+            self.num_phase_saving_hits,
+        )
         if self._unsat:
             return None
         assumption_list = list(assumptions)
         for lit in assumption_list:
             if not 1 <= abs(lit) <= self._num_vars:
                 raise ValueError(f"assumption {lit} refers to an unallocated variable")
-        # Retract the previous call's decisions but keep the permanent
-        # level-0 trail: those assignments are consequences of the clause
-        # database alone, so re-deriving them on every call would only
-        # replay identical propagations.
-        self._backtrack(0)
+        # Trail reuse across calls: retract only the decision levels that are
+        # incompatible with this call's assumptions.  A leading level whose
+        # decision literal is the next assumption (or whose assumption is
+        # already true within the kept prefix) is a state this call's own
+        # planting loop would reconstruct verbatim — consecutive queries
+        # share their hypothesis frames, so keeping those levels saves
+        # re-propagating an almost identical trail per check.  Free decisions
+        # and mismatched assumptions always cut the prefix: a level survives
+        # only when its decision is literally one of the new assumptions.
+        # (``add_clause`` still backtracks to 0, so any database change
+        # between calls re-propagates from scratch.)
+        trail = self._trail
+        lim = self._trail_lim
+        level = self._level
+        assigns = self._assigns
+        keep = 0
+        for lit in assumption_list:
+            if keep < len(lim) and trail[lim[keep]] == lit:
+                keep += 1
+                continue
+            var = lit if lit > 0 else -lit
+            value = assigns[var]
+            if value != 0 and (value > 0) == (lit > 0) and level[var] <= keep:
+                continue  # already true inside the kept prefix
+            break
+        self._backtrack(keep)
         theory = self._theory
+        config = self.config
+        use_restarts = config.restarts
+        use_deletion = config.clause_deletion
+        phase_saving = config.phase_saving
+        default_phase = config.default_phase
+        restart_limit = config.luby_unit * luby(self._luby_index)
+        conflicts_since_restart = 0
 
         while True:
             conflict = self._propagate()
@@ -521,6 +872,19 @@ class SatSolver:
             if conflict >= 0:
                 if not self._resolve_conflict(conflict):
                     return None
+                conflicts_since_restart += 1
+                if use_deletion and self.num_conflicts >= self._next_reduce:
+                    self._reduce_db()
+                if (
+                    use_restarts
+                    and conflicts_since_restart >= restart_limit
+                    and self._decision_level() > 0
+                ):
+                    self.num_restarts += 1
+                    self._luby_index += 1
+                    restart_limit = config.luby_unit * luby(self._luby_index)
+                    conflicts_since_restart = 0
+                    self._backtrack(0)
                 continue
             if theory is not None:
                 # Theory consistency of the *partial* assignment, once per
@@ -559,13 +923,14 @@ class SatSolver:
                         continue
                 if self.verify_models:
                     assert self._model_satisfies_all(), "internal error: bogus SAT model"
-                assigns = self._assigns
                 return {
-                    var: assigns[var] > 0
-                    for var in range(1, self._num_vars + 1)
-                    if assigns[var] != 0
+                    lit if lit > 0 else -lit: lit > 0 for lit in self._trail
                 }
             self.num_decisions += 1
             self._trail_lim.append(len(self._trail))
-            preferred = self._phase[branch_var]
+            if phase_saving and self._phase_set[branch_var]:
+                preferred = self._phase[branch_var]
+                self.num_phase_saving_hits += 1
+            else:
+                preferred = default_phase
             self._assign(branch_var if preferred else -branch_var, -1)

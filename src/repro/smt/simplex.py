@@ -12,6 +12,18 @@ constraints produced by refinement checking have almost exclusively ±1
 coefficients, so the hot path is pure machine-int arithmetic — an order of
 magnitude cheaper than ``Fraction``'s normalising operators.
 
+Internally the tableau is *flattened*: every variable gets a dense integer
+id, and values/bounds live in parallel arrays indexed by id (the value array
+is split into real/eps component arrays, so the hot update loops never
+allocate a :class:`DeltaRational`).  Fixed-width containers (``array('q')``,
+numpy) are deliberately **not** used for the coefficients: exactness
+requires arbitrary-precision ints with Fraction fallback, which only plain
+Python lists can hold without overflow.  Rows are sparse ``{col_id: coeff}``
+dicts until their occupancy crosses :data:`DENSE_RATIO` of the column count,
+at which point they are converted to dense coefficient lists; a column
+index (var id → basic rows mentioning it) makes bound updates O(column
+occupancy) instead of O(rows).  Names appear only at the API boundary.
+
 The entry point is :func:`check_constraints`: given a conjunction of linear
 constraints it either returns a rational model or an *explanation* — a subset
 of the input constraint indices that is already infeasible — which the lazy
@@ -24,12 +36,20 @@ import math
 import sys
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 Rational = Union[int, Fraction]
 
 INT_DIVISIONS = 0
 FRACTION_DIVISIONS = 0
+
+#: A sparse row converts to a dense coefficient list when it has at least
+#: this many nonzeros …
+DENSE_MIN_NNZ = 48
+#: … and mentions at least this fraction of all allocated columns.  Rows
+#: from refinement checking are tiny (a handful of ±1 coefficients), so the
+#: dense path only kicks in for genuinely dense tableaus.
+DENSE_RATIO = 0.35
 
 
 def exact_div(a: Rational, b: Rational) -> Rational:
@@ -129,17 +149,46 @@ class _Bound:
         self.origin = origin
 
 
+#: Row representation: sparse ``{col_id: coeff}`` or a dense coefficient
+#: list indexed by col id (missing tail entries are zero).
+Row = Union[Dict[int, Rational], List[Rational]]
+
+
+def _row_items(row: Row) -> Iterator[Tuple[int, Rational]]:
+    """Iterate the nonzero (col_id, coeff) entries of a row."""
+    if type(row) is dict:
+        return iter(row.items())
+    return ((j, c) for j, c in enumerate(row) if c)
+
+
+def _row_coeff(row: Row, j: int) -> Rational:
+    """The coefficient of column ``j`` in ``row`` (0 when absent)."""
+    if type(row) is dict:
+        return row.get(j, 0)
+    return row[j] if j < len(row) else 0
+
+
 class Simplex:
-    """General simplex tableau over exact rationals."""
+    """General simplex tableau over exact rationals (flattened, id-indexed)."""
 
     def __init__(self) -> None:
-        # tableau: basic var -> {nonbasic var: coefficient}
-        self._rows: Dict[str, Dict[str, Rational]] = {}
-        self._basic: Set[str] = set()
-        self._nonbasic: Set[str] = set()
-        self._lower: Dict[str, _Bound] = {}
-        self._upper: Dict[str, _Bound] = {}
-        self._values: Dict[str, DeltaRational] = {}
+        # name <-> dense id translation (names only at the API boundary)
+        self._id: Dict[str, int] = {}
+        self._name: List[str] = []
+        self._is_slack: List[bool] = []
+        # variable values, split into parallel real/eps component arrays so
+        # the update loops work on plain rationals
+        self._vreal: List[Rational] = []
+        self._veps: List[Rational] = []
+        self._lower: List[Optional[_Bound]] = []
+        self._upper: List[Optional[_Bound]] = []
+        # tableau: basic id -> row; a var is basic iff it keys ``_rows``
+        self._rows: Dict[int, Row] = {}
+        # column index: var id -> basic ids whose row has a nonzero there
+        self._cols: List[Set[int]] = []
+        # basic ids whose value/bounds changed since last verified in-bounds
+        # (the base class ignores it; BacktrackableSimplex feeds feasible())
+        self._dirty: Set[int] = set()
         self._slack_count = 0
         # Lifetime pivot count.  This is the tableau's one observability
         # feed: the theory solver snapshots it in ``begin_check`` and reads
@@ -150,10 +199,23 @@ class Simplex:
 
     # -- construction --------------------------------------------------------
 
-    def _ensure_var(self, name: str) -> None:
-        if name not in self._basic and name not in self._nonbasic:
-            self._nonbasic.add(name)
-            self._values[name] = ZERO
+    def _ensure_var(self, name: str) -> int:
+        vid = self._id.get(name)
+        if vid is None:
+            vid = self._new_id(name, is_slack=False)
+        return vid
+
+    def _new_id(self, name: str, is_slack: bool) -> int:
+        vid = len(self._name)
+        self._id[name] = vid
+        self._name.append(name)
+        self._is_slack.append(is_slack)
+        self._vreal.append(0)
+        self._veps.append(0)
+        self._lower.append(None)
+        self._upper.append(None)
+        self._cols.append(set())
+        return vid
 
     def add_constraint(self, constraint: Constraint, origin: int) -> Optional[Set[int]]:
         """Add one constraint.  Returns a conflict explanation if it is
@@ -168,34 +230,50 @@ class Simplex:
         if len(coeffs) == 1:
             # simple bound on a single variable: coeff * x <op> bound
             (name, coeff), = coeffs.items()
-            self._ensure_var(name)
-            return self._assert_scaled_bound(name, coeff, constraint, origin)
+            vid = self._ensure_var(name)
+            return self._assert_scaled_bound(vid, coeff, constraint, origin)
 
-        slack = self._fresh_slack()
-        for name in coeffs:
-            self._ensure_var(name)
-        row: Dict[str, Rational] = {}
-        for name, coeff in coeffs.items():
-            if name in self._basic:
+        slack = self._install_row(coeffs)
+        return self._assert_scaled_bound(slack, 1, constraint, origin)
+
+    def _install_row(self, coeffs: Dict[str, Rational]) -> int:
+        """Create a slack variable defined as ``sum coeffs . x`` (a new row)."""
+        ids = [(self._ensure_var(name), coeff) for name, coeff in coeffs.items()]
+        row: Dict[int, Rational] = {}
+        rows = self._rows
+        for vid, coeff in ids:
+            definition = rows.get(vid)
+            if definition is not None:
                 # substitute the definition of a basic variable
-                for inner, inner_coeff in self._rows[name].items():
+                for inner, inner_coeff in _row_items(definition):
                     row[inner] = row.get(inner, 0) + coeff * inner_coeff
             else:
-                row[name] = row.get(name, 0) + coeff
-        row = {name: coeff for name, coeff in row.items() if coeff != 0}
-        self._rows[slack] = row
-        self._basic.add(slack)
-        self._values[slack] = self._row_value(slack)
-        return self._assert_scaled_bound(slack, 1, constraint, origin)
+                row[vid] = row.get(vid, 0) + coeff
+        row = {j: c for j, c in row.items() if c != 0}
+        slack = self._new_id(self._fresh_slack(), is_slack=True)
+        rows[slack] = row
+        cols = self._cols
+        for j in row:
+            cols[j].add(slack)
+        real: Rational = 0
+        eps: Rational = 0
+        vreal = self._vreal
+        veps = self._veps
+        for j, c in row.items():
+            real += vreal[j] * c
+            eps += veps[j] * c
+        vreal[slack] = real
+        veps[slack] = eps
+        return slack
 
     def _fresh_slack(self) -> str:
         self._slack_count += 1
         return f"__slack{self._slack_count}"
 
     def _assert_scaled_bound(
-        self, name: str, coeff: Rational, constraint: Constraint, origin: int
+        self, vid: int, coeff: Rational, constraint: Constraint, origin: int
     ) -> Optional[Set[int]]:
-        """Assert ``coeff * name <op> bound`` as bounds on ``name``."""
+        """Assert ``coeff * var <op> bound`` as bounds on the variable."""
         op = constraint.op
         if coeff < 0:
             op = _flip(op)
@@ -203,109 +281,153 @@ class Simplex:
         conflicts: Set[int] = set()
         if op in ("<=", "<", "="):
             value = DeltaRational(limit, -1 if op == "<" else 0)
-            conflict = self._assert_upper(name, value, origin)
+            conflict = self._assert_upper(vid, value, origin)
             if conflict:
                 conflicts |= conflict
         if op in (">=", ">", "="):
             value = DeltaRational(limit, 1 if op == ">" else 0)
-            conflict = self._assert_lower(name, value, origin)
+            conflict = self._assert_lower(vid, value, origin)
             if conflict:
                 conflicts |= conflict
         return conflicts or None
 
-    def _assert_upper(self, name: str, value: DeltaRational, origin: int) -> Optional[Set[int]]:
-        current = self._upper.get(name)
+    def _assert_upper(self, vid: int, value: DeltaRational, origin: int) -> Optional[Set[int]]:
+        current = self._upper[vid]
         if current is not None and current.value <= value:
             return None
-        lower = self._lower.get(name)
+        lower = self._lower[vid]
         if lower is not None and value < lower.value:
             return {origin, lower.origin}
-        self._record_bound_change(name, True, current)
-        self._upper[name] = _Bound(value, origin)
-        if name in self._nonbasic:
-            if self._values[name] > value:
-                self._update_nonbasic(name, value)
+        self._record_bound_change(vid, True, current)
+        self._upper[vid] = _Bound(value, origin)
+        if vid not in self._rows:
+            vr = self._vreal[vid]
+            ve = self._veps[vid]
+            if vr > value.real or (vr == value.real and ve > value.eps):
+                self._update_nonbasic(vid, value.real, value.eps)
         else:
-            self._bound_tightened_on_basic(name)
+            self._bound_tightened_on_basic(vid)
         return None
 
-    def _assert_lower(self, name: str, value: DeltaRational, origin: int) -> Optional[Set[int]]:
-        current = self._lower.get(name)
+    def _assert_lower(self, vid: int, value: DeltaRational, origin: int) -> Optional[Set[int]]:
+        current = self._lower[vid]
         if current is not None and current.value >= value:
             return None
-        upper = self._upper.get(name)
+        upper = self._upper[vid]
         if upper is not None and value > upper.value:
             return {origin, upper.origin}
-        self._record_bound_change(name, False, current)
-        self._lower[name] = _Bound(value, origin)
-        if name in self._nonbasic:
-            if self._values[name] < value:
-                self._update_nonbasic(name, value)
+        self._record_bound_change(vid, False, current)
+        self._lower[vid] = _Bound(value, origin)
+        if vid not in self._rows:
+            vr = self._vreal[vid]
+            ve = self._veps[vid]
+            if vr < value.real or (vr == value.real and ve < value.eps):
+                self._update_nonbasic(vid, value.real, value.eps)
         else:
-            self._bound_tightened_on_basic(name)
+            self._bound_tightened_on_basic(vid)
         return None
 
     def _record_bound_change(
-        self, name: str, is_upper: bool, previous: Optional[_Bound]
+        self, vid: int, is_upper: bool, previous: Optional[_Bound]
     ) -> None:
         """Hook for subclasses that trail bound changes (no-op here)."""
 
-    def _bound_tightened_on_basic(self, name: str) -> None:
+    def _bound_tightened_on_basic(self, vid: int) -> None:
         """Hook: a basic variable's bound tightened (no-op here)."""
 
     # -- value maintenance ---------------------------------------------------
 
-    def _row_value(self, basic: str) -> DeltaRational:
-        real: Rational = 0
-        eps: Rational = 0
-        values = self._values
-        for name, coeff in self._rows[basic].items():
-            value = values[name]
-            real += value.real * coeff
-            eps += value.eps * coeff
-        return DeltaRational(real, eps)
+    def _update_nonbasic(self, vid: int, new_real: Rational, new_eps: Rational) -> None:
+        """Move a nonbasic variable to a new value; fix up dependent basics.
 
-    def _update_nonbasic(self, name: str, value: DeltaRational) -> None:
-        delta = value - self._values[name]
-        self._values[name] = value
-        delta_real = delta.real
-        delta_eps = delta.eps
-        values = self._values
-        for basic, row in self._rows.items():
-            coeff = row.get(name)
-            if coeff:
-                old = values[basic]
-                values[basic] = DeltaRational(
-                    old.real + delta_real * coeff, old.eps + delta_eps * coeff
-                )
+        O(column occupancy) thanks to the column index — only the rows that
+        actually mention ``vid`` are touched.
+        """
+        vreal = self._vreal
+        veps = self._veps
+        delta_real = new_real - vreal[vid]
+        delta_eps = new_eps - veps[vid]
+        vreal[vid] = new_real
+        veps[vid] = new_eps
+        rows = self._rows
+        dirty = self._dirty
+        for bi in self._cols[vid]:
+            row = rows[bi]
+            coeff = row.get(vid) if type(row) is dict else row[vid]
+            vreal[bi] = vreal[bi] + delta_real * coeff
+            veps[bi] = veps[bi] + delta_eps * coeff
+            dirty.add(bi)
 
     # -- pivoting ------------------------------------------------------------
 
-    def _pivot(self, basic: str, nonbasic: str) -> None:
-        """Swap ``basic`` out of the basis and ``nonbasic`` into it."""
-        row = self._rows.pop(basic)
-        coeff = row[nonbasic]
-        # nonbasic = (basic - sum_{j != nonbasic} a_j x_j) / coeff
-        new_row: Dict[str, Rational] = {basic: exact_div(1, coeff)}
-        for name, a in row.items():
-            if name != nonbasic:
-                new_row[name] = exact_div(-a, coeff)
-        # substitute into all other rows
-        for other, other_row in self._rows.items():
-            a = other_row.pop(nonbasic, None)
-            if a:
-                for name, b in new_row.items():
-                    updated = other_row.get(name, 0) + a * b
+    def _pivot(self, bi: int, nj: int) -> None:
+        """Swap basic ``bi`` out of the basis and nonbasic ``nj`` into it."""
+        rows = self._rows
+        cols = self._cols
+        row = rows.pop(bi)
+        items = list(_row_items(row))
+        for j, _ in items:
+            cols[j].discard(bi)
+        coeff = _row_coeff(row, nj)
+        # nj = (bi - sum_{j != nj} a_j x_j) / coeff
+        new_row: Dict[int, Rational] = {bi: exact_div(1, coeff)}
+        for j, a in items:
+            if j != nj:
+                new_row[j] = exact_div(-a, coeff)
+        # substitute into every remaining row that mentions nj
+        touched = cols[nj]
+        cols[nj] = set()  # nj becomes basic: no row mentions it afterwards
+        for other in touched:
+            other_row = rows[other]
+            if type(other_row) is dict:
+                a = other_row.pop(nj, 0)
+                if not a:
+                    continue
+                for j, b in new_row.items():
+                    updated = other_row.get(j, 0) + a * b
                     if updated == 0:
-                        other_row.pop(name, None)
+                        if j in other_row:
+                            del other_row[j]
+                            cols[j].discard(other)
                     else:
-                        other_row[name] = updated
-        self._rows[nonbasic] = {k: v for k, v in new_row.items() if v != 0}
-        self._basic.remove(basic)
-        self._basic.add(nonbasic)
-        self._nonbasic.remove(nonbasic)
-        self._nonbasic.add(basic)
+                        if j not in other_row:
+                            cols[j].add(other)
+                        other_row[j] = updated
+            else:
+                a = other_row[nj] if nj < len(other_row) else 0
+                if not a:
+                    continue
+                other_row[nj] = 0
+                for j, b in new_row.items():
+                    while j >= len(other_row):
+                        other_row.append(0)
+                    old = other_row[j]
+                    updated = old + a * b
+                    other_row[j] = updated
+                    if updated == 0:
+                        if old != 0:
+                            cols[j].discard(other)
+                    elif old == 0:
+                        cols[j].add(other)
+        installed = {j: c for j, c in new_row.items() if c != 0}
+        rows[nj] = installed
+        for j in installed:
+            cols[j].add(nj)
+        self._maybe_densify(nj)
         self.pivots += 1
+
+    def _maybe_densify(self, bi: int) -> None:
+        """Convert a high-occupancy sparse row to its dense representation."""
+        row = self._rows[bi]
+        if type(row) is not dict:
+            return
+        nnz = len(row)
+        total = len(self._name)
+        if nnz >= DENSE_MIN_NNZ and nnz >= DENSE_RATIO * total:
+            dense: List[Rational] = [0] * total
+            for j, c in row.items():
+                dense[j] = c
+            self._rows[bi] = dense
 
     def pivots_since(self, baseline: int) -> int:
         """Pivots performed since ``baseline`` (a stashed ``self.pivots``).
@@ -322,8 +444,7 @@ class Simplex:
             if violated is None:
                 return SimplexResult(True, model=self._extract_model())
             basic, need_increase = violated
-            row = self._rows[basic]
-            pivot_var = self._find_pivot(row, need_increase)
+            pivot_var = self._find_pivot(self._rows[basic], need_increase)
             if pivot_var is None:
                 return SimplexResult(False, conflict=self._explain(basic, need_increase))
             target = (
@@ -331,61 +452,90 @@ class Simplex:
             )
             self._pivot_and_update(basic, pivot_var, target)
 
-    def _find_violated_basic(self) -> Optional[Tuple[str, bool]]:
-        for basic in sorted(self._basic):
-            value = self._values[basic]
-            lower = self._lower.get(basic)
-            if lower is not None and value < lower.value:
-                return basic, True
-            upper = self._upper.get(basic)
-            if upper is not None and value > upper.value:
-                return basic, False
+    def _find_violated_basic(self) -> Optional[Tuple[int, bool]]:
+        name = self._name
+        vreal = self._vreal
+        veps = self._veps
+        for basic in sorted(self._rows, key=name.__getitem__):
+            vr = vreal[basic]
+            ve = veps[basic]
+            lower = self._lower[basic]
+            if lower is not None:
+                bv = lower.value
+                if vr < bv.real or (vr == bv.real and ve < bv.eps):
+                    return basic, True
+            upper = self._upper[basic]
+            if upper is not None:
+                bv = upper.value
+                if vr > bv.real or (vr == bv.real and ve > bv.eps):
+                    return basic, False
         return None
 
-    def _find_pivot(self, row: Dict[str, Rational], need_increase: bool) -> Optional[str]:
-        for name in sorted(row):
-            coeff = row[name]
+    def _find_pivot(self, row: Row, need_increase: bool) -> Optional[int]:
+        # Bland's rule over the *names* (not the ids): byte-compatible with
+        # the historical string-keyed tableau, so pivot sequences — and hence
+        # certified conflict cores — are unchanged by the flattening.
+        name = self._name
+        if type(row) is dict:
+            columns = sorted(row, key=name.__getitem__)
+        else:
+            columns = sorted((j for j, c in enumerate(row) if c), key=name.__getitem__)
+        for j in columns:
+            coeff = _row_coeff(row, j)
             if need_increase:
-                can_help = (coeff > 0 and self._can_increase(name)) or (
-                    coeff < 0 and self._can_decrease(name)
+                can_help = (coeff > 0 and self._can_increase(j)) or (
+                    coeff < 0 and self._can_decrease(j)
                 )
             else:
-                can_help = (coeff > 0 and self._can_decrease(name)) or (
-                    coeff < 0 and self._can_increase(name)
+                can_help = (coeff > 0 and self._can_decrease(j)) or (
+                    coeff < 0 and self._can_increase(j)
                 )
             if can_help:
-                return name
+                return j
         return None
 
-    def _can_increase(self, name: str) -> bool:
-        upper = self._upper.get(name)
-        return upper is None or self._values[name] < upper.value
+    def _can_increase(self, vid: int) -> bool:
+        upper = self._upper[vid]
+        if upper is None:
+            return True
+        bv = upper.value
+        vr = self._vreal[vid]
+        return vr < bv.real or (vr == bv.real and self._veps[vid] < bv.eps)
 
-    def _can_decrease(self, name: str) -> bool:
-        lower = self._lower.get(name)
-        return lower is None or self._values[name] > lower.value
+    def _can_decrease(self, vid: int) -> bool:
+        lower = self._lower[vid]
+        if lower is None:
+            return True
+        bv = lower.value
+        vr = self._vreal[vid]
+        return vr > bv.real or (vr == bv.real and self._veps[vid] > bv.eps)
 
-    def _pivot_and_update(self, basic: str, nonbasic: str, target: DeltaRational) -> None:
-        coeff = self._rows[basic][nonbasic]
-        diff = target - self._values[basic]
-        delta = DeltaRational(exact_div(diff.real, coeff), exact_div(diff.eps, coeff))
-        self._values[basic] = target
-        self._values[nonbasic] = self._values[nonbasic] + delta
-        delta_real = delta.real
-        delta_eps = delta.eps
-        values = self._values
-        for other, row in self._rows.items():
-            if other == basic:
+    def _pivot_and_update(self, bi: int, nj: int, target: DeltaRational) -> None:
+        vreal = self._vreal
+        veps = self._veps
+        coeff = _row_coeff(self._rows[bi], nj)
+        delta_real = exact_div(target.real - vreal[bi], coeff)
+        delta_eps = exact_div(target.eps - veps[bi], coeff)
+        vreal[bi] = target.real
+        veps[bi] = target.eps
+        vreal[nj] = vreal[nj] + delta_real
+        veps[nj] = veps[nj] + delta_eps
+        rows = self._rows
+        dirty = self._dirty
+        for other in self._cols[nj]:
+            if other == bi:
                 continue
-            a = row.get(nonbasic)
-            if a:
-                old = values[other]
-                values[other] = DeltaRational(
-                    old.real + delta_real * a, old.eps + delta_eps * a
-                )
-        self._pivot(basic, nonbasic)
+            row = rows[other]
+            a = row.get(nj) if type(row) is dict else row[nj]
+            vreal[other] = vreal[other] + delta_real * a
+            veps[other] = veps[other] + delta_eps * a
+            dirty.add(other)
+        self._pivot(bi, nj)
+        # the entering variable's shifted value may violate its own bounds
+        dirty.add(nj)
+        dirty.discard(bi)
 
-    def _explain(self, basic: str, need_increase: bool) -> Set[int]:
+    def _explain(self, basic: int, need_increase: bool) -> Set[int]:
         """Conflict explanation: the bound of the violated basic variable plus
         the bounds that prevent every nonbasic variable in its row from
         moving in the helpful direction."""
@@ -394,12 +544,12 @@ class Simplex:
             explanation.add(self._lower[basic].origin)
         else:
             explanation.add(self._upper[basic].origin)
-        for name, coeff in self._rows[basic].items():
+        for j, coeff in _row_items(self._rows[basic]):
             helps_by_increasing = (coeff > 0) == need_increase
             if helps_by_increasing:
-                bound = self._upper.get(name)
+                bound = self._upper[j]
             else:
-                bound = self._lower.get(name)
+                bound = self._lower[j]
             if bound is not None:
                 explanation.add(bound.origin)
         # Note: every element is a caller-supplied origin tag — constraint
@@ -414,35 +564,42 @@ class Simplex:
         Any positive rational value small enough works for delta; we compute
         one that keeps all strict inequalities strict.
         """
-        delta = _concrete_delta(self._values, self._lower, self._upper)
+        delta = self._concrete_delta(restricted=False)
         model = {}
-        for name, value in self._values.items():
-            if name.startswith("__slack"):
+        is_slack = self._is_slack
+        vreal = self._vreal
+        veps = self._veps
+        for vid, name in enumerate(self._name):
+            if is_slack[vid]:
                 continue
-            model[name] = value.real + value.eps * delta
+            model[name] = vreal[vid] + veps[vid] * delta
         return model
 
+    def _concrete_delta(self, restricted: bool) -> Rational:
+        """A concrete positive value for the infinitesimal.
 
-def _concrete_delta(
-    values: Dict[str, DeltaRational],
-    lowers: Dict[str, _Bound],
-    uppers: Dict[str, _Bound],
-) -> Rational:
-    delta: Rational = 1
-    for name, value in values.items():
-        lower = lowers.get(name)
-        if lower is not None:
-            gap_real = value.real - lower.value.real
-            gap_eps = value.eps - lower.value.eps
+        Scans every bound (only bounded variables constrain how large delta
+        may be — the ``restricted`` flag is documentation of that fact; both
+        modes iterate the bound arrays, which already skip unbounded vars).
+        """
+        delta: Rational = 1
+        vreal = self._vreal
+        veps = self._veps
+        for vid, bound in enumerate(self._lower):
+            if bound is None:
+                continue
+            gap_real = vreal[vid] - bound.value.real
+            gap_eps = veps[vid] - bound.value.eps
             if gap_eps < 0 and gap_real > 0:
                 delta = min(delta, exact_div(gap_real, -gap_eps))
-        upper = uppers.get(name)
-        if upper is not None:
-            gap_real = upper.value.real - value.real
-            gap_eps = upper.value.eps - value.eps
+        for vid, bound in enumerate(self._upper):
+            if bound is None:
+                continue
+            gap_real = bound.value.real - vreal[vid]
+            gap_eps = bound.value.eps - veps[vid]
             if gap_eps < 0 and gap_real > 0:
                 delta = min(delta, exact_div(gap_real, -gap_eps))
-    return exact_div(delta, 2) if delta > 0 else Fraction(1, 2)
+        return exact_div(delta, 2) if delta > 0 else Fraction(1, 2)
 
 
 def _flip(op: str) -> str:
@@ -494,18 +651,13 @@ class BacktrackableSimplex(Simplex):
 
     def __init__(self) -> None:
         super().__init__()
-        # (var, is_upper, previous bound or None) — LIFO undo records
-        self._trail: List[Tuple[str, bool, Optional[_Bound]]] = []
-        # canonical coefficient tuple -> slack variable defining that term
-        self._term_slacks: Dict[Tuple[Tuple[str, Rational], ...], str] = {}
-        #: (var, is_upper) bound tightenings since the caller last drained
-        #: this list; the theory layer scans them for implied atoms.
+        # (var id, is_upper, previous bound or None) — LIFO undo records
+        self._trail: List[Tuple[int, bool, Optional[_Bound]]] = []
+        # canonical coefficient tuple -> slack id defining that term
+        self._term_slacks: Dict[Tuple[Tuple[str, Rational], ...], int] = {}
+        #: (var name, is_upper) bound tightenings since the caller last
+        #: drained this list; the theory layer scans them for implied atoms.
         self.tightened: List[Tuple[str, bool]] = []
-        # Basic variables whose value or bounds changed since they were last
-        # verified in-bounds.  Feasibility checks scan only this set, so a
-        # check after k bound assertions costs O(rows touched by those k
-        # assertions), not O(all rows) — the point of being backtrackable.
-        self._dirty: Set[str] = set()
 
     # -- trail ---------------------------------------------------------------
 
@@ -514,13 +666,14 @@ class BacktrackableSimplex(Simplex):
 
     def undo_to(self, mark: int) -> None:
         trail = self._trail
+        lower = self._lower
+        upper = self._upper
         while len(trail) > mark:
-            name, is_upper, previous = trail.pop()
-            bounds = self._upper if is_upper else self._lower
-            if previous is None:
-                del bounds[name]
+            vid, is_upper, previous = trail.pop()
+            if is_upper:
+                upper[vid] = previous
             else:
-                bounds[name] = previous
+                lower[vid] = previous
 
     # -- definitions (permanent) ---------------------------------------------
 
@@ -538,93 +691,40 @@ class BacktrackableSimplex(Simplex):
                 return name
         key = tuple(sorted(coeffs.items()))
         slack = self._term_slacks.get(key)
-        if slack is not None:
-            return slack
-        slack = self._fresh_slack()
-        for name in coeffs:
-            self._ensure_var(name)
-        row: Dict[str, Rational] = {}
-        for name, coeff in coeffs.items():
-            if name in self._basic:
-                for inner, inner_coeff in self._rows[name].items():
-                    row[inner] = row.get(inner, 0) + coeff * inner_coeff
-            else:
-                row[name] = row.get(name, 0) + coeff
-        self._rows[slack] = {name: coeff for name, coeff in row.items() if coeff != 0}
-        self._basic.add(slack)
-        self._values[slack] = self._row_value(slack)
-        self._term_slacks[key] = slack
-        return slack
+        if slack is None:
+            slack = self._install_row(coeffs)
+            self._term_slacks[key] = slack
+        return self._name[slack]
 
     # -- bound assertion (retractable) ---------------------------------------
     # The comparison/conflict logic lives in the base class; these hooks add
     # the trail record, the propagation event and the dirty mark.
 
     def _record_bound_change(
-        self, name: str, is_upper: bool, previous: Optional[_Bound]
+        self, vid: int, is_upper: bool, previous: Optional[_Bound]
     ) -> None:
-        self._trail.append((name, is_upper, previous))
-        self.tightened.append((name, is_upper))
+        self._trail.append((vid, is_upper, previous))
+        self.tightened.append((self._name[vid], is_upper))
 
-    def _bound_tightened_on_basic(self, name: str) -> None:
-        self._dirty.add(name)
+    def _bound_tightened_on_basic(self, vid: int) -> None:
+        self._dirty.add(vid)
 
     def assert_bound(
         self, name: str, is_upper: bool, value: DeltaRational, origin: int
     ) -> Optional[Set[int]]:
         """Tighten one bound; returns a conflict explanation or ``None``."""
+        vid = self._ensure_var(name)
         if is_upper:
-            return self._assert_upper(name, value, origin)
-        return self._assert_lower(name, value, origin)
+            return self._assert_upper(vid, value, origin)
+        return self._assert_lower(vid, value, origin)
 
     def upper_bound(self, name: str) -> Optional[_Bound]:
-        return self._upper.get(name)
+        vid = self._id.get(name)
+        return self._upper[vid] if vid is not None else None
 
     def lower_bound(self, name: str) -> Optional[_Bound]:
-        return self._lower.get(name)
-
-    # -- dirty-set value maintenance -----------------------------------------
-
-    def _update_nonbasic(self, name: str, value: DeltaRational) -> None:
-        delta = value - self._values[name]
-        self._values[name] = value
-        delta_real = delta.real
-        delta_eps = delta.eps
-        values = self._values
-        dirty = self._dirty
-        for basic, row in self._rows.items():
-            coeff = row.get(name)
-            if coeff:
-                old = values[basic]
-                values[basic] = DeltaRational(
-                    old.real + delta_real * coeff, old.eps + delta_eps * coeff
-                )
-                dirty.add(basic)
-
-    def _pivot_and_update(self, basic: str, nonbasic: str, target: DeltaRational) -> None:
-        coeff = self._rows[basic][nonbasic]
-        diff = target - self._values[basic]
-        delta = DeltaRational(exact_div(diff.real, coeff), exact_div(diff.eps, coeff))
-        self._values[basic] = target
-        self._values[nonbasic] = self._values[nonbasic] + delta
-        delta_real = delta.real
-        delta_eps = delta.eps
-        values = self._values
-        dirty = self._dirty
-        for other, row in self._rows.items():
-            if other == basic:
-                continue
-            a = row.get(nonbasic)
-            if a:
-                old = values[other]
-                values[other] = DeltaRational(
-                    old.real + delta_real * a, old.eps + delta_eps * a
-                )
-                dirty.add(other)
-        self._pivot(basic, nonbasic)
-        # the entering variable's shifted value may violate its own bounds
-        dirty.add(nonbasic)
-        dirty.discard(basic)
+        vid = self._id.get(name)
+        return self._lower[vid] if vid is not None else None
 
     # -- checking ------------------------------------------------------------
 
@@ -639,66 +739,89 @@ class BacktrackableSimplex(Simplex):
         explanation — bound origins — when not.
         """
         dirty = self._dirty
-        values = self._values
+        vreal = self._vreal
+        veps = self._veps
+        rows = self._rows
+        name = self._name
+        lower_bounds = self._lower
+        upper_bounds = self._upper
         while dirty:
-            violated: Optional[Tuple[str, bool]] = None
-            for name in sorted(dirty):
-                if name not in self._basic:
-                    dirty.discard(name)
+            violated: Optional[Tuple[int, bool]] = None
+            for vid in sorted(dirty, key=name.__getitem__):
+                if vid not in rows:
+                    dirty.discard(vid)
                     continue
-                value = values[name]
-                lower = self._lower.get(name)
-                if lower is not None and value < lower.value:
-                    violated = (name, True)
-                    break
-                upper = self._upper.get(name)
-                if upper is not None and value > upper.value:
-                    violated = (name, False)
-                    break
-                dirty.discard(name)
+                vr = vreal[vid]
+                ve = veps[vid]
+                lower = lower_bounds[vid]
+                if lower is not None:
+                    bv = lower.value
+                    if vr < bv.real or (vr == bv.real and ve < bv.eps):
+                        violated = (vid, True)
+                        break
+                upper = upper_bounds[vid]
+                if upper is not None:
+                    bv = upper.value
+                    if vr > bv.real or (vr == bv.real and ve > bv.eps):
+                        violated = (vid, False)
+                        break
+                dirty.discard(vid)
             if violated is None:
                 return None
             basic, need_increase = violated
-            row = self._rows[basic]
-            pivot_var = self._find_pivot(row, need_increase)
+            pivot_var = self._find_pivot(rows[basic], need_increase)
             if pivot_var is None:
                 return self._explain(basic, need_increase)
             target = (
-                self._lower[basic].value if need_increase else self._upper[basic].value
+                lower_bounds[basic].value if need_increase else upper_bounds[basic].value
             )
             self._pivot_and_update(basic, pivot_var, target)
         return None
+
+    def snap_unbounded_ints_to_zero(self, names) -> None:
+        """Reset unconstrained nonbasic variables sitting at fractional
+        values to zero before integer rounding.
+
+        A nonbasic variable with no bounds on either side can sit at a stale
+        fractional value left over from an earlier check; integer
+        branch-and-bound would then waste nodes branching on it.  Snapping
+        it to zero is sound — it is unconstrained — and keeps dependent
+        basics row-consistent through the ordinary update path.  Integral
+        values are left alone so satisfying models are stable across checks.
+        """
+        vid_of = self._id
+        lower = self._lower
+        upper = self._upper
+        rows = self._rows
+        vreal = self._vreal
+        veps = self._veps
+        for name in names:
+            vid = vid_of.get(name)
+            if vid is None or vid in rows:
+                continue
+            if lower[vid] is not None or upper[vid] is not None:
+                continue
+            if veps[vid] != 0 or vreal[vid].denominator != 1:
+                self._update_nonbasic(vid, 0, 0)
 
     def restricted_delta(self) -> Rational:
         """A concrete value for the infinitesimal, from bounded variables only.
 
         Only variables carrying a bound constrain how large delta may be;
         on a persistent tableau this skips the (stale) majority."""
-        delta: Rational = 1
-        values = self._values
-        for name, bound in self._lower.items():
-            value = values[name]
-            gap_real = value.real - bound.value.real
-            gap_eps = value.eps - bound.value.eps
-            if gap_eps < 0 and gap_real > 0:
-                delta = min(delta, exact_div(gap_real, -gap_eps))
-        for name, bound in self._upper.items():
-            value = values[name]
-            gap_real = bound.value.real - value.real
-            gap_eps = bound.value.eps - value.eps
-            if gap_eps < 0 and gap_real > 0:
-                delta = min(delta, exact_div(gap_real, -gap_eps))
-        return exact_div(delta, 2) if delta > 0 else Fraction(1, 2)
+        return self._concrete_delta(restricted=True)
 
     def restricted_model(self, names) -> Dict[str, Rational]:
         """Concretised values of ``names`` (variables the caller cares about)."""
         delta = self.restricted_delta()
-        values = self._values
+        vid_of = self._id
+        vreal = self._vreal
+        veps = self._veps
         model: Dict[str, Rational] = {}
         for name in names:
-            value = values.get(name)
-            if value is not None:
-                model[name] = value.real + value.eps * delta
+            vid = vid_of.get(name)
+            if vid is not None:
+                model[name] = vreal[vid] + veps[vid] * delta
         return model
 
     def check_integer(
@@ -722,7 +845,12 @@ class BacktrackableSimplex(Simplex):
             sys.setrecursionlimit(100000)
         nodes = 0
         root_mark = self.mark()
-        ordered_int_vars = sorted(int_vars)
+        vid_of = self._id
+        ordered_int_vars = [
+            (name, vid_of[name]) for name in sorted(int_vars) if name in vid_of
+        ]
+        vreal = self._vreal
+        veps = self._veps
 
         def search() -> Tuple[str, Optional[Set[int]], Optional[Dict[str, Rational]]]:
             nonlocal nodes
@@ -737,27 +865,23 @@ class BacktrackableSimplex(Simplex):
                     return "unsat", conflict, None
                 return "unsat", None, None
             delta = self.restricted_delta()
-            values = self._values
             fractional: Optional[Tuple[str, Rational]] = None
-            for name in ordered_int_vars:
-                value = values.get(name)
-                if value is None:
-                    continue
-                concrete = value.real + value.eps * delta
+            for name, vid in ordered_int_vars:
+                concrete = vreal[vid] + veps[vid] * delta
                 if concrete.denominator != 1:
                     fractional = (name, concrete)
                     break
             if fractional is None:
-                names = (
-                    model_names
-                    if model_names is not None
-                    else [n for n in values if not n.startswith("__slack")]
-                )
-                model = {
-                    name: values[name].real + values[name].eps * delta
-                    for name in names
-                    if name in values
-                }
+                if model_names is not None:
+                    names = model_names
+                else:
+                    is_slack = self._is_slack
+                    names = [n for i, n in enumerate(self._name) if not is_slack[i]]
+                model = {}
+                for name in names:
+                    vid = vid_of.get(name)
+                    if vid is not None:
+                        model[name] = vreal[vid] + veps[vid] * delta
                 return "sat", None, round_model_integers(model, int_vars)
             name, value = fractional
             for is_upper, bound in (

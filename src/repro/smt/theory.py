@@ -66,15 +66,27 @@ _Bounds = Tuple[Tuple[str, bool, DeltaRational], ...]
 class TheorySolver:
     """Backtrackable LIA theory state shared by one SAT core."""
 
+    #: Default per-check budget of drop-one shrink rounds.  Each round is a
+    #: from-scratch bounded LIA check, so an adversarial conflict stream
+    #: could otherwise let minimisation dominate theory time; the budget
+    #: mirrors ``max_theory_rounds`` but merely degrades explanation
+    #: minimality instead of raising :class:`TheoryUnknown`.
+    DEFAULT_SHRINK_BUDGET = 128
+
     def __init__(
         self,
         atom_of_var: Dict[int, LinearAtom],
         max_final_nodes: int = 2000,
+        max_shrink_rounds: Optional[int] = None,
     ) -> None:
         # Shared with the atomizer and grows in place as new atoms are encoded.
         self._atom_of_var = atom_of_var
         self._simplex = BacktrackableSimplex()
         self.max_final_nodes = max_final_nodes
+        self.max_shrink_rounds = (
+            self.DEFAULT_SHRINK_BUDGET if max_shrink_rounds is None else max_shrink_rounds
+        )
+        self._shrink_rounds_left = self.max_shrink_rounds
         # literal -> bound tightenings ((tableau var, is_upper, value), ...)
         self._bounds_of_lit: Dict[int, _Bounds] = {}
         # literal -> source-level variables of its linear term; the union
@@ -102,6 +114,7 @@ class TheorySolver:
         self.partial_checks = 0
         self.final_checks = 0
         self.core_shrink_rounds = 0
+        self.shrink_budget_hits = 0
         self.explanations = 0
         self.explanation_literals = 0
         self.time_spent = 0.0
@@ -137,6 +150,7 @@ class TheorySolver:
         self._time_at_begin = self.time_spent
         started = time.perf_counter()
         self.shrink_to_trail(0)
+        self._shrink_rounds_left = self.max_shrink_rounds
         self._active = set(active_atoms) if active_atoms is not None else None
         self._int_vars = set(int_vars)
         self._rounds = 0
@@ -347,15 +361,7 @@ class TheorySolver:
         now; without this pass branch-and-bound would waste nodes (and
         certified explanations) branching on variables nothing constrains.
         """
-        simplex = self._simplex
-        for name in int_vars:
-            value = simplex._values.get(name)
-            if value is None or name not in simplex._nonbasic:
-                continue
-            if simplex._lower.get(name) is not None or simplex._upper.get(name) is not None:
-                continue
-            if value.eps != 0 or value.real.denominator != 1:
-                simplex._update_nonbasic(name, DeltaRational(0))
+        self._simplex.snap_unbounded_ints_to_zero(int_vars)
 
     def model(self) -> Dict[str, Rational]:
         return dict(self.last_model or {})
@@ -380,7 +386,18 @@ class TheorySolver:
         return lits
 
     def _shrink(self, lits: List[int]) -> List[int]:
-        """Drop-one core minimisation over the explanation's literal set."""
+        """Drop-one core minimisation over the explanation's literal set.
+
+        Each drop-one round spends one unit of the per-check shrink budget;
+        once exhausted, remaining cores pass through unshrunk (sound, merely
+        less minimal) and the truncation is counted in
+        ``check.shrink_budget_hits``.
+        """
+        budget = self._shrink_rounds_left
+        if budget <= 0:
+            self.shrink_budget_hits += 1
+            self.check.shrink_budget_hits += 1
+            return lits
         constraints: Dict[int, Constraint] = {}
         for lit in lits:
             try:
@@ -391,12 +408,18 @@ class TheorySolver:
         for lit in lits:
             if len(essential) <= 2:
                 break
+            if budget <= 0:
+                self.shrink_budget_hits += 1
+                self.check.shrink_budget_hits += 1
+                break
+            budget -= 1
             trial = [constraints[other] for other in essential if other != lit]
             self.core_shrink_rounds += 1
             self.check.core_shrink_rounds += 1
             result = check_lia(trial, self._int_vars, max_nodes=SHRINK_NODE_BUDGET)
             if result.status == "unsat":
                 essential.remove(lit)
+        self._shrink_rounds_left = budget
         return essential
 
     def _lit_constraint(self, lit: int) -> Constraint:

@@ -1,0 +1,106 @@
+"""Tests for the SAT-configuration portfolio (``repro.smt.portfolio``).
+
+The portfolio's contract is *verdict transparency*: racing k configurations
+and keeping the first answer must be observationally identical to the
+single default solver, because every configuration runs the same complete
+search.  The tests pin the deterministic config grid, then race a real
+verification job and compare it function-by-function against the serial
+run, including the win counters that surface in ``/metrics``.
+"""
+
+import pytest
+
+from repro.smt.portfolio import (
+    MAX_PORTFOLIO,
+    config_label,
+    portfolio_configs,
+)
+from repro.smt.sat import DEFAULT_CONFIG, SatConfig
+from repro.service.api import VerifyJob, verify_jobs
+from repro.service.session import VerifySession
+
+PROGRAM = """
+#[flux::sig(fn(x: i32{v: v >= 0}) -> i32{v: v > 0})]
+fn inc_pos(x: i32) -> i32 {
+    x + 1
+}
+
+#[flux::sig(fn(n: i32{v: v >= 1}) -> i32{v: v >= 0})]
+fn countdown(n: i32) -> i32 {
+    let mut i = n;
+    while i > 0 {
+        i = i - 1;
+    }
+    i
+}
+
+#[flux::sig(fn(x: i32) -> i32{v: v > x})]
+fn broken(x: i32) -> i32 {
+    x
+}
+"""
+
+
+class TestConfigGrid:
+    def test_member_zero_is_default(self):
+        members = portfolio_configs(4)
+        assert members[0][1] == DEFAULT_CONFIG
+
+    def test_deterministic(self):
+        assert portfolio_configs(6) == portfolio_configs(6)
+
+    def test_labels_follow_grammar(self):
+        for label, config in portfolio_configs(MAX_PORTFOLIO):
+            schedule, polarity, *seed = label.split("-")
+            assert schedule == ("luby" if config.restarts else "fixed")
+            assert polarity == ("pos" if config.default_phase else "neg")
+            if config.seed is None:
+                assert not seed
+            else:
+                assert seed == [f"s{config.seed}"]
+
+    def test_labels_unique(self):
+        labels = [label for label, _ in portfolio_configs(MAX_PORTFOLIO)]
+        assert len(set(labels)) == len(labels)
+
+    def test_width_clamped(self):
+        assert len(portfolio_configs(100)) == MAX_PORTFOLIO
+        assert len(portfolio_configs(0)) == 1
+
+    def test_grid_varies_restarts_and_polarity(self):
+        configs = [config for _, config in portfolio_configs(4)]
+        assert {c.restarts for c in configs} == {True, False}
+        assert {c.default_phase for c in configs} == {True, False}
+
+    def test_custom_label(self):
+        config = SatConfig(restarts=False, default_phase=True, seed=9)
+        assert config_label(config) == "fixed-pos-s9"
+
+
+class TestRaceTransparency:
+    def test_portfolio_matches_serial_verdicts(self):
+        job = VerifyJob(source=PROGRAM, name="portfolio-program")
+        serial = verify_jobs([job], VerifySession(use_cache=False))
+        raced = verify_jobs([job], VerifySession(use_cache=False, portfolio=2))
+
+        serial_fns = serial.jobs[0].to_dict()["functions"]
+        raced_fns = raced.jobs[0].to_dict()["functions"]
+        assert [
+            (fn["name"], fn["status"], fn["diagnostics"]) for fn in serial_fns
+        ] == [(fn["name"], fn["status"], fn["diagnostics"]) for fn in raced_fns]
+        assert serial.ok == raced.ok
+
+    def test_win_counters_surface_in_metrics(self):
+        job = VerifyJob(source=PROGRAM, name="portfolio-program")
+        report = verify_jobs([job], VerifySession(use_cache=False, portfolio=2))
+        snapshot = report.metrics
+        races = snapshot.get("smt.portfolio.races")
+        assert races is not None and races["value"] == 3  # one per function
+        wins = {
+            name: entry["value"]
+            for name, entry in snapshot.items()
+            if name.startswith("smt.portfolio.win.")
+        }
+        assert sum(wins.values()) == 3
+        labels = {label for label, _ in portfolio_configs(2)}
+        assert {name.rsplit(".", 1)[1] for name in wins} <= labels

@@ -1,0 +1,42 @@
+"""Repository hygiene: generated artifacts must never be committed.
+
+``__pycache__`` directories briefly slipped into the tree once; this guard
+keeps them (and stray ``.pyc``/``.pyo`` files) out of version control and
+pins the ``.gitignore`` rules that prevent the relapse.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _tracked_files():
+    if shutil.which("git") is None or not (REPO_ROOT / ".git").exists():
+        pytest.skip("not running inside a git checkout")
+    proc = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return proc.stdout.splitlines()
+
+
+def test_no_bytecode_artifacts_tracked():
+    offenders = [
+        path
+        for path in _tracked_files()
+        if "__pycache__" in path or path.endswith((".pyc", ".pyo"))
+    ]
+    assert not offenders, f"bytecode artifacts are tracked: {offenders}"
+
+
+def test_gitignore_blocks_bytecode():
+    rules = (REPO_ROOT / ".gitignore").read_text(encoding="utf-8").splitlines()
+    assert "__pycache__/" in rules
+    assert "*.pyc" in rules
