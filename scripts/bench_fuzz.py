@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Benchmark the generative stress harness on its pinned worst-case seeds.
+
+Writes ``BENCH_fuzz.json`` with per-workload generation/verification times
+and sizes, and (optionally) gates against a committed baseline:
+
+    python scripts/bench_fuzz.py --output BENCH_fuzz.json \
+        --baseline BENCH_fuzz.json
+
+exits non-zero when ``verify_seconds`` or ``generate_seconds`` regressed
+by more than ``--tolerance`` (default 50%) for any workload the baseline
+knows, or when a workload's function count or verdict drifted at all (the
+seeds pin the crates bit-for-bit, so *any* shape drift is a generator
+determinism bug, not noise).  Refresh after an intentional change with:
+
+    python scripts/bench_fuzz.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from typing import Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.fuzz_bench import WORST_CASE_ENTRIES, run_fuzz_bench  # noqa: E402
+
+EXACT_METRICS = ("functions", "expected_failures", "observed_failures", "source_bytes")
+TIME_METRICS = ("generate_seconds", "verify_seconds")
+# Workloads this fast are pure noise on the elapsed axis; gate shape only.
+ELAPSED_FLOOR_SECONDS = 0.25
+
+
+def compare(
+    current: Dict[str, Dict[str, object]],
+    baseline: Dict[str, Dict[str, object]],
+    tolerance: float,
+) -> List[str]:
+    regressions: List[str] = []
+    for name, base in sorted(baseline.items()):
+        now = current.get(name)
+        if now is None:
+            continue
+        for metric in EXACT_METRICS:
+            if base.get(metric) != now.get(metric):
+                regressions.append(
+                    f"{name}: {metric} drifted {base.get(metric)} -> "
+                    f"{now.get(metric)} (seeded shape must be bit-stable)"
+                )
+        for metric in TIME_METRICS:
+            base_value = float(base.get(metric, 0.0))
+            now_value = float(now.get(metric, 0.0))
+            if base_value < ELAPSED_FLOOR_SECONDS:
+                continue
+            if now_value > base_value * (1.0 + tolerance):
+                regressions.append(
+                    f"{name}: {metric} regressed {base_value:.3f} -> "
+                    f"{now_value:.3f} (>{tolerance:.0%})"
+                )
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=None, metavar="FILE")
+    parser.add_argument("--baseline", default=None, metavar="FILE")
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("--tolerance", type=float, default=0.50)
+    parser.add_argument("--oracle", default="baseline", help="oracle to verify under")
+    args = parser.parse_args(argv)
+
+    results = {}
+    for entry in WORST_CASE_ENTRIES:
+        print(
+            f"[bench] {entry.name} (seed={entry.campaign_seed}, "
+            f"index={entry.crate_index}, profile={entry.profile}) ...",
+            flush=True,
+        )
+        block = run_fuzz_bench([entry], args.oracle)[entry.name]
+        results[entry.name] = block
+        print(
+            f"[bench]   functions={block['functions']}"
+            f" generate={block['generate_seconds']:.3f}s"
+            f" verify={block['verify_seconds']:.2f}s"
+            f" per-fn={block['seconds_per_function'] * 1000:.0f}ms",
+            flush=True,
+        )
+
+    payload = {
+        "workloads": results,
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+    baseline_path = args.baseline
+    if args.update_baseline:
+        baseline_path = baseline_path or os.path.join(REPO_ROOT, "BENCH_fuzz.json")
+        with open(baseline_path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[bench] baseline updated: {baseline_path}")
+        return 0
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if baseline_path and os.path.exists(baseline_path):
+        with open(baseline_path) as handle:
+            base = json.load(handle)
+        regressions = compare(results, base.get("workloads", {}), args.tolerance)
+        for line in regressions:
+            print(f"[bench] REGRESSION {line}")
+        if regressions:
+            return 1
+        print("[bench] no regressions against baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

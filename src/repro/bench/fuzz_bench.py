@@ -1,0 +1,75 @@
+"""Benchmark entries for the generative stress harness.
+
+The fuzz lane's perf story is different from Table 1: the interesting
+questions are *how fast can the generator emit realistic crates* and *how
+does the pipeline scale on machine-made call DAGs* rather than verdicts on
+hand-written programs.  :data:`WORST_CASE_ENTRIES` pins the campaign seeds
+that historically produced the slowest crates per profile, so the numbers
+in ``BENCH_fuzz.json`` are reproducible bit-for-bit from the seeds alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.fuzz.generator import crate_seed, generate_crate
+from repro.fuzz.oracles import ORACLES, run_oracle
+
+__all__ = ["WORST_CASE_ENTRIES", "BenchEntry", "run_entry", "run_fuzz_bench"]
+
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """One pinned generator workload: a campaign (seed, index, profile)."""
+
+    name: str
+    campaign_seed: int
+    crate_index: int
+    profile: str
+
+
+#: Worst-case seeds observed in campaign sweeps: the largest crate each
+#: profile produced in the first 50 indices of campaign seed 0.
+WORST_CASE_ENTRIES: List[BenchEntry] = [
+    BenchEntry("tiny-worst", 0, 1, "tiny"),
+    BenchEntry("small-worst", 0, 0, "small"),
+    BenchEntry("crate-worst", 0, 2, "crate"),
+]
+
+
+def run_entry(entry: BenchEntry, oracle_name: str = "baseline") -> Dict[str, object]:
+    """Generate and verify one pinned workload; returns its metric block."""
+    seed = crate_seed(entry.campaign_seed, entry.crate_index)
+    generate_started = time.perf_counter()
+    crate = generate_crate(seed, entry.profile)
+    generate_seconds = time.perf_counter() - generate_started
+
+    verify_started = time.perf_counter()
+    verdict = run_oracle(crate.source, f"bench-{entry.name}", ORACLES[oracle_name])
+    verify_seconds = time.perf_counter() - verify_started
+
+    failures = [v.name for v in verdict.functions if v.status != "ok"]
+    return {
+        "campaign_seed": entry.campaign_seed,
+        "crate_index": entry.crate_index,
+        "crate_seed": seed,
+        "profile": entry.profile,
+        "functions": len(crate.functions),
+        "expected_failures": len(crate.expected_failures),
+        "observed_failures": len(failures),
+        "source_bytes": len(crate.source),
+        "generate_seconds": generate_seconds,
+        "verify_seconds": verify_seconds,
+        "seconds_per_function": verify_seconds / max(1, len(crate.functions)),
+    }
+
+
+def run_fuzz_bench(
+    entries: Optional[List[BenchEntry]] = None, oracle_name: str = "baseline"
+) -> Dict[str, Dict[str, object]]:
+    out: Dict[str, Dict[str, object]] = {}
+    for entry in entries if entries is not None else WORST_CASE_ENTRIES:
+        out[entry.name] = run_entry(entry, oracle_name)
+    return out

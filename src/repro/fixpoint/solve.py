@@ -450,6 +450,15 @@ def _goal_refuted_by(goal: Expr, model: Dict[str, object]) -> bool:
         return False
 
 
+def _goal_eval_failure(goal: Expr, model: Dict[str, object]) -> Optional[str]:
+    """The construct that puts ``goal`` outside the evaluable fragment, if any."""
+    try:
+        _eval_expr(goal, model)
+    except _EvalError as error:
+        return str(error)
+    return None
+
+
 @dataclass
 class FixpointSolver:
     """Solver instance; create one per verification task.
@@ -704,8 +713,9 @@ class FixpointSolver:
                     else:
                         newly_dirty.add(head_name)
                         if answer.result is SatResult.UNKNOWN:
+                            reason = answer.reason or "solver returned unknown"
                             stats.record_unknown(
-                                clause, answer.reason or "solver returned unknown"
+                                clause, f"{reason} (qualifier: {qualifier})"
                             )
                 candidate[head_name] = kept
             dirty = newly_dirty
@@ -789,7 +799,8 @@ class FixpointSolver:
             if answer.is_unsat:
                 kept.append(qualifier)
             elif answer.result is SatResult.UNKNOWN:
-                stats.record_unknown(clause, answer.reason or "solver returned unknown")
+                reason = answer.reason or "solver returned unknown"
+                stats.record_unknown(clause, f"{reason} (qualifier: {qualifier})")
         return kept
 
     def _build_context(self, sorts: Dict[str, Sort]) -> IncrementalSolver:
@@ -853,16 +864,27 @@ class FixpointSolver:
             incremental_records.append((answer, time.perf_counter() - started))
             return answer
 
-        def check_individually(positions: List[int]) -> None:
+        def check_individually(
+            positions: List[int],
+            unevaluable: Optional[Dict[int, str]] = None,
+        ) -> None:
             for position in positions:
                 stats.queries += 1
                 stats.assumption_checks += 1
                 answer = checked(goals[position][1])
                 survived[position] = answer.is_unsat
                 if answer.result is SatResult.UNKNOWN:
-                    stats.record_unknown(
-                        clause, answer.reason or "solver returned unknown"
-                    )
+                    # Name the candidate, not just the clause tag: a
+                    # fuzzer-minimized repro usually has one clause but many
+                    # qualifiers, and the detail must say which one stalled.
+                    reason = answer.reason or "solver returned unknown"
+                    detail = f"{reason} (qualifier: {goals[position][0]})"
+                    if unevaluable and position in unevaluable:
+                        detail += (
+                            "; model evaluation left the decidable fragment"
+                            f" at {unevaluable[position]}"
+                        )
+                    stats.record_unknown(clause, detail)
 
         # Cached counterexamples discard for free before any query is made:
         # each was a genuine model of this clause's (then stronger)
@@ -900,8 +922,10 @@ class FixpointSolver:
                     break
                 if not answer.is_sat or answer.model is None:
                     if answer.result is SatResult.UNKNOWN:
+                        reason = answer.reason or "solver returned unknown"
+                        batch = ", ".join(str(goals[p][0]) for p in pending)
                         stats.record_unknown(
-                            clause, answer.reason or "solver returned unknown"
+                            clause, f"{reason} (batched candidates: {batch})"
                         )
                     check_individually(pending)
                     break
@@ -917,8 +941,15 @@ class FixpointSolver:
                 ]
                 if not falsified:
                     # The witness falsifies only goals outside the evaluable
-                    # fragment; decide the remainder exactly, one by one.
-                    check_individually(pending)
+                    # fragment; decide the remainder exactly, one by one,
+                    # remembering which qualifier's goal broke evaluation so
+                    # any UNKNOWN fallback can point at the offender.
+                    unevaluable: Dict[int, str] = {}
+                    for position in pending:
+                        failure = _goal_eval_failure(goals[position][1], model)
+                        if failure is not None:
+                            unevaluable[position] = failure
+                    check_individually(pending, unevaluable)
                     break
                 if len(cache) >= _WITNESS_CACHE_LIMIT:
                     cache.pop(0)
@@ -935,13 +966,14 @@ class FixpointSolver:
                 record.record(answer, elapsed)
             record.bump("incremental_checks", len(incremental_records))
         for position in quantified:
-            _, goal = goals[position]
+            qualifier, goal = goals[position]
             stats.queries += 1
             stats.from_scratch += 1
             answer = validity_answer(hypotheses, goal, sorts)
             survived[position] = answer.is_unsat
             if answer.result is SatResult.UNKNOWN:
-                stats.record_unknown(clause, answer.reason or "solver returned unknown")
+                reason = answer.reason or "solver returned unknown"
+                stats.record_unknown(clause, f"{reason} (qualifier: {qualifier})")
         return [
             qualifier
             for position, (qualifier, _) in enumerate(goals)

@@ -1,0 +1,124 @@
+"""The regression corpus: minimized fuzz findings, replayed forever.
+
+Every divergence the fuzzer finds (and every historically interesting
+worst case) lives under ``tests/corpus/`` as a pair of files:
+
+* ``<id>.rs``   — the minimized MiniRust repro (falling back to the full
+  generated crate when minimization failed);
+* ``<id>.json`` — provenance: campaign seed, crate index, profile, the
+  oracle pair that disagreed, the divergence kind and detail, and any
+  fault-injection environment active at discovery time.
+
+The entry id is content-addressed (first 12 hex digits of the SHA-256 of
+the repro source), so re-finding the same minimized program is idempotent
+and filenames never collide meaningfully.
+
+Replay contract (``tests/test_fuzz_corpus.py``): for every entry, all
+replay oracles must *agree* on the repro — the corpus records bugs that
+were fixed (or harness self-test artifacts whose injection flag is not
+set during replay), so renewed disagreement means a regression.  Entries
+whose recorded ``env`` includes a fault-injection variable are replayed
+with the injection *off*; they double as evidence the injected bug does
+not exist in the real solver.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.fuzz.oracles import ORACLES, Oracle, compare_verdicts, run_oracle
+
+__all__ = ["CorpusEntry", "load_corpus", "replay_entry", "write_entry"]
+
+#: The environment variables worth recording with an entry — fault
+#: injection flags change what the finding means.
+_RECORDED_ENV = ("REPRO_INJECT_THEORY_BUG",)
+
+#: Default oracle pair for replay when an entry does not name its own.
+_DEFAULT_REPLAY = ("baseline", "naive", "offline")
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    entry_id: str
+    source: str
+    meta: Dict
+
+    @property
+    def replay_oracles(self) -> List[Oracle]:
+        names = self.meta.get("replay_oracles") or list(_DEFAULT_REPLAY)
+        return [ORACLES[name] for name in names if name in ORACLES]
+
+
+def _entry_id(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:12]
+
+
+def write_entry(corpus_dir: str, divergence) -> str:
+    """Persist one driver finding; returns the entry id."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    source = divergence.minimized or divergence.source
+    entry_id = _entry_id(source)
+    env = {
+        name: os.environ[name] for name in _RECORDED_ENV if name in os.environ
+    }
+    meta = {
+        "id": entry_id,
+        "kind": divergence.kind,
+        "seed": divergence.seed,
+        "crate_index": divergence.crate_index,
+        "profile": divergence.profile,
+        "oracle": divergence.oracle,
+        "detail": divergence.detail,
+        "minimized": divergence.minimized is not None,
+        "env": env,
+        "replay_oracles": list(_DEFAULT_REPLAY),
+    }
+    with open(os.path.join(corpus_dir, f"{entry_id}.rs"), "w") as handle:
+        handle.write(source)
+    with open(os.path.join(corpus_dir, f"{entry_id}.json"), "w") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return entry_id
+
+
+def load_corpus(corpus_dir: str) -> List[CorpusEntry]:
+    """Load every entry in ``corpus_dir``, sorted by id for determinism."""
+    entries: List[CorpusEntry] = []
+    if not os.path.isdir(corpus_dir):
+        return entries
+    for name in sorted(os.listdir(corpus_dir)):
+        if not name.endswith(".rs"):
+            continue
+        entry_id = name[: -len(".rs")]
+        with open(os.path.join(corpus_dir, name)) as handle:
+            source = handle.read()
+        meta_path = os.path.join(corpus_dir, f"{entry_id}.json")
+        meta: Dict = {}
+        if os.path.exists(meta_path):
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+        entries.append(CorpusEntry(entry_id=entry_id, source=source, meta=meta))
+    return entries
+
+
+def replay_entry(entry: CorpusEntry) -> Optional[str]:
+    """Re-verify one entry under its replay oracles.
+
+    Returns ``None`` when every oracle agrees (the regression stays fixed)
+    or a description of the first disagreement.
+    """
+    oracles = entry.replay_oracles
+    if len(oracles) < 2:
+        return None
+    reference = run_oracle(entry.source, f"corpus-{entry.entry_id}", oracles[0])
+    for oracle in oracles[1:]:
+        verdict = run_oracle(entry.source, f"corpus-{entry.entry_id}", oracle)
+        mismatch = compare_verdicts(reference, verdict)
+        if mismatch is not None:
+            return f"{entry.entry_id}: {mismatch}"
+    return None

@@ -1,0 +1,286 @@
+"""Delta-debugging minimizer for divergence repros.
+
+Given a crate that makes two oracles disagree (or one of them crash), the
+minimizer shrinks it while preserving the disagreement, in three structural
+phases of decreasing granularity:
+
+1. **functions** — classic ddmin (Zeller & Hildebrandt) over the crate's
+   function list, with complement-first search so large irrelevant chunks
+   vanish in few predicate evaluations;
+2. **statements** — greedy one-at-a-time deletion over every statement
+   address (including statements inside loop bodies), iterated to a
+   fixpoint;
+3. **spec conjuncts** — token-level surgery on the raw ``#[flux::sig]``
+   attribute streams: top-depth ``&&`` conjuncts inside ``{v: ...}``
+   existential regions are dropped one by one, and a region whose predicate
+   has become vacuous is removed entirely.
+
+Each candidate is *rendered back to source* and judged by the caller's
+predicate — normally "re-run the two oracles and check they still
+disagree" — so every phase preserves exactly the property being debugged,
+never merely syntactic validity.  A candidate that fails to parse (spec
+surgery can produce nonsense) is simply rejected by the predicate.
+
+The output contract powering the harness self-test: an injected
+solver bug that manifests in one generated function must come back as a
+repro of at most a handful of functions, usually one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+from repro.fuzz.render import render_program
+
+__all__ = ["MinimizeStats", "minimize_source"]
+
+#: predicate(source) -> True when the candidate still reproduces the bug.
+Predicate = Callable[[str], bool]
+
+
+@dataclass
+class MinimizeStats:
+    """Bookkeeping for one minimization run (surfaced as fuzz metrics)."""
+
+    probes: int = 0
+    functions_before: int = 0
+    functions_after: int = 0
+    statements_removed: int = 0
+    conjuncts_removed: int = 0
+
+
+def _try(source: str, predicate: Predicate, stats: MinimizeStats) -> bool:
+    stats.probes += 1
+    try:
+        return bool(predicate(source))
+    except Exception:
+        # A predicate that *crashes* on a candidate tells us nothing about
+        # the divergence; treat it as "does not reproduce".
+        return False
+
+
+# -- phase 1: ddmin over functions -------------------------------------------
+
+
+def _with_functions(program: ast.Program, functions: Sequence[ast.FnDef]) -> ast.Program:
+    return dataclasses.replace(program, functions=tuple(functions))
+
+
+def _ddmin_functions(
+    program: ast.Program, predicate: Predicate, stats: MinimizeStats
+) -> ast.Program:
+    functions: List[ast.FnDef] = list(program.functions)
+    granularity = 2
+    while len(functions) >= 2:
+        chunk = max(1, len(functions) // granularity)
+        reduced = False
+        start = 0
+        while start < len(functions):
+            candidate = functions[:start] + functions[start + chunk :]
+            if candidate and _try(
+                render_program(_with_functions(program, candidate)), predicate, stats
+            ):
+                functions = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Restart the sweep: indices shifted under us.
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(functions):
+                break
+            granularity = min(len(functions), granularity * 2)
+    return _with_functions(program, functions)
+
+
+# -- phase 2: greedy statement deletion --------------------------------------
+
+#: A statement address: the function index plus the trail of nested-block
+#: statement indices leading to it (outer first).
+_Address = Tuple[int, Tuple[int, ...]]
+
+
+def _block_addresses(block: ast.Block, trail: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+    addresses: List[Tuple[int, ...]] = []
+    for index, stmt in enumerate(block.stmts):
+        here = trail + (index,)
+        addresses.append(here)
+        if isinstance(stmt, ast.WhileStmt):
+            addresses.extend(_block_addresses(stmt.body, here))
+    return addresses
+
+
+def _statement_addresses(program: ast.Program) -> List[_Address]:
+    addresses: List[_Address] = []
+    for fn_index, fn in enumerate(program.functions):
+        if fn.body is None:
+            continue
+        for trail in _block_addresses(fn.body, ()):
+            addresses.append((fn_index, trail))
+    return addresses
+
+
+def _remove_in_block(block: ast.Block, trail: Tuple[int, ...]) -> Optional[ast.Block]:
+    index = trail[0]
+    if index >= len(block.stmts):
+        return None
+    if len(trail) == 1:
+        stmts = block.stmts[:index] + block.stmts[index + 1 :]
+        return dataclasses.replace(block, stmts=stmts)
+    stmt = block.stmts[index]
+    if not isinstance(stmt, ast.WhileStmt):
+        return None
+    inner = _remove_in_block(stmt.body, trail[1:])
+    if inner is None:
+        return None
+    new_stmt = dataclasses.replace(stmt, body=inner)
+    stmts = block.stmts[:index] + (new_stmt,) + block.stmts[index + 1 :]
+    return dataclasses.replace(block, stmts=stmts)
+
+
+def _remove_statement(program: ast.Program, address: _Address) -> Optional[ast.Program]:
+    fn_index, trail = address
+    fn = program.functions[fn_index]
+    if fn.body is None:
+        return None
+    body = _remove_in_block(fn.body, trail)
+    if body is None:
+        return None
+    new_fn = dataclasses.replace(fn, body=body)
+    functions = (
+        program.functions[:fn_index] + (new_fn,) + program.functions[fn_index + 1 :]
+    )
+    return dataclasses.replace(program, functions=functions)
+
+
+def _drop_statements(
+    program: ast.Program, predicate: Predicate, stats: MinimizeStats
+) -> ast.Program:
+    changed = True
+    while changed:
+        changed = False
+        # Deepest-last addresses stay valid as long as we restart after
+        # every successful removal.
+        for address in _statement_addresses(program):
+            candidate = _remove_statement(program, address)
+            if candidate is None:
+                continue
+            if _try(render_program(candidate), predicate, stats):
+                program = candidate
+                stats.statements_removed += 1
+                changed = True
+                break
+    return program
+
+
+# -- phase 3: spec-conjunct surgery ------------------------------------------
+
+
+def _conjunct_spans(tokens: Sequence[str]) -> List[Tuple[int, int]]:
+    """Spans of droppable ``&&`` conjuncts inside ``{...}`` regions.
+
+    Returns half-open token ranges, each covering one conjunct *plus* one
+    adjacent ``&&`` so that removal leaves a well-formed predicate.  Only
+    conjuncts at the top depth of their brace region are considered.
+    """
+    spans: List[Tuple[int, int]] = []
+    brace_depth = 0
+    paren_depth = 0
+    region_start = None
+    cut_points: List[int] = []
+    for position, token in enumerate(tokens):
+        if token == "{":
+            brace_depth += 1
+            if brace_depth == 1:
+                region_start = position + 1
+                cut_points = []
+        elif token == "}":
+            if brace_depth == 1 and region_start is not None and cut_points:
+                edges = [region_start] + cut_points + [position]
+                for i in range(len(edges) - 1):
+                    left, right = edges[i], edges[i + 1]
+                    if tokens[left] == "&&":
+                        left += 1
+                    if i == 0:
+                        # First conjunct: swallow the && that follows it.
+                        spans.append((left, right + 1 if tokens[right] == "&&" else right))
+                    else:
+                        # Later conjuncts: swallow the && that precedes.
+                        spans.append((edges[i], right))
+            brace_depth -= 1
+            region_start = None
+        elif brace_depth == 1 and paren_depth == 0 and token == "&&":
+            cut_points.append(position)
+        elif token == "(":
+            paren_depth += 1
+        elif token == ")":
+            paren_depth = max(0, paren_depth - 1)
+    return spans
+
+
+def _spec_edits(spec: ast.RawSpec) -> List[ast.RawSpec]:
+    edits = []
+    for start, end in _conjunct_spans(spec.tokens):
+        tokens = spec.tokens[:start] + spec.tokens[end:]
+        edits.append(dataclasses.replace(spec, tokens=tokens))
+    return edits
+
+
+def _drop_spec_conjuncts(
+    program: ast.Program, predicate: Predicate, stats: MinimizeStats
+) -> ast.Program:
+    changed = True
+    while changed:
+        changed = False
+        for fn_index, fn in enumerate(program.functions):
+            for attr_index, spec in enumerate(fn.attrs):
+                for edited in _spec_edits(spec):
+                    attrs = (
+                        fn.attrs[:attr_index]
+                        + (edited,)
+                        + fn.attrs[attr_index + 1 :]
+                    )
+                    new_fn = dataclasses.replace(fn, attrs=attrs)
+                    functions = (
+                        program.functions[:fn_index]
+                        + (new_fn,)
+                        + program.functions[fn_index + 1 :]
+                    )
+                    candidate = dataclasses.replace(program, functions=functions)
+                    if _try(render_program(candidate), predicate, stats):
+                        program = candidate
+                        stats.conjuncts_removed += 1
+                        changed = True
+                        break
+                if changed:
+                    break
+            if changed:
+                break
+    return program
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def minimize_source(source: str, predicate: Predicate) -> Tuple[str, MinimizeStats]:
+    """Shrink ``source`` while ``predicate`` keeps returning ``True``.
+
+    The incoming source must itself satisfy the predicate; the result is
+    the rendered minimal program together with probe statistics.
+    """
+    stats = MinimizeStats()
+    program = parse_program(source)
+    stats.functions_before = len(program.functions)
+
+    program = _ddmin_functions(program, predicate, stats)
+    program = _drop_statements(program, predicate, stats)
+    program = _drop_spec_conjuncts(program, predicate, stats)
+
+    stats.functions_after = len(program.functions)
+    return render_program(program), stats

@@ -1,0 +1,238 @@
+"""Render a surface AST back to MiniRust source.
+
+The delta-debugging minimizer works structurally — it deletes functions,
+statements and spec conjuncts from a parsed :class:`repro.lang.ast.Program`
+— and re-checks each candidate by feeding the *rendered* source through the
+full pipeline, exactly as the divergence was found.  Rendering therefore
+has one contract: ``parse_program(render_program(parse_program(src)))``
+must reproduce the same AST (spans excluded; they are ``compare=False``).
+``tests/test_fuzz_generator.py`` asserts this round trip over every Table-1
+program, every golden file and a seeded sample of generated crates.
+
+Attributes are kept as raw token streams in the AST (:class:`RawSpec`), so
+they render token-by-token: the lexer treats every token as atomic, which
+makes a single-space join re-lex to the identical stream.
+
+Expressions are rendered fully parenthesised below the statement level.
+The parser discards parentheses, so this cannot change the re-parsed tree,
+and it sidesteps precedence bookkeeping entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.lang import ast
+
+__all__ = ["render_program", "render_function", "render_expr", "strip_lines"]
+
+
+def strip_lines(program: ast.Program) -> ast.Program:
+    """Zero the ``line`` provenance on every function.
+
+    ``FnDef.line`` participates in dataclass equality (unlike spans), so
+    round-trip comparisons — parse, render, re-parse — normalise it away,
+    exactly as the result cache does when fingerprinting.
+    """
+    return dataclasses.replace(
+        program,
+        functions=tuple(
+            dataclasses.replace(fn, line=0) if fn.line != 0 else fn
+            for fn in program.functions
+        ),
+    )
+
+_INDENT = "    "
+
+
+def _tokens(tokens) -> str:
+    return " ".join(tokens)
+
+
+def _attr(spec: ast.RawSpec) -> str:
+    return f"#[{spec.name}({_tokens(spec.tokens)})]"
+
+
+def _type(ty: ast.Type) -> str:
+    return str(ty)  # Type.__str__ already matches the surface syntax
+
+
+def render_expr(expr: ast.Expr, *, top: bool = False) -> str:
+    """Render one expression; ``top`` suppresses the outermost parentheses."""
+    text, atomic = _expr(expr)
+    if top or atomic:
+        return text
+    return text
+
+
+def _wrap(text: str, atomic: bool) -> str:
+    return text if atomic else f"({text})"
+
+
+def _expr(expr: ast.Expr):
+    """Return ``(text, atomic)``; non-atomic text needs parens when nested."""
+    if isinstance(expr, ast.IntLit):
+        if expr.value < 0:
+            return f"-{-expr.value}", False
+        return str(expr.value), True
+    if isinstance(expr, ast.FloatLit):
+        return repr(expr.value), True
+    if isinstance(expr, ast.BoolLit):
+        return ("true" if expr.value else "false"), True
+    if isinstance(expr, ast.VarExpr):
+        return expr.name, True
+    if isinstance(expr, ast.UnaryExpr):
+        operand, atomic = _expr(expr.operand)
+        return f"{expr.op}{_wrap(operand, atomic)}", False
+    if isinstance(expr, ast.BinaryExpr):
+        lhs, latomic = _expr(expr.lhs)
+        rhs, ratomic = _expr(expr.rhs)
+        return f"{_wrap(lhs, latomic)} {expr.op} {_wrap(rhs, ratomic)}", False
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(render_expr(a, top=True) for a in expr.args)
+        return f"{expr.func}({args})", True
+    if isinstance(expr, ast.MethodCallExpr):
+        receiver, atomic = _expr(expr.receiver)
+        args = ", ".join(render_expr(a, top=True) for a in expr.args)
+        return f"{_wrap(receiver, atomic)}.{expr.method}({args})", True
+    if isinstance(expr, ast.FieldExpr):
+        receiver, atomic = _expr(expr.receiver)
+        return f"{_wrap(receiver, atomic)}.{expr.field}", True
+    if isinstance(expr, ast.BorrowExpr):
+        place, atomic = _expr(expr.place)
+        prefix = "&mut " if expr.mutable else "&"
+        return f"{prefix}{_wrap(place, atomic)}", False
+    if isinstance(expr, ast.DerefExpr):
+        place, atomic = _expr(expr.place)
+        return f"*{_wrap(place, atomic)}", False
+    if isinstance(expr, ast.StructLit):
+        fields = ", ".join(
+            f"{name}: {render_expr(value, top=True)}" for name, value in expr.fields
+        )
+        return f"{expr.name} {{ {fields} }}", True
+    if isinstance(expr, ast.IfExpr):
+        text = f"if {render_expr(expr.cond, top=True)} {_block(expr.then_block, 0)}"
+        if expr.else_block is not None:
+            text += f" else {_block(expr.else_block, 0)}"
+        return text, True
+    if isinstance(expr, ast.MatchExpr):
+        arms: List[str] = []
+        for arm in expr.arms:
+            head = arm.variant
+            if arm.bindings:
+                head += f"({', '.join(arm.bindings)})"
+            arms.append(f"{head} => {_block(arm.body, 0)}")
+        body = " ".join(f"{arm}," for arm in arms)
+        return f"match {render_expr(expr.scrutinee, top=True)} {{ {body} }}", True
+    if isinstance(expr, ast.BlockExpr):
+        return _block(expr.block, 0), True
+    if isinstance(expr, ast.CastExpr):
+        operand, atomic = _expr(expr.operand)
+        return f"{_wrap(operand, atomic)} as {_type(expr.target)}", False
+    raise TypeError(f"cannot render expression {type(expr).__name__}")
+
+
+def _stmt(stmt: ast.Stmt, depth: int) -> str:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.LetStmt):
+        text = f"{pad}let "
+        if stmt.mutable:
+            text += "mut "
+        text += stmt.name
+        if stmt.ty is not None:
+            text += f": {_type(stmt.ty)}"
+        if stmt.init is not None:
+            text += f" = {render_expr(stmt.init, top=True)}"
+        return text + ";"
+    if isinstance(stmt, ast.AssignStmt):
+        op = f"{stmt.op}=" if stmt.op else "="
+        place = render_expr(stmt.place, top=True)
+        return f"{pad}{place} {op} {render_expr(stmt.value, top=True)};"
+    if isinstance(stmt, ast.ExprStmt):
+        rendered = render_expr(stmt.expr, top=True)
+        # Block-like statement expressions carry no semicolon in the surface
+        # grammar (and the parser would reject a dangling one after `}`).
+        if isinstance(stmt.expr, (ast.IfExpr, ast.MatchExpr, ast.BlockExpr)):
+            return f"{pad}{rendered}"
+        return f"{pad}{rendered};"
+    if isinstance(stmt, ast.WhileStmt):
+        lines = [f"{pad}{_attr(spec)}" for spec in stmt.invariants]
+        lines.append(
+            f"{pad}while {render_expr(stmt.cond, top=True)} {_block(stmt.body, depth)}"
+        )
+        return "\n".join(lines)
+    if isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {render_expr(stmt.value, top=True)};"
+    if isinstance(stmt, ast.MacroStmt):
+        return f"{pad}{stmt.name}!({_tokens(stmt.tokens)});"
+    raise TypeError(f"cannot render statement {type(stmt).__name__}")
+
+
+def _block(block: ast.Block, depth: int) -> str:
+    inner = depth + 1
+    lines: List[str] = []
+    for stmt in block.stmts:
+        lines.append(_stmt(stmt, inner))
+    if block.tail is not None:
+        lines.append(f"{_INDENT * inner}{render_expr(block.tail, top=True)}")
+    if not lines:
+        return "{ }"
+    body = "\n".join(lines)
+    return "{\n" + body + "\n" + _INDENT * depth + "}"
+
+
+def render_function(fn: ast.FnDef) -> str:
+    lines = [_attr(spec) for spec in fn.attrs]
+    generics = f"<{', '.join(fn.generics)}>" if fn.generics else ""
+    params = ", ".join(f"{p.name}: {_type(p.ty)}" for p in fn.params)
+    head = f"fn {fn.name}{generics}({params})"
+    if not isinstance(fn.ret, ast.TyUnit):
+        head += f" -> {_type(fn.ret)}"
+    if fn.body is None:
+        lines.append(f"{head};")
+    else:
+        lines.append(f"{head} {_block(fn.body, 0)}")
+    return "\n".join(lines)
+
+
+def _struct(struct: ast.StructDef) -> str:
+    lines = [_attr(spec) for spec in struct.attrs]
+    generics = f"<{', '.join(struct.generics)}>" if struct.generics else ""
+    lines.append(f"struct {struct.name}{generics} {{")
+    for field in struct.fields:
+        for spec in field.attrs:
+            lines.append(f"{_INDENT}{_attr(spec)}")
+        lines.append(f"{_INDENT}{field.name}: {_type(field.ty)},")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _enum(enum: ast.EnumDef) -> str:
+    lines = [_attr(spec) for spec in enum.attrs]
+    generics = f"<{', '.join(enum.generics)}>" if enum.generics else ""
+    lines.append(f"enum {enum.name}{generics} {{")
+    for variant in enum.variants:
+        for spec in variant.attrs:
+            lines.append(f"{_INDENT}{_attr(spec)}")
+        if variant.fields:
+            fields = ", ".join(_type(ty) for ty in variant.fields)
+            lines.append(f"{_INDENT}{variant.name}({fields}),")
+        else:
+            lines.append(f"{_INDENT}{variant.name},")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_program(program: ast.Program) -> str:
+    """Render a whole program, items separated by blank lines."""
+    chunks: List[str] = []
+    for struct in program.structs:
+        chunks.append(_struct(struct))
+    for enum in program.enums:
+        chunks.append(_enum(enum))
+    for fn in program.functions:
+        chunks.append(render_function(fn))
+    return "\n\n".join(chunks) + "\n"

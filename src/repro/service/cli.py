@@ -18,6 +18,11 @@ Examples
     echo 'fn main() {}' | python -m repro -
     python -m repro serve --port 7341 --cache-dir /var/cache/repro
     python -m repro --server http://127.0.0.1:7341 program.rs
+    python -m repro fuzz --seed 0 --budget 200
+
+``fuzz`` runs the generative differential stress harness: seeded synthetic
+crates verified under several pipeline configurations that must agree (see
+``docs/fuzzing.md``).
 
 ``serve`` starts the persistent verification daemon (warm solver state,
 job queue, ``/metrics``; see ``docs/daemon.md``).  ``--server URL`` makes
@@ -327,6 +332,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(list(argv[1:]))
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.cli import fuzz_main
+
+        return fuzz_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     only = tuple(name.strip() for name in args.only.split(",")) if args.only else None
     try:

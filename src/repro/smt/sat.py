@@ -84,6 +84,15 @@ class SatConfig:
     restarts: bool = True
     #: Conflicts per Luby unit: restart ``i`` fires after ``luby(i)``×this.
     luby_unit: int = 64
+    #: Scale the Luby unit down to the problem size.  A fixed unit of 64
+    #: conflicts never fires on Table-1-sized checks, whose whole search
+    #: rarely reaches 64 conflicts — restarts existed but were dead code
+    #: (ROADMAP item 3).  When on, the effective unit is
+    #: ``max(8, min(luby_unit, num_vars // 4 + 1))``: small formulas earn
+    #: small budgets (a 40-var query restarts after 11 conflicts), while
+    #: adversarial instances keep the configured ceiling.  Verdicts are
+    #: unaffected — restarts only reorder a complete search.
+    luby_auto: bool = True
     #: Reuse each variable's last-assigned polarity on decisions.
     phase_saving: bool = True
     #: Polarity for variables that have never been assigned (and for every
@@ -860,7 +869,10 @@ class SatSolver:
         use_deletion = config.clause_deletion
         phase_saving = config.phase_saving
         default_phase = config.default_phase
-        restart_limit = config.luby_unit * luby(self._luby_index)
+        luby_unit = config.luby_unit
+        if config.luby_auto:
+            luby_unit = max(8, min(luby_unit, self._num_vars // 4 + 1))
+        restart_limit = luby_unit * luby(self._luby_index)
         conflicts_since_restart = 0
 
         while True:
@@ -882,7 +894,7 @@ class SatSolver:
                 ):
                     self.num_restarts += 1
                     self._luby_index += 1
-                    restart_limit = config.luby_unit * luby(self._luby_index)
+                    restart_limit = luby_unit * luby(self._luby_index)
                     conflicts_since_restart = 0
                     self._backtrack(0)
                 continue

@@ -33,6 +33,7 @@ tableau, slack definitions and bound conversions carry over.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -58,6 +59,24 @@ class TheoryUnknown(Exception):
 #: clause saves.
 SHRINK_MIN_LITERALS = 4
 SHRINK_MAX_LITERALS = 48
+
+
+def _injected_bug() -> str:
+    """The fault-injection flag for the fuzz harness's self-test.
+
+    ``REPRO_INJECT_THEORY_BUG=strict-bounds`` makes the *online* solver
+    admit every single-variable upper bound one unit too wide — undoing the
+    front end's integer tightening of strict comparisons (``x < c`` reaches
+    the solver as ``x <= c - 1``), so a strict hypothesis like a loop guard
+    or a ``v < n`` index precondition silently weakens to its non-strict
+    form.  The offline engine converts atoms through ``check_lia`` directly
+    and is unaffected, so online-vs-offline differential oracles must
+    diverge on programs whose obligations hinge on a strict bound.  This
+    exists solely so the fuzz harness can prove, in CI, that it still
+    catches and minimises a real solver bug; nothing in the production
+    pipeline sets the variable.
+    """
+    return os.environ.get("REPRO_INJECT_THEORY_BUG", "")
 SHRINK_NODE_BUDGET = 400
 
 _Bounds = Tuple[Tuple[str, bool, DeltaRational], ...]
@@ -221,13 +240,23 @@ class TheorySolver:
                 value = DeltaRational(limit)
                 return ((svar, True, value), (svar, False, value))
             is_upper = coeff > 0
+            if is_upper and _injected_bug() == "strict-bounds":
+                # Un-tightens the front end's integer conversion of strict
+                # comparisons (`x < c` arrives here as `x <= c - 1`): every
+                # single-variable upper bound is admitted one too wide.
+                limit = limit + 1
             eps = 0 if not strict else (-1 if is_upper else 1)
             return ((svar, is_upper, DeltaRational(limit, eps)),)
         svar = self._simplex.term_var(coeffs)
         if atom.op == "=":
             value = DeltaRational(-const)
             return ((svar, True, value), (svar, False, value))
-        return ((svar, True, DeltaRational(-const, -1 if strict else 0)),)
+        limit = -const
+        if _injected_bug() == "strict-bounds":
+            # Same widening as the single-variable case: the slack row's
+            # upper bound admits one more than the tightened atom allows.
+            limit = limit + 1
+        return ((svar, True, DeltaRational(limit, -1 if strict else 0)),)
 
     def _is_active(self, var: int) -> bool:
         return self._active is None or var in self._active

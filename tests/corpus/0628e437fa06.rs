@@ -1,0 +1,8 @@
+#[flux::sig(fn ( n : i32 [ @ n ] { v : v >= 0 } ) -> i32 [ n ])]
+fn fn_2_b9d1(n: i32) -> i32 {
+    let mut i = 0;
+    while i < n {
+        i += 1;
+    }
+    i
+}

@@ -1,0 +1,7 @@
+#[flux::sig(fn ( n : i32 [ @ n ] { v : v >= 0 } ) -> i32 { v : v >= n })]
+fn fn_4_5f41(n: i32) -> i32 {
+    let mut i = 0;
+    let mut acc = 0;
+    while i < n { }
+    acc
+}

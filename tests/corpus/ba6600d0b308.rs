@@ -1,0 +1,4 @@
+#[flux::sig(fn ( n : usize [ @ n ] ) -> RVec < i32 > [ n ])]
+fn fn_7_fcb6(n: usize) -> RVec<i32> {
+    items
+}

@@ -366,3 +366,17 @@ class TestTheoryRoundBudget:
         result = solver.solve(self._branchy_constraint())
         assert result.ok
         assert not any(e.kind == SOLVER_UNKNOWN for e in result.errors)
+
+    def test_unknown_detail_names_the_stalled_qualifiers(self):
+        """A solver-unknown error must localize the *candidate*, not just the
+        clause tag: fuzzer-minimized repros usually have one clause but many
+        qualifiers, and triage needs to know which one stalled."""
+        solver = FixpointSolver(strategy="incremental", max_theory_rounds=1)
+        solver.declare(KVarDecl("k", (("v", INT), ("x", INT))))
+        result = solver.solve(self._branchy_constraint())
+        unknowns = [e for e in result.errors if e.kind == SOLVER_UNKNOWN]
+        assert unknowns
+        for error in unknowns:
+            assert "qualifier" in error.detail or "candidates" in error.detail, (
+                f"detail lacks qualifier attribution: {error.detail!r}"
+            )

@@ -1,0 +1,93 @@
+"""The regression corpus: write/load round-trips and the forever-replay.
+
+The final test replays every committed entry under ``tests/corpus/`` —
+that is the "worst cases never regress" gate the fuzzer feeds.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz.corpus import load_corpus, replay_entry, write_entry
+from repro.fuzz.driver import Divergence
+
+REPO_CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def _divergence(source, kind="verdict", minimized=None):
+    return Divergence(
+        kind=kind,
+        seed=123,
+        profile="small",
+        crate_index=7,
+        oracle="offline",
+        detail="f: status baseline='error' vs offline='ok'",
+        source=source,
+        minimized=minimized,
+    )
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        entry_id = write_entry(str(tmp_path), _divergence("fn main() { }\n"))
+        entries = load_corpus(str(tmp_path))
+        assert [e.entry_id for e in entries] == [entry_id]
+        entry = entries[0]
+        assert entry.source == "fn main() { }\n"
+        assert entry.meta["kind"] == "verdict"
+        assert entry.meta["seed"] == 123
+        assert entry.meta["oracle"] == "offline"
+
+    def test_minimized_source_wins(self, tmp_path):
+        write_entry(
+            str(tmp_path), _divergence("fn big() { }\n", minimized="fn small() { }\n")
+        )
+        (entry,) = load_corpus(str(tmp_path))
+        assert entry.source == "fn small() { }\n"
+        assert entry.meta["minimized"] is True
+
+    def test_content_addressed_ids_are_idempotent(self, tmp_path):
+        first = write_entry(str(tmp_path), _divergence("fn f() { }\n"))
+        second = write_entry(str(tmp_path), _divergence("fn f() { }\n"))
+        assert first == second
+        assert len([n for n in os.listdir(tmp_path) if n.endswith(".rs")]) == 1
+
+    def test_injection_env_is_recorded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_INJECT_THEORY_BUG", "strict-bounds")
+        entry_id = write_entry(str(tmp_path), _divergence("fn g() { }\n"))
+        meta = json.load(open(tmp_path / f"{entry_id}.json"))
+        assert meta["env"] == {"REPRO_INJECT_THEORY_BUG": "strict-bounds"}
+
+    def test_missing_directory_loads_empty(self, tmp_path):
+        assert load_corpus(str(tmp_path / "nope")) == []
+
+
+class TestReplay:
+    def test_agreeing_entry_replays_clean(self, tmp_path):
+        source = (
+            "#[flux::sig(fn ( x : i32 [ @ x ] ) -> i32 [ x + 1 ])]\n"
+            "fn inc(x: i32) -> i32 {\n    x + 1\n}\n"
+        )
+        write_entry(str(tmp_path), _divergence(source))
+        (entry,) = load_corpus(str(tmp_path))
+        assert replay_entry(entry) is None
+
+    def test_repo_corpus_is_well_formed(self):
+        entries = load_corpus(REPO_CORPUS)
+        assert entries, "committed corpus must not be empty"
+        for entry in entries:
+            assert entry.meta.get("id") == entry.entry_id
+            assert entry.meta.get("kind") in {"verdict", "crash", "expectation"}
+            assert len(entry.replay_oracles) >= 2
+
+
+@pytest.mark.parametrize(
+    "entry",
+    load_corpus(REPO_CORPUS),
+    ids=lambda entry: entry.entry_id,
+)
+def test_repo_corpus_entry_replays_clean(entry):
+    """Every committed worst case stays fixed, under every replay oracle."""
+    mismatch = replay_entry(entry)
+    assert mismatch is None, mismatch

@@ -1,0 +1,76 @@
+"""Daemon under generated load (fuzz satellite).
+
+A batch of fuzzer-generated crates goes through a live ``run_daemon()``
+instance; the daemon's verdicts must match the in-process pipeline
+function-for-function (the daemon is just another oracle surface), and
+the ``daemon.*`` counters must move monotonically across the batch.
+"""
+
+import re
+
+import pytest
+
+from repro.daemon import client
+from repro.daemon.testing import run_daemon
+from repro.fuzz.generator import crate_seed, generate_crate
+from repro.fuzz.oracles import ORACLES, run_oracle
+
+BATCH = [generate_crate(crate_seed(99, index), "tiny") for index in range(4)]
+
+
+def _daemon_verdicts(record):
+    """(name, status, failure tags) rows from a daemon job record."""
+    rows = {}
+    for fn in record["report"]["functions"]:
+        tags = tuple(sorted(f["tag"] for f in fn.get("failures", [])))
+        rows[fn["name"]] = (fn["status"], tags)
+    return rows
+
+
+def _inprocess_verdicts(source, name):
+    verdict = run_oracle(source, name, ORACLES["baseline"])
+    return {v.name: (v.status, v.tags) for v in verdict.functions}
+
+
+def _counter_value(text, name):
+    pattern = re.compile(rf"^{re.escape(name)}(?:{{[^}}]*}})?\s+([0-9.e+-]+)$")
+    total = 0.0
+    for line in text.splitlines():
+        match = pattern.match(line.strip())
+        if match:
+            total += float(match.group(1))
+    return total
+
+
+class TestDaemonParity:
+    def test_generated_batch_matches_in_process(self):
+        with run_daemon() as daemon:
+            for index, crate in enumerate(BATCH):
+                record = client.verify(
+                    daemon.url, crate.source, name=f"fuzz-batch-{index}"
+                )
+                assert record["state"] == "done"
+                daemon_rows = _daemon_verdicts(record)
+                local_rows = _inprocess_verdicts(crate.source, f"local-{index}")
+                # The daemon surface may include trusted/extern rows the
+                # oracle view also reports; the tables must be identical.
+                assert daemon_rows.keys() == local_rows.keys()
+                for name in daemon_rows:
+                    d_status, d_tags = daemon_rows[name]
+                    l_status, l_tags = local_rows[name]
+                    assert d_status == l_status, (
+                        f"{name}: daemon={d_status!r} in-process={l_status!r}"
+                    )
+                    assert d_tags == l_tags
+
+    def test_daemon_counters_move_monotonically(self):
+        with run_daemon() as daemon:
+            submitted = []
+            for index, crate in enumerate(BATCH[:3]):
+                client.verify(daemon.url, crate.source, name=f"count-{index}")
+                text = client.metrics(daemon.url)
+                submitted.append(
+                    _counter_value(text, "repro_daemon_jobs_submitted_total")
+                )
+            assert submitted == sorted(submitted), "counter went backwards"
+            assert submitted[-1] >= 3

@@ -296,3 +296,54 @@ class TestCounters:
         )
         assert model is None
         assert solver.solve_clauses_deleted == 0
+
+
+class TestAutoLubyUnit:
+    """ROADMAP item-3 leftover: under the fixed default ``luby_unit=64`` the
+    restart machinery never fired on realistically-sized checks — the search
+    finishes before the first restart budget is spent.  ``luby_auto`` (on by
+    default) scales the unit down with the variable count so default-config
+    runs genuinely restart, while steering only search order, never verdicts.
+    """
+
+    def test_default_config_restarts_on_adversarial_input(self):
+        num_vars, clauses = _pigeonhole(5, 4)
+        model, solver = _solve_cnf(num_vars, clauses, SatConfig())
+        assert model is None
+        assert solver.solve_restarts > 0
+
+    def test_fixed_unit_never_fires(self):
+        """The regression being fixed: auto-scaling off restores the fixed
+        64-conflict unit, under which the same instance finishes without a
+        single restart."""
+        num_vars, clauses = _pigeonhole(5, 4)
+        model, solver = _solve_cnf(num_vars, clauses, SatConfig(luby_auto=False))
+        assert model is None
+        assert solver.solve_restarts == 0
+
+    def test_auto_scaling_preserves_cnf_verdicts(self):
+        rng = random.Random(424_242)
+        for _ in range(25):
+            num_vars, clauses = _random_cnf(rng)
+            expected = brute_force_sat(num_vars, clauses)
+            for auto in (True, False):
+                model, _ = _solve_cnf(num_vars, clauses, SatConfig(luby_auto=auto))
+                assert (model is not None) == expected
+
+    @pytest.mark.parametrize("name", ["dotprod", "wave"])
+    def test_table1_verdicts_identical_auto_on_off(
+        self, name, _restore_default_config
+    ):
+        from repro.bench.fixpoint_bench import (
+            collect_function_constraints,
+            solve_constraints,
+            table1_programs,
+        )
+
+        batch = collect_function_constraints(table1_programs([name])[0])
+        assert batch
+        set_default_config(SatConfig(luby_auto=True))
+        auto = solve_constraints(batch, "incremental")
+        set_default_config(SatConfig(luby_auto=False))
+        fixed = solve_constraints(batch, "incremental")
+        assert auto.results == fixed.results
