@@ -22,6 +22,7 @@ from repro.mir.lower import lower_function
 from repro.mir.typeinfer import ProgramTypes, infer_types
 from repro.fixpoint import FixpointSolver
 from repro.fixpoint.constraint import c_conj
+from repro.fixpoint.solve import DEADLINE_EXCEEDED, RESOURCE_EXHAUSTED, WORKER_CRASHED
 from repro.core.checker import Checker
 from repro.core.errors import Counterexample, Diagnostic, FluxError
 from repro.core.genv import GlobalEnv
@@ -98,6 +99,27 @@ class FunctionResult:
     metrics: Dict[str, float] = field(default_factory=dict)
     time: float = 0.0
     trusted: bool = False
+
+
+#: Diagnostic tags of fault-degraded verdicts: the function was lost to a
+#: worker crash, a deadline or a memory ceiling, not refuted by the solver.
+#: Such results are never cached (they say nothing about the program) and
+#: the chaos harness accepts them as the structured form of an injected
+#: fault.
+FAULT_TAGS = (WORKER_CRASHED, DEADLINE_EXCEEDED, RESOURCE_EXHAUSTED)
+
+
+def fault_result(name: str, kind: str, detail: str = "", elapsed: float = 0.0) -> FunctionResult:
+    """A structured not-ok verdict for a function lost to ``kind``."""
+
+    diagnostic = Diagnostic(function=name, tag=kind, message=detail)
+    return FunctionResult(name=name, ok=False, diagnostics=[diagnostic], time=elapsed)
+
+
+def is_fault_result(result: "FunctionResult") -> bool:
+    """Whether ``result`` reports an execution fault rather than a verdict."""
+
+    return any(diag.tag in FAULT_TAGS for diag in result.diagnostics)
 
 
 def _metric_alias(key: str) -> property:

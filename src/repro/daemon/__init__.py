@@ -3,15 +3,15 @@
 Every ``python -m repro`` invocation pays cold startup: interpreter boot,
 parsing, intern-table construction, per-clause solver warm-up.  The daemon
 pays it once: a long-lived asyncio HTTP/JSON server
-(:mod:`repro.daemon.server`) keeps a pool of warm
-:class:`~repro.service.session.VerifySession`\\ s
-(:mod:`repro.daemon.sessions`, one per concurrent worker, never shared
-between running jobs) — interned term tables, the SMT answer cache,
-persistent :class:`~repro.smt.IncrementalSolver` state and the
-content-addressed function-result cache — alive across requests, behind a
-bounded job queue (:mod:`repro.daemon.queue`) with request deduplication,
-per-tenant quotas (:mod:`repro.daemon.quotas`), job timeouts and graceful
-drain on shutdown.
+(:mod:`repro.daemon.server`) keeps a pool of warm worker subprocesses
+(:mod:`repro.daemon.workers`, one per concurrent worker, never shared
+between running jobs), each holding a
+:class:`~repro.service.session.VerifySession` — interned term tables, the
+SMT answer cache, persistent :class:`~repro.smt.IncrementalSolver` state
+and the content-addressed function-result cache — alive across requests,
+behind a bounded job queue (:mod:`repro.daemon.queue`) with request
+deduplication, per-tenant quotas (:mod:`repro.daemon.quotas`), job
+timeouts, crash retries and graceful drain on shutdown.
 
 * ``python -m repro serve`` starts a daemon;
 * ``python -m repro --server URL prog.rs`` verifies through it (falling
@@ -29,7 +29,7 @@ from repro.daemon.protocol import JobRecord, JobRequest, ProtocolError, error_pa
 from repro.daemon.queue import JobQueue, QueueFull
 from repro.daemon.quotas import QuotaExceeded, TenantQuotas
 from repro.daemon.server import DaemonConfig, VerifyDaemon, run_daemon
-from repro.daemon.sessions import SessionPool
+from repro.daemon.workers import WorkerHandle, WorkerPool
 
 __all__ = [
     "DaemonConfig",
@@ -39,8 +39,9 @@ __all__ = [
     "ProtocolError",
     "QueueFull",
     "QuotaExceeded",
-    "SessionPool",
     "TenantQuotas",
+    "WorkerHandle",
+    "WorkerPool",
     "VerifyDaemon",
     "error_payload",
     "run_daemon",

@@ -31,12 +31,12 @@ JOB_STATES = ("queued", "running", "done", "failed")
 ERROR_KINDS = (
     "BAD_REQUEST",
     "NOT_FOUND",
-    "OVERLOADED",
     "PAYLOAD_TOO_LARGE",
     "QUEUE_FULL",
     "QUOTA_EXCEEDED",
     "SHUTTING_DOWN",
     "TIMEOUT",
+    "WORKER_CRASHED",
     "INTERNAL",
 )
 

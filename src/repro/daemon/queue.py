@@ -1,41 +1,39 @@
-"""Bounded job queue with deduplication, quotas and graceful drain.
+"""Bounded job queue with deduplication, quotas, retries and graceful drain.
 
 The queue owns the daemon's verification work: admitted jobs wait in FIFO
-order, ``workers`` asyncio worker tasks pull them and run the (synchronous,
-CPU-bound) :func:`repro.service.api.verify_job` on a thread-pool executor.
-Each job checks a warm :class:`~repro.service.session.VerifySession` out of
-the daemon's :class:`~repro.daemon.sessions.SessionPool` for its duration —
-sessions are never shared between concurrently running jobs, because a
-session's SMT answer cache, result cache and registry are only safe under
-a single mutating thread.  Everything that makes a session fast across
-requests — interned terms, the SMT answer cache, the content-addressed
-function-result cache — stays alive between the jobs it serves, which is
-the entire point of the daemon.
+order, ``workers`` asyncio worker tasks pull them and dispatch each to a
+warm worker *subprocess* from the daemon's
+:class:`~repro.daemon.workers.WorkerPool` (the synchronous pipe round-trip
+runs on a thread-pool executor so the event loop never blocks).  Workers
+are never shared between concurrently running jobs, and everything that
+makes a worker fast across requests — interned terms, the SMT answer
+cache, the content-addressed function-result cache — stays alive in the
+subprocess between the jobs it serves, which is the entire point of the
+daemon.
 
 Admission control happens at submit time, on the event-loop thread:
 
 * **deduplication** — a submission whose content key (see
   :meth:`repro.daemon.protocol.JobRequest.content_key`) matches a retained
   *queued, running or done* job returns that job's record unchanged.  A
-  matched **failed** record (timeout, internal error) does *not* absorb the
-  submission: the stale failure is unlinked and the job is re-admitted, so
-  one transient failure never makes content unverifiable for the lifetime
-  of the retention window;
+  matched **failed** record (timeout, crash, internal error) does *not*
+  absorb the submission: the stale failure is unlinked and the job is
+  re-admitted, so one transient failure never makes content unverifiable
+  for the lifetime of the retention window;
 * **queue bound** — more than ``queue_limit`` waiting jobs raises
   :class:`QueueFull` (HTTP 503);
 * **quotas** — each tenant holds at most its quota of active jobs
   (:class:`repro.daemon.quotas.TenantQuotas`, HTTP 429).
 
-A job that outlives ``job_timeout`` is *failed* with a structured
-``TIMEOUT`` payload and its quota slot released; the executor thread keeps
-running to completion in the background (Python threads cannot be killed).
-Its session is retired from the pool — the orphaned thread keeps mutating
-it, so it must never serve another job — and the pool mints a fresh
-replacement.  The executor carries :data:`ORPHAN_SLACK` spare threads for
-such orphans; if that slack is ever exhausted (``ORPHAN_SLACK`` jobs have
-timed out and are *all still running*), further jobs fail fast with a
-structured ``OVERLOADED`` payload instead of silently queueing inside the
-executor behind threads the gauges cannot see.
+Fault containment (see ``docs/robustness.md``): a job that outlives
+``job_timeout`` is failed with a structured ``TIMEOUT`` payload and its
+worker is **killed and replaced** — subprocesses, unlike the executor
+threads they replaced, cannot linger as unkillable orphans.  A worker that
+*dies* mid-job (OOM killer, injected crash, segfault) has the job retried
+with backoff on a fresh worker up to ``job_retries`` times
+(``record.meta["attempts"]`` surfaces the count); when retries run out the
+job fails with a structured ``WORKER_CRASHED`` payload.  Timeouts are not
+retried: a deterministic over-budget job would just time out again.
 """
 
 from __future__ import annotations
@@ -43,21 +41,23 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import OrderedDict, deque
-from concurrent.futures import Future as ConcurrentFuture
 from concurrent.futures import ThreadPoolExecutor
 from typing import Deque, Dict, Optional, Tuple
 
+from repro import faults
 from repro.obs.metrics import REQUEST_LATENCY_BUCKETS, MetricsRegistry
 
 from repro.daemon.protocol import JobRecord, JobRequest, error_payload, job_id_for
 from repro.daemon.quotas import QuotaExceeded, TenantQuotas
-from repro.daemon.sessions import SessionPool
+from repro.daemon.workers import WorkerHandle, WorkerPool
 
-__all__ = ["JobQueue", "QueueFull", "QuotaExceeded", "ORPHAN_SLACK"]
+__all__ = ["JobQueue", "QueueFull", "QuotaExceeded"]
 
-#: Executor threads kept beyond ``workers`` to absorb timed-out jobs whose
-#: threads are still finishing in the background.
-ORPHAN_SLACK = 4
+#: Crash retries per job (beyond the first attempt) before WORKER_CRASHED.
+DEFAULT_JOB_RETRIES = 1
+
+#: Base backoff before a crash retry (doubles per attempt).
+RETRY_BACKOFF_SECONDS = 0.05
 
 
 class QueueFull(Exception):
@@ -69,39 +69,41 @@ class QueueFull(Exception):
 
 
 class JobQueue:
-    """FIFO verification queue over a pool of warm sessions.
+    """FIFO verification queue over a pool of warm worker subprocesses.
 
     Not thread-safe by itself: ``submit``/``get`` must run on the event-loop
-    thread (the HTTP handlers do).  Verification itself runs on executor
-    threads; only its *result* is written back on the loop.  Daemon-level
-    metrics go to ``registry`` — the daemon's own registry, deliberately
-    distinct from the per-session registries the pool aggregates.
+    thread (the HTTP handlers do).  Verification runs in worker
+    subprocesses; only the pipe round-trip occupies an executor thread.
+    Daemon-level metrics go to ``registry`` — the daemon's own registry,
+    deliberately distinct from the per-worker registries the pool
+    aggregates.
     """
 
     def __init__(
         self,
-        sessions: SessionPool,
+        pool: WorkerPool,
         *,
         registry: Optional[MetricsRegistry] = None,
         workers: int = 1,
         queue_limit: int = 64,
         quotas: Optional[TenantQuotas] = None,
         job_timeout: Optional[float] = None,
+        job_retries: int = DEFAULT_JOB_RETRIES,
         retention: int = 512,
     ) -> None:
-        self.sessions = sessions
+        self.pool = pool
         self.registry = registry if registry is not None else MetricsRegistry()
         self.workers = max(0, int(workers))
         self.queue_limit = max(1, int(queue_limit))
         self.quotas = quotas or TenantQuotas()
         self.job_timeout = job_timeout
+        self.job_retries = max(0, int(job_retries))
         self.retention = max(1, int(retention))
         self._pending: Deque[JobRecord] = deque()
         self._records: "OrderedDict[str, JobRecord]" = OrderedDict()
         self._by_key: Dict[str, str] = {}
         self._sequence = 0
         self._running = 0
-        self._orphans = 0
         self._accepting = True
         self._stopping = False
         self._wakeup: Optional[asyncio.Event] = None
@@ -121,22 +123,19 @@ class JobQueue:
         self.registry.gauge(
             "daemon.jobs.running", help="jobs currently verifying"
         ).set(self._running)
-        self.registry.gauge(
-            "daemon.threads.orphaned",
-            help="timed-out job threads still running in the background",
-        ).set(self._orphans)
 
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn the worker tasks on the running loop (call from the loop)."""
+        """Fork the worker pool and spawn the worker tasks (call from the loop)."""
         self._wakeup = asyncio.Event()
         self._idle = asyncio.Event()
         self._idle.set()
-        # ORPHAN_SLACK beyond ``workers`` keeps the pool responsive while
-        # timed-out jobs' threads are still finishing in the background.
+        self.pool.start()
+        # One executor thread per worker: each does nothing but block on a
+        # worker pipe, so no slack beyond ``workers`` is ever needed.
         self._executor = ThreadPoolExecutor(
-            max_workers=self.workers + ORPHAN_SLACK,
+            max_workers=max(1, self.workers),
             thread_name_prefix="repro-daemon",
         )
         self._tasks = [
@@ -149,9 +148,11 @@ class JobQueue:
 
         Call :meth:`drain` first for a graceful shutdown; ``stop`` is the
         hard phase — every still-*queued* job is failed immediately (its
-        quota slot released), and each worker exits as soon as its current
-        job completes or times out, so shutdown is bounded by one
-        ``job_timeout``, not by ``queue_limit`` of them.
+        quota slot released), each worker task exits as soon as its current
+        job completes or times out, and the subprocess pool is torn down
+        (graceful stop message, then SIGTERM/SIGKILL escalation), so
+        shutdown is bounded by one ``job_timeout`` and leaves no orphaned
+        process behind.
         """
         self._stopping = True
         self._accepting = False
@@ -183,6 +184,7 @@ class JobQueue:
         if self._executor is not None:
             self._executor.shutdown(wait=False)
             self._executor = None
+        self.pool.stop()
 
     def stop_accepting(self) -> None:
         self._accepting = False
@@ -202,11 +204,6 @@ class JobQueue:
     @property
     def active(self) -> int:
         return len(self._pending) + self._running
-
-    @property
-    def orphans(self) -> int:
-        """Timed-out job threads still running in the background."""
-        return self._orphans
 
     async def drain(self, timeout: Optional[float] = None) -> bool:
         """Stop admitting and wait until every admitted job finished.
@@ -309,19 +306,18 @@ class JobQueue:
 
     # -- execution ---------------------------------------------------------------
 
-    def _verify_sync(self, record: JobRecord, session) -> Dict[str, object]:
-        """Runs on an executor thread; the session context is installed by
-        ``verify_job`` itself (ContextVars are per-thread-of-execution)."""
-        from repro.service.api import VerifyJob, verify_job
-
-        request = record.request
-        job = VerifyJob(
-            source=request.source,
-            name=request.name,
-            extra_sources=request.extra_sources,
-            only=request.only,
-        )
-        return verify_job(job, session).to_dict()
+    def _dispatch(self, record: JobRecord, worker: WorkerHandle, attempt: int) -> Dict[str, object]:
+        """Runs on an executor thread: one pipe round-trip to the worker."""
+        try:
+            # Chaos site on the dispatch path itself; a "crash" here cannot
+            # kill the daemon (this process is not a disposable worker), it
+            # surfaces as InjectedCrash and exercises the retry path.
+            faults.inject("daemon.queue", key=record.request.name)
+        except faults.InjectedCrash as error:
+            return {"status": "crashed", "message": str(error)}
+        except MemoryError as error:
+            return {"status": "error", "kind": "INTERNAL", "message": str(error)}
+        return worker.run_job(record.request.to_dict(), self.job_timeout, attempt)
 
     async def _worker_loop(self) -> None:
         assert self._wakeup is not None
@@ -340,12 +336,13 @@ class JobQueue:
         record.error = error_payload(kind, message, job=record.id)["error"]
         self._counter(counter, help).inc()
 
-    def _orphan_finished(self, session, future: ConcurrentFuture) -> None:
-        """Loop-thread callback: a timed-out job's thread finally ended."""
-        self._orphans -= 1
-        future.exception()  # consume, so it is never logged as unretrieved
-        self.sessions.discard(session)
-        self._update_gauges()
+    def _retire(self, worker: WorkerHandle) -> None:
+        """Kill a compromised worker; the pool mints a replacement."""
+        self.pool.retire(worker)
+        self._counter(
+            "daemon.sessions.retired",
+            "warm workers killed and replaced after a timeout or crash",
+        ).inc()
 
     async def _run(self, record: JobRecord) -> None:
         record.state = "running"
@@ -354,62 +351,73 @@ class JobQueue:
         self._update_gauges()
         loop = asyncio.get_running_loop()
         assert self._executor is not None
-        session = None
         try:
-            if self._orphans >= ORPHAN_SLACK:
-                # Every spare executor thread is occupied by a timed-out
-                # job; dispatching would queue invisibly inside the pool.
+            attempt = 0
+            while True:
+                attempt += 1
+                record.meta["attempts"] = attempt
+                worker = self.pool.acquire()
+                try:
+                    future = self._executor.submit(self._dispatch, record, worker, attempt)
+                    outcome = await asyncio.wrap_future(future, loop=loop)
+                except BaseException:
+                    self._retire(worker)
+                    raise
+                status = outcome.get("status")
+                if status == "ok":
+                    self.pool.release(worker)
+                    record.report = outcome["report"]
+                    record.state = "done"
+                    self._counter(
+                        "daemon.jobs.completed", "jobs verified to completion"
+                    ).inc()
+                    return
+                if status == "timeout":
+                    # Not retried: a deterministic over-budget job would
+                    # just burn another worker; the client can resubmit.
+                    self._retire(worker)
+                    self._fail(
+                        record,
+                        "TIMEOUT",
+                        f"job exceeded the {self.job_timeout}s verification budget",
+                        "daemon.jobs.timeouts",
+                        "jobs failed by timeout",
+                    )
+                    return
+                if status == "crashed":
+                    self._retire(worker)
+                    self._counter(
+                        "faults.worker_crashes",
+                        "daemon workers lost mid-job",
+                    ).inc()
+                    if attempt <= self.job_retries:
+                        self._counter(
+                            "faults.retries",
+                            "units of work re-run after a worker crash",
+                        ).inc()
+                        await asyncio.sleep(
+                            RETRY_BACKOFF_SECONDS * (2 ** (attempt - 1))
+                        )
+                        continue
+                    self._fail(
+                        record,
+                        "WORKER_CRASHED",
+                        outcome.get("message", "worker subprocess died")
+                        + f" (after {attempt} attempts)",
+                        "daemon.jobs.crashed",
+                        "jobs failed: worker died on every attempt",
+                    )
+                    return
+                # Structured error from the child ("error" status).
+                self.pool.release(worker)
                 self._fail(
                     record,
-                    "OVERLOADED",
-                    f"{self._orphans} timed-out jobs still occupy executor "
-                    "threads; retry after they finish",
-                    "daemon.jobs.overloaded",
-                    "jobs failed fast: executor exhausted by orphaned threads",
+                    str(outcome.get("kind", "INTERNAL")),
+                    str(outcome.get("message", "job failed")),
+                    "daemon.jobs.failed",
+                    "jobs failed by internal error",
                 )
                 return
-            session = self.sessions.acquire()
-            future = self._executor.submit(self._verify_sync, record, session)
-            wrapped = asyncio.wrap_future(future, loop=loop)
-            try:
-                # shield(): on timeout the *wait* is abandoned, not the
-                # future — we need it alive to learn when the thread ends.
-                record.report = await asyncio.wait_for(
-                    asyncio.shield(wrapped), timeout=self.job_timeout
-                )
-                record.state = "done"
-                self._counter(
-                    "daemon.jobs.completed", "jobs verified to completion"
-                ).inc()
-                self.sessions.release(session)
-            except asyncio.TimeoutError:
-                self._fail(
-                    record,
-                    "TIMEOUT",
-                    f"job exceeded the {self.job_timeout}s verification budget",
-                    "daemon.jobs.timeouts",
-                    "jobs failed by timeout",
-                )
-                # The thread cannot be interrupted: retire its session so no
-                # later job shares state with it, and reclaim the slot when
-                # the thread actually finishes.
-                self._orphans += 1
-                self.sessions.retire(session)
-                self._counter(
-                    "daemon.sessions.retired",
-                    "warm sessions retired after a job timeout",
-                ).inc()
-
-                def _finished(done: ConcurrentFuture, session=session) -> None:
-                    try:
-                        loop.call_soon_threadsafe(
-                            self._orphan_finished, session, done
-                        )
-                    except RuntimeError:
-                        pass  # loop already closed at shutdown
-
-                future.add_done_callback(_finished)
-                wrapped.cancel()  # nobody awaits the wrapper any more
         except Exception as exc:  # noqa: BLE001 — the record carries the error
             self._fail(
                 record,
@@ -418,8 +426,6 @@ class JobQueue:
                 "daemon.jobs.failed",
                 "jobs failed by internal error",
             )
-            if session is not None:
-                self.sessions.release(session)
         finally:
             record.finished = time.time()
             self._running -= 1

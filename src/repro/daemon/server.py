@@ -1,16 +1,18 @@
 """The verification daemon: a persistent asyncio HTTP/JSON server.
 
-One :class:`VerifyDaemon` owns a :class:`~repro.daemon.sessions.SessionPool`
-of warm :class:`~repro.service.session.VerifySession`\\ s (one per
-concurrent worker) for its whole lifetime — interned terms, the SMT answer
-cache and the content-addressed function-result cache all persist across
-the requests each session serves, so a re-submitted (or merely re-edited)
-program verifies from cache instead of from scratch.  Sessions are never
-shared between concurrently running jobs; a job that times out takes its
-session out of circulation (see :mod:`repro.daemon.sessions`).  The HTTP
-layer is a small hand-rolled HTTP/1.1 responder on ``asyncio`` streams
-(no third-party dependencies; one connection per request,
-``Connection: close``).
+One :class:`VerifyDaemon` owns a :class:`~repro.daemon.workers.WorkerPool`
+of warm worker *subprocesses* (one per concurrent worker), each holding a
+:class:`~repro.service.session.VerifySession` for its whole lifetime —
+interned terms, the SMT answer cache and the content-addressed
+function-result cache all persist across the jobs each worker serves, so a
+re-submitted (or merely re-edited) program verifies from cache instead of
+from scratch.  Workers are never shared between concurrently running jobs;
+a job that times out or crashes gets its worker **killed and replaced**
+(subprocesses, unlike threads, can be killed), and crashed jobs are
+retried on the replacement (see :mod:`repro.daemon.queue` and
+``docs/robustness.md``).  The HTTP layer is a small hand-rolled HTTP/1.1
+responder on ``asyncio`` streams (no third-party dependencies; one
+connection per request, ``Connection: close``).
 
 Endpoints (full reference with JSON schemas in ``docs/daemon.md``):
 
@@ -42,16 +44,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     to_prometheus,
 )
-from repro.service.session import VerifySession
-
 from repro.daemon.protocol import (
     JobRequest,
     ProtocolError,
     error_payload,
 )
-from repro.daemon.queue import JobQueue, QueueFull
+from repro.daemon.queue import DEFAULT_JOB_RETRIES, JobQueue, QueueFull
 from repro.daemon.quotas import QuotaExceeded, TenantQuotas
-from repro.daemon.sessions import SessionPool
+from repro.daemon.workers import WorkerPool
 
 __all__ = ["DaemonConfig", "VerifyDaemon", "run_daemon"]
 
@@ -88,12 +88,18 @@ class DaemonConfig:
     tenant_limits: Dict[str, int] = field(default_factory=dict)
     #: Per-job wall-clock budget in seconds (None = unbounded).
     job_timeout: Optional[float] = 120.0
+    #: Crash retries per job before it fails with ``WORKER_CRASHED``.
+    job_retries: int = DEFAULT_JOB_RETRIES
     #: Graceful-shutdown drain budget in seconds.
     drain_timeout: Optional[float] = 60.0
     #: Persist the function-result cache under this directory.
     cache_dir: Optional[str] = None
     #: ``VerifySession(jobs=...)`` — the per-job scheduler's process pool.
     session_jobs: int = 1
+    #: Per-function wall-clock deadline inside each job (None = unbounded).
+    fn_deadline: Optional[float] = None
+    #: Worker address-space ceiling in MiB (None = unbounded).
+    memory_limit_mb: Optional[int] = None
     #: Finished-job records retained for ``GET /jobs/<id>``.
     retention: int = 512
     #: Enable span tracing on the daemon session.
@@ -101,25 +107,27 @@ class DaemonConfig:
 
 
 class VerifyDaemon:
-    """The daemon: warm session pool + job queue + HTTP front end."""
+    """The daemon: warm worker pool + job queue + HTTP front end."""
 
     def __init__(self, config: Optional[DaemonConfig] = None) -> None:
         self.config = config or DaemonConfig()
         # Daemon-level metrics (HTTP traffic, queue gauges, job lifecycle)
         # live on the daemon's own registry, mutated only from the event
-        # loop; per-session solver metrics stay on each session's registry
-        # and are merged in at scrape time.
+        # loop; per-worker solver metrics stay in each worker subprocess
+        # and are merged in at scrape time from reply snapshots.
         self.registry = MetricsRegistry()
-        self.sessions = SessionPool(
-            lambda: VerifySession(
-                cache_dir=self.config.cache_dir,
-                jobs=self.config.session_jobs,
-                trace=self.config.trace,
-            ),
+        self.workers = WorkerPool(
+            {
+                "cache_dir": self.config.cache_dir,
+                "session_jobs": self.config.session_jobs,
+                "trace": self.config.trace,
+                "fn_deadline": self.config.fn_deadline,
+                "memory_limit_mb": self.config.memory_limit_mb,
+            },
             size=max(1, self.config.workers),
         )
         self.queue = JobQueue(
-            self.sessions,
+            self.workers,
             registry=self.registry,
             workers=self.config.workers,
             queue_limit=self.config.queue_limit,
@@ -128,6 +136,7 @@ class VerifyDaemon:
                 limits=self.config.tenant_limits,
             ),
             job_timeout=self.config.job_timeout,
+            job_retries=self.config.job_retries,
             retention=self.config.retention,
         )
         self.started_at = time.time()
@@ -149,9 +158,11 @@ class VerifyDaemon:
         self.port = server.sockets[0].getsockname()[1]
         self._install_signal_handlers()
         self.state = "serving"
+        # Metric name kept from the thread-pool era ("session" == one warm
+        # worker) so operator dashboards survive the subprocess migration.
         self.registry.gauge(
-            "daemon.sessions.warm", help="live warm verification sessions"
-        ).set(self.sessions.warm)
+            "daemon.sessions.warm", help="live warm verification workers"
+        ).set(self.workers.warm)
         if ready is not None:
             ready.set()
         try:
@@ -389,11 +400,11 @@ class VerifyDaemon:
 
     def _handle_metrics(self) -> Tuple[int, str, bytes]:
         # One merged exposition: the daemon registry (HTTP/queue series)
-        # plus every live session's registry and absorbed retirees, with
-        # the deterministic merge semantics (counters add, gauges max).
+        # plus every live worker's latest snapshot and absorbed retirees,
+        # with the deterministic merge semantics (counters add, gauges max).
         merged = MetricsRegistry()
         merged.merge(self.registry.snapshot())
-        merged.merge(self.sessions.merged_metrics())
+        merged.merge(self.workers.merged_metrics())
         # Scrape-time gauges overwrite whatever merging carried over, so
         # the exposition reflects *now*.
         merged.gauge(
@@ -403,13 +414,9 @@ class VerifyDaemon:
             "daemon.jobs.running", help="jobs currently verifying"
         ).set(self.queue.running)
         merged.gauge(
-            "daemon.sessions.warm", help="live warm verification sessions"
-        ).set(self.sessions.warm)
-        merged.gauge(
-            "daemon.threads.orphaned",
-            help="timed-out job threads still running in the background",
-        ).set(self.queue.orphans)
-        cache = self.sessions.cache_stats()
+            "daemon.sessions.warm", help="live warm verification workers"
+        ).set(self.workers.warm)
+        cache = self.workers.cache_stats()
         lookups = cache["hits"] + cache["misses"]
         merged.gauge(
             "daemon.cache.hit_ratio",
@@ -422,7 +429,7 @@ class VerifyDaemon:
         return 200, "text/plain; version=0.0.4", text.encode("utf-8")
 
     def _handle_healthz(self) -> Tuple[int, str, bytes]:
-        cache = self.sessions.cache_stats()
+        cache = self.workers.cache_stats()
         payload = {
             "ok": self.state in ("serving", "draining"),
             "state": self.state,
@@ -433,10 +440,9 @@ class VerifyDaemon:
                 "limit": self.queue.queue_limit,
                 "workers": self.queue.workers,
             },
-            "sessions": {
-                "warm": self.sessions.warm,
-                "orphaned": self.sessions.orphaned,
-                "retired": self.sessions.retired_total,
+            "workers": {
+                "warm": self.workers.warm,
+                "retired": self.workers.retired_total,
             },
             "tenants": self.queue.quotas.snapshot(),
             "cache": cache,

@@ -1,0 +1,48 @@
+"""Per-unit circuit breaker: quarantine work that keeps killing workers."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class CircuitBreaker:
+    """Count crashes per unit name and trip after ``max_crashes``.
+
+    The scheduler records every function suspected of breaking a worker
+    pool; once a function trips the breaker it is quarantined with a
+    structured ``WORKER_CRASHED`` verdict instead of being retried, so a
+    deterministically-crashing input costs a bounded number of pool
+    rebuilds.  The threshold (default 2) also forgives innocent
+    bystanders: crash attribution from a broken pool is a superset of
+    the true culprit, and an innocent function retried on a fresh pool
+    succeeds before reaching the threshold.
+    """
+
+    def __init__(self, max_crashes: int = 2) -> None:
+        if max_crashes < 1:
+            raise ValueError("max_crashes must be at least 1")
+        self.max_crashes = max_crashes
+        self._crashes: Dict[str, int] = {}
+
+    def record(self, name: str) -> int:
+        """Record one crash against ``name``; returns the updated count."""
+
+        count = self._crashes.get(name, 0) + 1
+        self._crashes[name] = count
+        if count == self.max_crashes:
+            try:
+                from repro.obs import current_obs
+
+                current_obs().registry.counter(
+                    "faults.breaker_trips",
+                    help="units quarantined after repeated worker crashes",
+                ).inc()
+            except Exception:
+                pass
+        return count
+
+    def tripped(self, name: str) -> bool:
+        return self._crashes.get(name, 0) >= self.max_crashes
+
+    def quarantined(self) -> Tuple[str, ...]:
+        return tuple(sorted(name for name, count in self._crashes.items() if count >= self.max_crashes))

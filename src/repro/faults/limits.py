@@ -1,0 +1,79 @@
+"""Per-unit resource containment: deadlines and memory ceilings."""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class DeadlineExceeded(Exception):
+    """A unit of work overran the deadline set by :func:`enforce_deadline`."""
+
+    def __init__(self, seconds: float) -> None:
+        super().__init__(f"deadline of {seconds:g}s exceeded")
+        self.seconds = seconds
+
+
+@contextmanager
+def enforce_deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`DeadlineExceeded` if the body runs longer than ``seconds``.
+
+    Implemented with ``SIGALRM``/``setitimer`` so it interrupts *anything*
+    on the main thread — a hot pivot loop, a ``time.sleep`` from an
+    injected hang — not just cooperative checkpoints.  Degrades to a
+    no-op when ``seconds`` is falsy or when called off the main thread
+    (signals only arrive there); the daemon covers that case with its
+    own job timeout plus killable worker subprocesses.
+
+    Nesting is supported: an outer timer is re-armed with its remaining
+    budget when the inner scope exits.
+    """
+
+    if not seconds or seconds <= 0 or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _on_alarm(signum, frame):  # noqa: ANN001 - signal handler signature
+        raise DeadlineExceeded(seconds)
+
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    outer_remaining, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    started = time.monotonic()
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if outer_remaining:
+            elapsed = time.monotonic() - started
+            signal.setitimer(signal.ITIMER_REAL, max(0.001, outer_remaining - elapsed))
+
+
+def apply_memory_limit(megabytes: Optional[int]) -> bool:
+    """Cap this process's address space at ``megabytes`` via ``RLIMIT_AS``.
+
+    Intended for worker-process initializers: once the ceiling is hit,
+    allocations raise :class:`MemoryError`, which the execution layer
+    converts into a structured ``RESOURCE_EXHAUSTED`` verdict.  Returns
+    whether a limit was applied (``resource`` may be missing or the
+    platform may refuse; both degrade to no limit).
+    """
+
+    if not megabytes or megabytes <= 0:
+        return False
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only module
+        return False
+    limit = int(megabytes) * 1024 * 1024
+    try:
+        _soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY:
+            limit = min(limit, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+        return True
+    except (ValueError, OSError):  # pragma: no cover - platform refusal
+        return False

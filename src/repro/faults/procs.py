@@ -1,0 +1,58 @@
+"""Child-process audit and reaping helpers.
+
+``live_children`` enumerates direct child PIDs from
+``/proc/self/task/*/children`` (covering children forked from any
+thread); the chaos harness snapshots it before a run and asserts the
+set is unchanged afterwards — the zero-orphan guarantee.  On platforms
+without ``/proc`` it falls back to ``multiprocessing.active_children``,
+which only sees children this library spawned.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List
+
+_PROC_TASKS = "/proc/self/task"
+
+
+def live_children() -> List[int]:
+    """PIDs of this process's live direct children (all threads)."""
+
+    pids = set()
+    try:
+        task_ids = os.listdir(_PROC_TASKS)
+    except OSError:
+        import multiprocessing
+
+        return sorted(process.pid for process in multiprocessing.active_children() if process.pid)
+    for task_id in task_ids:
+        try:
+            with open(os.path.join(_PROC_TASKS, task_id, "children"), encoding="ascii") as handle:
+                pids.update(int(pid) for pid in handle.read().split())
+        except (OSError, ValueError):
+            continue
+    return sorted(pids)
+
+
+def reap_process(process, grace: float = 1.0) -> bool:
+    """Terminate→kill escalation for a ``multiprocessing.Process``-alike.
+
+    Returns True if the hard ``kill`` escalation was needed.  Always
+    joins, so the child cannot linger as a zombie.
+    """
+
+    escalated = False
+    try:
+        if process.is_alive():
+            process.terminate()
+        deadline = time.monotonic() + grace
+        process.join(timeout=max(0.0, deadline - time.monotonic()))
+        if process.is_alive():
+            process.kill()
+            escalated = True
+            process.join(timeout=2.0)
+    except (ValueError, OSError):  # already closed / already gone
+        return escalated
+    return escalated

@@ -1,0 +1,258 @@
+"""Seeded fault-injection registry.
+
+A :class:`FaultPlan` is a seed plus a tuple of :class:`FaultSpec`s, each
+naming an instrumented *site* (``scheduler.worker``, ``cache.write``,
+``theory.check``, ``daemon.job``, ...), a fault *kind* and optional
+filters.  Instrumented code calls :func:`inject(site, key=...) <inject>`
+with a per-unit key (usually the function or job name); when a spec
+matches, the fault fires:
+
+``crash``
+    ``SIGKILL`` the current process when it has been marked as a
+    disposable worker (:func:`mark_worker`), otherwise raise
+    :class:`InjectedCrash` so a parent process degrades via its normal
+    exception path instead of killing the CLI/daemon.
+``hang``
+    sleep for ``delay`` seconds (interruptible by the SIGALRM deadline
+    from :func:`repro.faults.limits.enforce_deadline`).
+``oom``
+    raise :class:`MemoryError`, modelling an allocation failure.
+``slow-io``
+    sleep for ``delay`` seconds, modelling a slow disk or network.
+
+Firing is *deterministic*: for ``rate < 1`` the decision hashes
+``(plan seed, spec index, site, key, per-key hit count)``, so the same
+plan over the same workload fires the same faults regardless of thread
+or process interleaving.  ``attempts`` limits firing to the first N
+*retry attempts* of a unit of work (the execution layers call
+:func:`set_attempt` before :func:`inject`), which is how chaos tests
+express "kill this function once, then let the retry succeed" across
+process boundaries where a per-process fire counter would reset.
+
+Plans propagate to children through both a module global (inherited by
+``fork``) and the ``REPRO_FAULTS`` environment variable (read lazily, so
+``spawn`` children and subprocess workers honour the plan too).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+ENV_PLAN = "REPRO_FAULTS"
+
+#: Supported fault kinds.
+FAULT_KINDS = ("crash", "hang", "oom", "slow-io")
+
+
+class InjectedCrash(RuntimeError):
+    """A ``crash`` fault fired in a process that is not a disposable worker."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: where, what, and how often.
+
+    ``rate`` is a probability in ``[0, 1]`` drawn deterministically from
+    the plan seed; ``match`` is a substring filter on the injection key;
+    ``max_fires`` bounds firings *per process* (0 = unbounded);
+    ``attempts`` restricts firing to the first N retry attempts of a unit
+    of work (0 = every attempt); ``delay`` is the sleep for ``hang`` and
+    ``slow-io`` faults.
+    """
+
+    site: str
+    kind: str
+    rate: float = 1.0
+    match: str = ""
+    max_fires: int = 0
+    attempts: int = 0
+    delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if not self.site:
+            raise ValueError("fault site must be non-empty")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be within [0, 1], got {self.rate}")
+        if self.delay < 0:
+            raise ValueError(f"fault delay must be non-negative, got {self.delay}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "rate": self.rate,
+            "match": self.match,
+            "max_fires": self.max_fires,
+            "attempts": self.attempts,
+            "delay": self.delay,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultSpec":
+        return cls(
+            site=str(payload["site"]),
+            kind=str(payload["kind"]),
+            rate=float(payload.get("rate", 1.0)),
+            match=str(payload.get("match", "")),
+            max_fires=int(payload.get("max_fires", 0)),
+            attempts=int(payload.get("attempts", 0)),
+            delay=float(payload.get("delay", 0.05)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the fault schedule derived from it."""
+
+    seed: int = 0
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def to_json(self) -> str:
+        return json.dumps({"seed": self.seed, "specs": [spec.to_dict() for spec in self.specs]})
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            specs=tuple(FaultSpec.from_dict(item) for item in payload.get("specs", ())),
+        )
+
+
+# Module state.  ``_PLAN`` is authoritative once loaded; forked children
+# inherit it, spawned children re-load it from ``REPRO_FAULTS``.
+_PLAN: Optional[FaultPlan] = None
+_LOADED = False
+_FIRED: Dict[int, int] = {}
+_HITS: Dict[Tuple[int, str], int] = {}
+_IS_WORKER = False
+_ATTEMPT = 1
+
+
+def mark_worker(flag: bool = True) -> None:
+    """Declare this process disposable: ``crash`` faults really SIGKILL it."""
+
+    global _IS_WORKER
+    _IS_WORKER = flag
+
+
+def is_worker() -> bool:
+    return _IS_WORKER
+
+
+def set_attempt(attempt: int) -> None:
+    """Record which retry attempt the current unit of work is on (1-based)."""
+
+    global _ATTEMPT
+    _ATTEMPT = max(1, int(attempt))
+
+
+def install_plan(plan: Optional[FaultPlan]) -> None:
+    """Install ``plan`` for this process and (via the environment) children."""
+
+    global _PLAN, _LOADED
+    _PLAN = plan
+    _LOADED = True
+    _FIRED.clear()
+    _HITS.clear()
+    if plan is None or not plan.specs:
+        os.environ.pop(ENV_PLAN, None)
+    else:
+        os.environ[ENV_PLAN] = plan.to_json()
+
+
+def clear_plan() -> None:
+    install_plan(None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, loading ``REPRO_FAULTS`` on first use."""
+
+    global _PLAN, _LOADED
+    if not _LOADED:
+        _LOADED = True
+        text = os.environ.get(ENV_PLAN)
+        if text:
+            try:
+                _PLAN = FaultPlan.from_json(text)
+            except (ValueError, KeyError, TypeError):
+                _PLAN = None
+    return _PLAN
+
+
+@contextmanager
+def inject_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scope a fault plan: install on entry, restore the previous on exit."""
+
+    previous = active_plan()
+    install_plan(plan)
+    try:
+        yield plan
+    finally:
+        install_plan(previous)
+
+
+def _chance(seed: int, index: int, site: str, key: str, count: int) -> float:
+    digest = hashlib.sha256(f"{seed}|{index}|{site}|{key}|{count}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _record(kind: str) -> None:
+    # Imported lazily: repro.obs must stay importable without faults and
+    # vice versa during interpreter shutdown.
+    try:
+        from repro.obs import current_obs
+
+        registry = current_obs().registry
+        registry.counter("faults.injections", help="faults fired by the injection registry").inc()
+        registry.counter(f"faults.injections.{kind}", help=f"{kind} faults fired").inc()
+    except Exception:
+        pass
+
+
+def _fire(spec: FaultSpec, site: str, key: str) -> None:
+    if spec.kind == "crash":
+        if _IS_WORKER:
+            os.kill(os.getpid(), signal.SIGKILL)
+            time.sleep(60.0)  # pragma: no cover - the SIGKILL above never returns
+        raise InjectedCrash(f"injected crash at {site}" + (f" ({key})" if key else ""))
+    if spec.kind == "oom":
+        raise MemoryError(f"injected allocation failure at {site}")
+    # hang / slow-io: a bounded sleep; hang relies on enforce_deadline to
+    # interrupt it when the delay exceeds the unit's deadline.
+    time.sleep(spec.delay)
+
+
+def inject(site: str, key: str = "") -> None:
+    """Fire any planned fault matching ``site``/``key``; no-op without a plan."""
+
+    plan = _PLAN if _LOADED else active_plan()
+    if plan is None or not plan.specs:
+        return
+    for index, spec in enumerate(plan.specs):
+        if spec.site != site:
+            continue
+        if spec.match and spec.match not in key:
+            continue
+        if spec.attempts and _ATTEMPT > spec.attempts:
+            continue
+        if spec.max_fires and _FIRED.get(index, 0) >= spec.max_fires:
+            continue
+        if spec.rate < 1.0:
+            hit_key = (index, key)
+            count = _HITS.get(hit_key, 0)
+            _HITS[hit_key] = count + 1
+            if _chance(plan.seed, index, site, key, count) >= spec.rate:
+                continue
+        _FIRED[index] = _FIRED.get(index, 0) + 1
+        _record(spec.kind)
+        _fire(spec, site, key)

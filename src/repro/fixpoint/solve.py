@@ -98,6 +98,15 @@ BUDGET_EXHAUSTED = "budget-exhausted"
 INVALID = "invalid"
 SOLVER_UNKNOWN = "solver-unknown"
 
+# Fault-boundary kinds: the execution layer (scheduler/portfolio/daemon)
+# uses these when a function's verdict was degraded by a crash, a missed
+# deadline or a memory ceiling rather than decided by the solver.  Such
+# errors carry no constraint.
+WORKER_CRASHED = "worker-crashed"
+DEADLINE_EXCEEDED = "deadline-exceeded"
+RESOURCE_EXHAUSTED = "resource-exhausted"
+FAULT_KINDS = (WORKER_CRASHED, DEADLINE_EXCEEDED, RESOURCE_EXHAUSTED)
+
 _ONESHOT = object()
 """Per-clause sentinel: the clause left the incremental fragment (quantified
 hypotheses or a preprocessing error) and is checked with one-shot queries."""
@@ -121,9 +130,13 @@ class FixpointError:
     could extract one — the satisfying assignment ``model`` of the
     refutation, a concrete valuation of the clause's binders under which
     every hypothesis holds and the goal is false.
+
+    Errors with a kind from :data:`FAULT_KINDS` come from the execution
+    layer, not the solver, and have ``constraint is None``: their ``tag``
+    is the kind itself and their ``span`` is empty.
     """
 
-    constraint: FlatConstraint
+    constraint: Optional[FlatConstraint] = None
     kind: str = INVALID
     detail: str = ""
     hypotheses: Tuple[Expr, ...] = ()
@@ -132,13 +145,20 @@ class FixpointError:
 
     @property
     def tag(self) -> str:
+        if self.constraint is None:
+            return self.kind
         return self.constraint.tag
 
     @property
     def span(self):
+        if self.constraint is None:
+            return None
         return self.constraint.span
 
     def __str__(self) -> str:
+        if self.kind in FAULT_KINDS or self.constraint is None:
+            suffix = f": {self.detail}" if self.detail else ""
+            return f"{self.kind}{suffix}"
         if self.kind == BUDGET_EXHAUSTED:
             suffix = f" ({self.detail})" if self.detail else ""
             return (

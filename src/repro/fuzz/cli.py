@@ -8,6 +8,7 @@ Examples
     python -m repro fuzz --seed 7 --budget 1000 --budget-seconds 60
     python -m repro fuzz --oracles baseline,offline --profile crate
     python -m repro fuzz --seed 3 --budget 50 --no-minimize --corpus-dir /tmp/corpus
+    python -m repro fuzz --chaos --seed 0 --budget 30
     python -m repro fuzz --replay tests/corpus
 
 Exit status is 0 when every crate agreed under every oracle (and, with
@@ -67,6 +68,13 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         metavar="A,B,...",
         help="comma-separated oracle names (default: baseline,naive,offline,warm); "
         f"available: {', '.join(sorted(ORACLES))}",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="re-verify each crate with one injected fault (crash/hang/OOM) "
+        "and assert verdict parity plus a zero-orphan process audit "
+        "(see docs/robustness.md)",
     )
     parser.add_argument(
         "--minimize",
@@ -144,6 +152,7 @@ def fuzz_main(argv: Optional[Sequence[str]] = None) -> int:
         budget_seconds=args.budget_seconds,
         profile=args.profile,
         oracles=oracles,
+        chaos=args.chaos,
         minimize=args.minimize,
         corpus_dir=args.corpus_dir,
         stop_on_divergence=args.stop_on_divergence,

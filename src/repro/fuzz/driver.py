@@ -62,6 +62,10 @@ class FuzzConfig:
     budget_seconds: Optional[float] = None
     profile: str = "small"
     oracles: Tuple[Oracle, ...] = ()
+    #: Chaos mode: after the clean reference run, verify each crate again
+    #: with one injected fault armed (see :mod:`repro.fuzz.chaos`) and
+    #: check verdict parity under containment plus a zero-orphan audit.
+    chaos: bool = False
     #: Shrink every finding before reporting it.
     minimize: bool = True
     #: When set, findings are persisted as corpus entries here.
@@ -70,14 +74,23 @@ class FuzzConfig:
     stop_on_divergence: bool = False
 
     def resolved_oracles(self) -> List[Oracle]:
-        return list(self.oracles) if self.oracles else default_oracles()
+        if self.oracles:
+            return list(self.oracles)
+        if self.chaos:
+            # Chaos compares clean-vs-faulted runs of the *same* pipeline;
+            # the clean reference alone suffices (differential oracles can
+            # still be requested explicitly on top).
+            from repro.fuzz.oracles import ORACLES
+
+            return [ORACLES["baseline"]]
+        return default_oracles()
 
 
 @dataclass
 class Divergence:
     """One finding: a crate on which the pipeline disagrees with itself."""
 
-    kind: str  # "verdict" | "crash" | "expectation"
+    kind: str  # "verdict" | "crash" | "expectation" | "chaos" | "orphans"
     seed: int
     profile: str
     crate_index: int
@@ -180,6 +193,70 @@ def _shrink(divergence: Divergence, predicate) -> None:
     ).inc(stats.probes)
 
 
+def _run_chaos(
+    crate: GeneratedCrate, index: int, config: FuzzConfig, reference: CrateVerdict
+) -> List[Divergence]:
+    """One chaotic re-run of the crate: parity check plus orphan audit."""
+    from repro.faults import live_children
+    from repro.fuzz.chaos import (
+        chaos_mismatch,
+        plan_chaos_case,
+        run_chaos_case,
+        wait_for_no_orphans,
+    )
+
+    case = plan_chaos_case(crate, config.seed)
+    _metrics().counter("fuzz.chaos.cases", help="chaotic crate re-runs").inc()
+    baseline = tuple(live_children())
+    findings: List[Divergence] = []
+    try:
+        chaotic = run_chaos_case(crate, case)
+    except Exception:
+        # Containment failed outright: the fault escaped the execution
+        # layer instead of degrading to a structured verdict.
+        findings.append(
+            Divergence(
+                kind="chaos",
+                seed=crate.seed,
+                profile=crate.profile,
+                crate_index=index,
+                oracle=case.describe(),
+                detail="fault escaped containment: "
+                + traceback.format_exc().strip().splitlines()[-1],
+                source=crate.source,
+            )
+        )
+        chaotic = None
+    if chaotic is not None:
+        mismatch = chaos_mismatch(reference, chaotic)
+        if mismatch is not None:
+            findings.append(
+                Divergence(
+                    kind="chaos",
+                    seed=crate.seed,
+                    profile=crate.profile,
+                    crate_index=index,
+                    oracle=case.describe(),
+                    detail=mismatch,
+                    source=crate.source,
+                )
+            )
+    leftover = wait_for_no_orphans(baseline)
+    if leftover:
+        findings.append(
+            Divergence(
+                kind="orphans",
+                seed=crate.seed,
+                profile=crate.profile,
+                crate_index=index,
+                oracle=case.describe(),
+                detail=f"orphaned child processes after chaotic run: {leftover}",
+                source=crate.source,
+            )
+        )
+    return findings
+
+
 def run_fuzz(config: FuzzConfig) -> FuzzReport:
     """Run one differential fuzz campaign; see the module docstring."""
     oracles = config.resolved_oracles()
@@ -267,6 +344,8 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                         source=crate.source,
                     )
                 )
+            if config.chaos:
+                findings.extend(_run_chaos(crate, index, config, reference_verdict))
 
         for divergence in findings:
             registry.counter(

@@ -146,9 +146,9 @@ class MetricsRegistry:
     internal lock, so one thread may scrape a registry (the daemon's
     ``/metrics`` handler) while another registers metrics into it.  Metric
     *mutation* (``inc``/``set``/``observe``) is deliberately lock-free: the
-    owning contract is one mutating thread per registry at a time (sessions
+    owning contract is one mutating thread per registry at a time (workers
     are never shared between concurrent jobs — see
-    :class:`repro.daemon.sessions.SessionPool`); concurrent *readers* at
+    :class:`repro.daemon.workers.WorkerPool`); concurrent *readers* at
     worst observe a value one update stale.
     """
 

@@ -19,6 +19,7 @@ from repro.core.pipeline import (
     FUNCTION_METRIC_KEYS,
     FunctionResult,
     VerificationResult,
+    is_fault_result,
     merge_programs,
 )
 from repro.lang import LexError, ParseError, parse_program
@@ -246,6 +247,8 @@ def _verify_job_active(job: VerifyJob, session: VerifySession) -> JobReport:
         fns=tables.fn_decls if tables is not None else None,
         trace=session.obs.tracer.enabled,
         events=session.obs.events.enabled,
+        fn_deadline=session.fn_deadline,
+        memory_limit_mb=session.memory_limit_mb,
     )
     for name, (result, worker_stats, obs_payload) in fresh.items():
         if worker_stats is not None:
@@ -257,7 +260,9 @@ def _verify_job_active(job: VerifyJob, session: VerifySession) -> JobReport:
             session.obs.registry.merge(obs_payload["metrics"])
             session.obs.tracer.absorb(obs_payload["trace"])
             session.obs.events.absorb(obs_payload["events"])
-        if name in keys:
+        if name in keys and not is_fault_result(result):
+            # Fault verdicts (crash/deadline/memory) describe the run, not
+            # the program: caching one would pin a transient failure.
             session.cache.put(keys[name], result)
 
     verification = VerificationResult()

@@ -35,6 +35,7 @@ import re
 import threading
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro import faults
 from repro.core.errors import Diagnostic
 from repro.core.genv import GlobalEnv
 from repro.core.pipeline import FunctionResult, definition_map
@@ -184,6 +185,19 @@ def result_from_dict(payload: Dict[str, object]) -> FunctionResult:
     )
 
 
+_TMP_SUFFIX = re.compile(r"\.tmp\.(\d+)\.\d+$")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but not ours (EPERM)
+    return True
+
+
 class ResultCache:
     """In-memory (and optionally on-disk) map from function key to result."""
 
@@ -192,9 +206,44 @@ class ResultCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        self.swept = 0
         self._entries: Dict[str, FunctionResult] = {}
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
+            self.swept = self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> int:
+        """Remove ``{path}.tmp.{pid}.{tid}`` files whose writer died mid-put.
+
+        A writer killed between the tmp write and ``os.replace`` leaves the
+        tmp file behind forever; any pid that is no longer alive cannot
+        complete its rename, so its tmp files are garbage.  Live pids (a
+        concurrent daemon worker over the same cache_dir) are left alone.
+        """
+        assert self.cache_dir is not None
+        removed = 0
+        try:
+            entries = os.listdir(self.cache_dir)
+        except OSError:
+            return 0
+        own_pid = os.getpid()
+        for entry in entries:
+            match = _TMP_SUFFIX.search(entry)
+            if match is None:
+                continue
+            pid = int(match.group(1))
+            if pid == own_pid or _pid_alive(pid):
+                continue
+            try:
+                os.unlink(os.path.join(self.cache_dir, entry))
+                removed += 1
+            except OSError:
+                continue
+        if removed:
+            current_obs().registry.counter(
+                "cache.tmp_swept", help="orphaned cache tmp files removed at open"
+            ).inc(removed)
+        return removed
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -243,8 +292,12 @@ class ResultCache:
             try:
                 with open(tmp, "w", encoding="utf-8") as handle:
                     json.dump(result_to_dict(result), handle)
+                # Chaos site: a crash here models a writer dying between
+                # the tmp write and the atomic rename — exactly the window
+                # the open-time sweep exists for.
+                faults.inject("cache.write", key=result.name)
                 os.replace(tmp, path)
-            except OSError:
+            except (OSError, faults.InjectedCrash, MemoryError):
                 pass  # a read-only cache dir degrades to in-memory
 
     def clear(self) -> None:

@@ -91,6 +91,22 @@ def build_parser() -> argparse.ArgumentParser:
         "first verdict (default: 0, single solver; overrides --jobs)",
     )
     parser.add_argument(
+        "--fn-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-function wall-clock budget; overruns degrade to a "
+        "structured deadline-exceeded verdict instead of stalling the run",
+    )
+    parser.add_argument(
+        "--memory-limit",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="address-space ceiling per --jobs worker process; allocation "
+        "failure degrades to a resource-exhausted verdict",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -198,6 +214,27 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="per-job verification budget, 0 = unbounded (default: 120)",
     )
     parser.add_argument(
+        "--job-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="crash retries per job before WORKER_CRASHED (default: 1)",
+    )
+    parser.add_argument(
+        "--fn-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-function wall-clock deadline inside each job",
+    )
+    parser.add_argument(
+        "--memory-limit",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="address-space ceiling per worker subprocess, in MiB",
+    )
+    parser.add_argument(
         "--drain-timeout",
         type=float,
         default=60.0,
@@ -239,9 +276,12 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         queue_limit=args.queue_limit,
         tenant_quota=args.tenant_quota,
         job_timeout=args.job_timeout if args.job_timeout > 0 else None,
+        job_retries=args.job_retries,
         drain_timeout=args.drain_timeout if args.drain_timeout > 0 else None,
         cache_dir=args.cache_dir,
         session_jobs=args.session_jobs,
+        fn_deadline=args.fn_deadline,
+        memory_limit_mb=args.memory_limit,
         retention=args.retention,
     )
     print(
@@ -328,6 +368,17 @@ def _run_via_server(args, jobs: List[VerifyJob]) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point.  Ctrl-C exits 130 with workers torn down, not a
+    traceback: the scheduler kills its pool on KeyboardInterrupt before
+    re-raising, so nothing is orphaned."""
+    try:
+        return _dispatch(argv)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
@@ -362,6 +413,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ("--metrics-out", args.metrics_out),
                 ("--events-out", args.events_out),
                 ("--portfolio", args.portfolio),
+                ("--fn-deadline", args.fn_deadline),
+                ("--memory-limit", args.memory_limit),
             )
             if value
         ]
@@ -393,6 +446,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         trace=args.trace_out is not None,
         events=args.events_out is not None,
         portfolio=args.portfolio,
+        fn_deadline=args.fn_deadline,
+        memory_limit_mb=args.memory_limit,
     )
     report = verify_jobs(jobs, session)
 

@@ -44,6 +44,13 @@ class VerifySession:
         workers accumulate in ``self.obs.tracer`` for Chrome-trace export.
     events:
         Enable the structured solver event log (``self.obs.events``).
+    fn_deadline:
+        Per-function wall-clock budget in seconds; overruns degrade to a
+        structured ``DEADLINE_EXCEEDED`` verdict instead of stalling the
+        run (see :mod:`repro.faults`).  ``None`` means unbounded.
+    memory_limit_mb:
+        Address-space ceiling applied to scheduler worker processes;
+        allocation failure degrades to ``RESOURCE_EXHAUSTED``.
 
     The metrics registry is always on — counters are cheap and the
     ``--stats`` / ``--metrics-out`` views read them unconditionally.
@@ -57,12 +64,16 @@ class VerifySession:
         trace: bool = False,
         events: bool = False,
         portfolio: int = 0,
+        fn_deadline: Optional[float] = None,
+        memory_limit_mb: Optional[int] = None,
     ) -> None:
         self.smt = SmtContext()
         self.obs = ObsContext.create(trace=trace, events=events)
         self.cache = ResultCache(cache_dir=cache_dir, enabled=use_cache)
         self.jobs = max(1, int(jobs))
         self.portfolio = max(0, int(portfolio))
+        self.fn_deadline = fn_deadline if fn_deadline and fn_deadline > 0 else None
+        self.memory_limit_mb = memory_limit_mb if memory_limit_mb and memory_limit_mb > 0 else None
 
     # -- SMT state ---------------------------------------------------------------
 

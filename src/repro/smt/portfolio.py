@@ -40,6 +40,7 @@ import queue as queue_module
 import warnings
 from typing import List, Optional, Tuple
 
+from repro import faults
 from repro.smt.sat import DEFAULT_CONFIG, SatConfig, set_default_config
 
 #: Hard cap on portfolio width — beyond this the fork cost dwarfs any
@@ -48,6 +49,9 @@ MAX_PORTFOLIO = 8
 
 #: How long the parent waits between queue polls while the race runs.
 _POLL_SECONDS = 0.02
+
+#: Grace period for a losing racer to honour SIGTERM before SIGKILL.
+_REAP_GRACE_SECONDS = 1.0
 
 
 def config_label(config: SatConfig) -> str:
@@ -122,11 +126,13 @@ def _race_child(result_queue, index: int, label: str, config: SatConfig, fn, gen
     from repro.obs import ObsContext, use_obs
     from repro.smt import SmtContext
 
+    faults.mark_worker()  # disposable: injected crashes SIGKILL this child
     set_default_config(config)
     context = SmtContext()
     obs = ObsContext.create()
     try:
         with use_obs(obs):
+            faults.inject("portfolio.child", key=f"{getattr(fn, 'name', '')}:{label}")
             result = _verify_function(fn, genv, rust_context, session=context)
     except Exception as error:  # pragma: no cover - surfaced as a lost race
         result_queue.put((index, label, None, None, repr(error)))
@@ -187,11 +193,7 @@ def race_verify_function(fn, genv, rust_context, k: int):
                 break
             # A child crashed; keep waiting for the survivors.
     finally:
-        for child in children:
-            if child.is_alive():
-                child.terminate()
-        for child in children:
-            child.join(timeout=2.0)
+        _reap_losers(children)
         result_queue.close()
 
     if winner is None:
@@ -203,6 +205,39 @@ def race_verify_function(fn, genv, rust_context, k: int):
         )
         return _run_in_process(fn, genv, rust_context), None, members[0][0]
     return winner
+
+
+def _reap_losers(children) -> None:
+    """Terminate *and join* every losing racer, escalating to SIGKILL.
+
+    A loser deep in a pivot loop may ignore SIGTERM's default disposition
+    long enough to outlive a bounded join; the escalation guarantees no
+    zombie accumulates across thousands of races.  Reap counts surface as
+    ``faults.workers.reaped`` (and ``.killed`` for the escalations).
+    """
+    reaped = 0
+    killed = 0
+    for child in children:
+        if child.is_alive():
+            reaped += 1
+        if faults.reap_process(child, grace=_REAP_GRACE_SECONDS):
+            killed += 1
+        try:
+            child.close()
+        except ValueError:  # pragma: no cover - still alive after escalation
+            pass
+    if reaped or killed:
+        from repro.obs import current_obs
+
+        registry = current_obs().registry
+        if reaped:
+            registry.counter(
+                "faults.workers.reaped", help="losing portfolio racers terminated and joined"
+            ).inc(reaped)
+        if killed:
+            registry.counter(
+                "faults.workers.killed", help="racers that needed the SIGKILL escalation"
+            ).inc(killed)
 
 
 def _run_in_process(fn, genv, rust_context):

@@ -37,6 +37,7 @@ import os
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import faults
 from repro.smt.atoms import AtomError, LinearAtom, atom_constraint, negate_atom
 from repro.smt.lia import check_lia
 from repro.smt.result import CheckStats
@@ -163,6 +164,10 @@ class TheorySolver:
         level-0 trail is re-fed by the SAT core under the *current* activity
         mask) but keeps the tableau, slack rows and bound conversions.
         """
+        # Chaos site: the generalised successor of REPRO_INJECT_THEORY_BUG —
+        # a planned hang/OOM/slow-io fires at the entry of every theory
+        # check, under whatever deadline the execution layer armed.
+        faults.inject("theory.check")
         self.check = CheckStats()
         self._explanation_sizes = []
         self._pivots_at_begin = self._simplex.pivots

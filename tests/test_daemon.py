@@ -1,5 +1,6 @@
 """The verification daemon: protocol, queue/quota edge cases, HTTP surface,
-graceful drain, session-pool isolation, and the CLI thin-client fallback."""
+graceful drain, worker-subprocess isolation, and the CLI thin-client
+fallback."""
 
 import asyncio
 import json
@@ -9,14 +10,14 @@ import time
 
 import pytest
 
+from repro import faults
 from repro.daemon import client
 from repro.daemon.protocol import DEFAULT_TENANT, JobRequest, ProtocolError, error_payload
-from repro.daemon.queue import ORPHAN_SLACK, JobQueue
+from repro.daemon.queue import JobQueue
 from repro.daemon.quotas import QuotaExceeded, TenantQuotas
-from repro.daemon.sessions import SessionPool
 from repro.daemon.testing import run_daemon
+from repro.daemon.workers import WorkerPool
 from repro.service.cli import main as cli_main
-from repro.service.session import VerifySession
 
 INC = """
 #[flux::sig(fn(i32[@x]) -> i32{v: v > x})]
@@ -104,73 +105,105 @@ class TestQuotas:
 
 
 # ---------------------------------------------------------------------------
-# Queue/session-pool units (driven directly on an asyncio loop)
+# Queue/worker-pool units (driven directly on an asyncio loop)
 # ---------------------------------------------------------------------------
 
 
-def _fresh_pool() -> SessionPool:
-    return SessionPool(lambda: VerifySession(use_cache=False))
+def _fresh_pool() -> WorkerPool:
+    return WorkerPool({"cache_dir": None, "session_jobs": 1}, size=1)
 
 
-class TestQueueSessions:
-    def test_timeout_retires_session_and_reclaims_orphan(self):
+def _plan(*specs: faults.FaultSpec) -> faults.FaultPlan:
+    return faults.FaultPlan(seed=0, specs=specs)
+
+
+class TestQueueWorkers:
+    def test_timeout_kills_and_replaces_worker(self):
+        # A job hung past its budget fails with TIMEOUT and its worker is
+        # killed — no orphan thread, no poisoned session — while the pool
+        # stays warm for the next job, which verifies untouched.
+        plan = _plan(
+            faults.FaultSpec(site="daemon.job", kind="hang", match="slow", delay=30.0)
+        )
+
         async def scenario():
             pool = _fresh_pool()
-            queue = JobQueue(pool, workers=1, job_timeout=0.05)
+            queue = JobQueue(pool, workers=1, job_timeout=0.3)
             queue.start()
-            release = threading.Event()
-            seen = []
-
-            def verify(record, session):
-                seen.append(session)
-                if record.request.name == "slow":
-                    release.wait(10)
-                return {"ok": True}
-
-            queue._verify_sync = verify
-            slow, _ = queue.submit(JobRequest(source="a", name="slow"))
+            slow, _ = queue.submit(JobRequest(source=INC, name="slow"))
             while slow.active:
                 await asyncio.sleep(0.01)
             assert slow.state == "failed"
             assert slow.error["kind"] == "TIMEOUT"
-            # The poisoned session left the pool; a fresh one replaced it.
             assert pool.retired_total == 1
-            assert pool.orphaned == 1
             assert pool.warm == 1
-            assert queue.orphans == 1
-            # The next job must not share state with the orphaned thread.
-            fast, _ = queue.submit(JobRequest(source="b", name="fast"))
+            fast, _ = queue.submit(JobRequest(source=INC, name="fast"))
             while fast.active:
                 await asyncio.sleep(0.01)
             assert fast.state == "done"
-            assert seen[1] is not seen[0]
-            # Once the orphaned thread ends, its slot and session are
-            # reclaimed and its metrics absorbed.
-            release.set()
-            for _ in range(200):
-                if queue.orphans == 0:
-                    break
-                await asyncio.sleep(0.01)
-            assert queue.orphans == 0
-            assert pool.orphaned == 0
+            assert fast.report["ok"] is True
             await queue.stop()
+            assert pool.warm == 0
 
-        asyncio.run(scenario())
+        with faults.inject_faults(plan):
+            asyncio.run(scenario())
 
-    def test_stop_abandons_pending_backlog(self):
+    def test_crashed_job_retried_on_fresh_worker(self):
+        # ``attempts=1`` fires the crash only on the first attempt of the
+        # job: the worker SIGKILLs itself, the queue retires it and re-runs
+        # the job on the replacement, which succeeds.
+        plan = _plan(
+            faults.FaultSpec(site="daemon.job", kind="crash", match="flaky", attempts=1)
+        )
+
         async def scenario():
             pool = _fresh_pool()
             queue = JobQueue(pool, workers=1, job_timeout=None)
             queue.start()
-            release = threading.Event()
+            record, _ = queue.submit(JobRequest(source=INC, name="flaky"))
+            while record.active:
+                await asyncio.sleep(0.01)
+            assert record.state == "done"
+            assert record.report["ok"] is True
+            assert record.meta["attempts"] == 2
+            assert pool.retired_total == 1
+            await queue.stop()
 
-            def verify(record, session):
-                release.wait(10)
-                return {"ok": True}
+        with faults.inject_faults(plan):
+            asyncio.run(scenario())
 
-            queue._verify_sync = verify
-            first, _ = queue.submit(JobRequest(source="a", name="inflight"))
-            second, _ = queue.submit(JobRequest(source="b", name="backlog"))
+    def test_persistent_crash_exhausts_retries(self):
+        plan = _plan(
+            faults.FaultSpec(site="daemon.job", kind="crash", match="doomed")
+        )
+
+        async def scenario():
+            pool = _fresh_pool()
+            queue = JobQueue(pool, workers=1, job_timeout=None, job_retries=1)
+            queue.start()
+            record, _ = queue.submit(JobRequest(source=INC, name="doomed"))
+            while record.active:
+                await asyncio.sleep(0.01)
+            assert record.state == "failed"
+            assert record.error["kind"] == "WORKER_CRASHED"
+            assert record.meta["attempts"] == 2  # first run + one retry
+            assert pool.retired_total == 2
+            await queue.stop()
+
+        with faults.inject_faults(plan):
+            asyncio.run(scenario())
+
+    def test_stop_abandons_pending_backlog(self):
+        plan = _plan(
+            faults.FaultSpec(site="daemon.job", kind="hang", match="inflight", delay=0.5)
+        )
+
+        async def scenario():
+            pool = _fresh_pool()
+            queue = JobQueue(pool, workers=1, job_timeout=None)
+            queue.start()
+            first, _ = queue.submit(JobRequest(source=INC, name="inflight"))
+            second, _ = queue.submit(JobRequest(source=INC, name="backlog"))
             while first.state != "running":
                 await asyncio.sleep(0.01)
             assert second.state == "queued"
@@ -180,41 +213,12 @@ class TestQueueSessions:
             assert second.state == "failed"
             assert second.error["kind"] == "SHUTTING_DOWN"
             assert not stopper.done()  # bounded by the one in-flight job
-            release.set()
-            await asyncio.wait_for(stopper, timeout=5.0)
+            await asyncio.wait_for(stopper, timeout=10.0)
             assert first.state == "done"
             assert queue.quotas.snapshot() == {}  # every slot released
 
-        asyncio.run(scenario())
-
-    def test_executor_exhaustion_fails_fast(self):
-        async def scenario():
-            pool = _fresh_pool()
-            queue = JobQueue(pool, workers=1, job_timeout=0.02)
-            queue.start()
-            release = threading.Event()
-
-            def verify(record, session):
-                release.wait(10)
-                return {"ok": True}
-
-            queue._verify_sync = verify
-            records = [
-                queue.submit(JobRequest(source=f"s{i}", name="n", tenant=f"t{i}"))[0]
-                for i in range(ORPHAN_SLACK + 1)
-            ]
-            while any(record.active for record in records):
-                await asyncio.sleep(0.01)
-            kinds = [record.error["kind"] for record in records]
-            # The first ORPHAN_SLACK jobs time out and orphan their
-            # threads; the next finds no executor thread free and fails
-            # fast instead of queueing invisibly inside the pool.
-            assert kinds[:ORPHAN_SLACK] == ["TIMEOUT"] * ORPHAN_SLACK
-            assert kinds[ORPHAN_SLACK] == "OVERLOADED"
-            release.set()
-            await queue.stop()
-
-        asyncio.run(scenario())
+        with faults.inject_faults(plan):
+            asyncio.run(scenario())
 
 
 # ---------------------------------------------------------------------------
@@ -295,10 +299,10 @@ class TestDaemonEndToEnd:
             assert done["report"]["ok"] is True
             # The old record stays readable until evicted.
             assert client.status(daemon.url, first)["state"] == "failed"
-            # The timed-out job's session was retired; the pool stays warm.
+            # The timed-out job's worker was killed; the pool stays warm.
             health = client.healthz(daemon.url)
-            assert health["sessions"]["retired"] == 1
-            assert health["sessions"]["warm"] == 1
+            assert health["workers"]["retired"] == 1
+            assert health["workers"]["warm"] == 1
             exposition = client.metrics(daemon.url)
             assert "repro_daemon_sessions_retired_total 1" in exposition
             assert "repro_daemon_jobs_retried_total 1" in exposition
@@ -307,7 +311,7 @@ class TestDaemonEndToEnd:
         with run_daemon(workers=2) as daemon:
             health = client.healthz(daemon.url)
             assert health["queue"]["workers"] == 2
-            assert health["sessions"]["warm"] == 2
+            assert health["workers"]["warm"] == 2
             a = client.submit(daemon.url, INC, name="a")
             b = client.submit(daemon.url, BAD, name="b")
             assert client.wait(daemon.url, a)["report"]["ok"] is True
